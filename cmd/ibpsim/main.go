@@ -1,0 +1,289 @@
+// Command ibpsim simulates a single indirect-branch predictor configuration
+// over benchmarks of the suite (or a trace file) and reports misprediction
+// rates, the core interactive tool of the reproduction.
+//
+// Examples:
+//
+//	ibpsim -bench all -pred btb-2bc
+//	ibpsim -bench gcc -p 3 -table assoc4 -entries 1024
+//	ibpsim -bench all -hybrid 3,1 -table assoc4 -entries 4096
+//	ibpsim -trace gcc.trace -p 6 -table tagless -entries 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/oocsb/ibp/internal/bits"
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/history"
+	"github.com/oocsb/ibp/internal/sim"
+	"github.com/oocsb/ibp/internal/stats"
+	"github.com/oocsb/ibp/internal/table"
+	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+type options struct {
+	bench     string
+	traceFile string
+	n         int
+	warmup    int
+
+	pred      string
+	path      int
+	histShare int
+	tabShare  int
+	precision int
+	scheme    string
+	keyop     string
+	table     string
+	entries   int
+	update    string
+	hybrid    string
+	shadow    bool
+	sites     bool
+	top       int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.bench, "bench", "all", "benchmark name or \"all\"")
+	flag.StringVar(&o.traceFile, "trace", "", "read a trace file instead of generating a benchmark")
+	flag.IntVar(&o.n, "n", workload.DefaultBranches, "indirect branches per generated benchmark")
+	flag.IntVar(&o.warmup, "warmup", 0, "indirect branches excluded from accounting")
+	flag.StringVar(&o.pred, "pred", "2lev", "predictor family: 2lev, btb, btb-2bc, tcache, ppm, shared")
+	flag.IntVar(&o.path, "p", 3, "path length")
+	flag.IntVar(&o.histShare, "s", 32, "history sharing exponent (2=per-branch, 32=global)")
+	flag.IntVar(&o.tabShare, "hshare", 2, "history table sharing exponent (full-precision mode)")
+	flag.IntVar(&o.precision, "b", core.AutoPrecision, "bits per history target (-1 auto, 0 full precision)")
+	flag.StringVar(&o.scheme, "scheme", "reverse", "pattern layout: concat, straight, reverse, pingpong")
+	flag.StringVar(&o.keyop, "keyop", "xor", "address folding: xor or concat")
+	flag.StringVar(&o.table, "table", "unbounded", "table: exact, unbounded, tagless, assoc1/2/4, fullassoc")
+	flag.IntVar(&o.entries, "entries", 0, "table entries for bounded tables")
+	flag.StringVar(&o.update, "update", "2bc", "target update rule: 2bc or always")
+	flag.StringVar(&o.hybrid, "hybrid", "", "dual-path hybrid \"p1,p2\" (overrides -p)")
+	flag.BoolVar(&o.shadow, "shadow", false, "attribute capacity/conflict misses with an unbounded twin")
+	flag.BoolVar(&o.sites, "sites", false, "report the worst-predicted branch sites")
+	flag.IntVar(&o.top, "top", 5, "number of sites to report with -sites")
+	flag.Parse()
+	if err := realMain(o); err != nil {
+		fmt.Fprintln(os.Stderr, "ibpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func buildPredictor(o options) (core.Predictor, error) {
+	switch o.pred {
+	case "btb":
+		return core.NewBTB(boundedTable(o), core.UpdateAlways), nil
+	case "btb-2bc":
+		return core.NewBTB(boundedTable(o), core.UpdateTwoMiss), nil
+	case "tcache":
+		entries := o.entries
+		if entries == 0 {
+			entries = 512
+		}
+		return core.NewTargetCache(9, orDefault(o.table, "tagless"), entries)
+	case "ppm":
+		p1, p2, err := parsePair(o.hybrid)
+		if err != nil {
+			return nil, fmt.Errorf("ppm needs -hybrid p1,p2: %w", err)
+		}
+		return core.NewCascade([]int{p1, p2}, o.table, o.entries)
+	case "shared":
+		p1, p2, err := parsePair(o.hybrid)
+		if err != nil {
+			return nil, fmt.Errorf("shared needs -hybrid p1,p2: %w", err)
+		}
+		return core.NewSharedHybrid(p1, p2, o.table, o.entries)
+	case "2lev":
+		if o.hybrid != "" {
+			p1, p2, err := parsePair(o.hybrid)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewDualPath(p1, p2, o.table, o.entries)
+		}
+		cfg, err := twoLevelConfig(o)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewTwoLevel(cfg)
+	}
+	return nil, fmt.Errorf("unknown predictor %q", o.pred)
+}
+
+func twoLevelConfig(o options) (core.Config, error) {
+	scheme, err := bits.ParseScheme(o.scheme)
+	if err != nil {
+		return core.Config{}, err
+	}
+	var keyop history.KeyOp
+	switch o.keyop {
+	case "xor":
+		keyop = history.OpXor
+	case "concat":
+		keyop = history.OpConcat
+	default:
+		return core.Config{}, fmt.Errorf("unknown key op %q", o.keyop)
+	}
+	var update core.UpdateRule
+	switch o.update {
+	case "2bc":
+		update = core.UpdateTwoMiss
+	case "always":
+		update = core.UpdateAlways
+	default:
+		return core.Config{}, fmt.Errorf("unknown update rule %q", o.update)
+	}
+	return core.Config{
+		PathLength: o.path,
+		HistShare:  o.histShare,
+		TableShare: o.tabShare,
+		Precision:  o.precision,
+		Scheme:     scheme,
+		KeyOp:      keyop,
+		TableKind:  o.table,
+		Entries:    o.entries,
+		Update:     update,
+	}, nil
+}
+
+// boundedTable builds the BTB's table, or nil for an unbounded one.
+func boundedTable(o options) table.Bounded {
+	if o.table == "" || o.table == "unbounded" || o.table == "exact" {
+		return nil
+	}
+	tb, err := table.New(o.table, o.entries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibpsim:", err)
+		os.Exit(1)
+	}
+	return tb
+}
+
+func realMain(o options) error {
+	var runs []struct {
+		name string
+		tr   trace.Trace
+	}
+	switch {
+	case o.traceFile != "":
+		f, err := os.Open(o.traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, struct {
+			name string
+			tr   trace.Trace
+		}{o.traceFile, tr})
+	case o.bench == "all":
+		for _, cfg := range workload.Suite() {
+			runs = append(runs, struct {
+				name string
+				tr   trace.Trace
+			}{cfg.Name, cfg.MustGenerate(o.n)})
+		}
+	default:
+		cfg, err := workload.ByName(o.bench)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, struct {
+			name string
+			tr   trace.Trace
+		}{cfg.Name, cfg.MustGenerate(o.n)})
+	}
+
+	probe, err := buildPredictor(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predictor: %s\n\n", probe.Name())
+	fmt.Printf("%-10s %10s %10s %10s %10s\n", "benchmark", "branches", "misses", "miss%", "capacity%")
+	rates := make(map[string]float64)
+	for _, r := range runs {
+		p, err := buildPredictor(o)
+		if err != nil {
+			return err
+		}
+		opts := sim.Options{Warmup: o.warmup, Sites: o.sites}
+		if o.shadow {
+			so := o
+			so.table = "unbounded"
+			so.entries = 0
+			shadow, err := buildPredictor(so)
+			if err != nil {
+				return err
+			}
+			opts.Shadow = shadow
+		}
+		res := sim.Run(p, r.tr, opts)
+		rates[r.name] = res.MissRate()
+		fmt.Printf("%-10s %10d %10d %10.2f %10.2f\n",
+			r.name, res.Executed, res.Misses, res.MissRate(), res.CapacityRate())
+		if o.sites {
+			printWorstSites(res, o.top)
+		}
+	}
+	if len(runs) > 1 {
+		fmt.Println()
+		ext := stats.WithGroups(rates)
+		for _, g := range stats.GroupNames() {
+			if v, ok := ext[g]; ok {
+				fmt.Printf("%-10s %32s %10.2f\n", g, "", v)
+			}
+		}
+	}
+	return nil
+}
+
+func printWorstSites(res sim.Result, top int) {
+	type siteRow struct {
+		pc uint32
+		st *sim.SiteStats
+	}
+	rows := make([]siteRow, 0, len(res.PerSite))
+	for pc, st := range res.PerSite {
+		rows = append(rows, siteRow{pc, st})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].st.Misses > rows[j].st.Misses })
+	if top > len(rows) {
+		top = len(rows)
+	}
+	for _, r := range rows[:top] {
+		fmt.Printf("    site %08x: %d/%d misses (%.1f%%)\n",
+			r.pc, r.st.Misses, r.st.Executed, 100*float64(r.st.Misses)/float64(r.st.Executed))
+	}
+}
+
+func parsePair(s string) (int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want \"p1,p2\", got %q", s)
+	}
+	var a, b int
+	if _, err := fmt.Sscanf(parts[0], "%d", &a); err != nil {
+		return 0, 0, err
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &b); err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" || s == "unbounded" {
+		return def
+	}
+	return s
+}

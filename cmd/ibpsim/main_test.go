@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+func baseOpts() options {
+	return options{
+		bench: "xlisp", n: 2000,
+		pred: "2lev", path: 2, histShare: 32, tabShare: 2,
+		precision: -1, scheme: "reverse", keyop: "xor",
+		table: "unbounded", update: "2bc", top: 3,
+	}
+}
+
+func TestRunTwoLevel(t *testing.T) {
+	if err := realMain(baseOpts()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllPredictorFamilies(t *testing.T) {
+	cases := []func(*options){
+		func(o *options) { o.pred = "btb" },
+		func(o *options) { o.pred = "btb-2bc"; o.table = "assoc2"; o.entries = 64 },
+		func(o *options) { o.pred = "tcache"; o.table = "tagless"; o.entries = 256 },
+		func(o *options) { o.pred = "ppm"; o.hybrid = "3,1"; o.table = "assoc2"; o.entries = 256 },
+		func(o *options) { o.pred = "shared"; o.hybrid = "3,1"; o.table = "assoc4"; o.entries = 256 },
+		func(o *options) { o.hybrid = "3,1"; o.table = "assoc4"; o.entries = 256 },
+		func(o *options) { o.table = "assoc4"; o.entries = 128; o.shadow = true; o.sites = true },
+		func(o *options) { o.precision = 0; o.table = "exact" },
+		func(o *options) { o.update = "always"; o.keyop = "concat" },
+		func(o *options) { o.warmup = 500 },
+	}
+	for i, mod := range cases {
+		o := baseOpts()
+		mod(&o)
+		if err := realMain(o); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestRunWholeSuite(t *testing.T) {
+	o := baseOpts()
+	o.bench = "all"
+	o.n = 400
+	if err := realMain(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	cfg, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cfg.MustGenerate(1000)
+	path := filepath.Join(t.TempDir(), "perl.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	o := baseOpts()
+	o.bench = ""
+	o.traceFile = path
+	if err := realMain(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	cases := []func(*options){
+		func(o *options) { o.pred = "nonesuch" },
+		func(o *options) { o.bench = "nonesuch" },
+		func(o *options) { o.scheme = "nonesuch" },
+		func(o *options) { o.keyop = "nonesuch" },
+		func(o *options) { o.update = "nonesuch" },
+		func(o *options) { o.hybrid = "3" },
+		func(o *options) { o.hybrid = "a,b" },
+		func(o *options) { o.pred = "ppm" }, // ppm without -hybrid
+		func(o *options) { o.traceFile = "/nonexistent"; o.bench = "" },
+	}
+	for i, mod := range cases {
+		o := baseOpts()
+		mod(&o)
+		if err := realMain(o); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

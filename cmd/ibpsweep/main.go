@@ -1,0 +1,102 @@
+// Command ibpsweep reproduces the paper's tables and figures: it runs the
+// registered experiments over the 17-benchmark suite and prints paper-style
+// result tables.
+//
+// Usage:
+//
+//	ibpsweep -list
+//	ibpsweep -run fig9,table5 [-n 80000] [-csv results/]
+//	ibpsweep -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/oocsb/ibp/internal/experiment"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment ids, or \"all\"")
+		traceLen = flag.Int("n", 0, "indirect branches per benchmark (default 80000)")
+		csvDir   = flag.String("csv", "", "directory to write one CSV per result table")
+	)
+	flag.Parse()
+	if err := realMain(*list, *run, *traceLen, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "ibpsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(list bool, run string, traceLen int, csvDir string) error {
+	if list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-12s %-28s %s\n", e.ID, e.Artifact, e.Desc)
+		}
+		return nil
+	}
+	if run == "" {
+		return fmt.Errorf("nothing to do: pass -run <ids> or -list")
+	}
+	var selected []experiment.Experiment
+	if run == "all" {
+		// The appendix experiments share one computation; tableA1 runs
+		// once on behalf of its aliases.
+		alias := map[string]bool{"fig18": true, "table6": true, "tableA2": true}
+		for _, e := range experiment.All() {
+			if !alias[e.ID] {
+				selected = append(selected, e)
+			}
+		}
+	} else {
+		for _, id := range strings.Split(run, ",") {
+			e, err := experiment.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	ctx := experiment.NewContext(traceLen)
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("=== %s (%s): %s\n", e.ID, e.Artifact, e.Desc)
+		tables, err := e.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for i, tb := range tables {
+			fmt.Println()
+			if err := tb.Render(os.Stdout); err != nil {
+				return err
+			}
+			if csvDir != "" {
+				name := fmt.Sprintf("%s-%d.csv", e.ID, i)
+				f, err := os.Create(filepath.Join(csvDir, name))
+				if err != nil {
+					return err
+				}
+				if err := tb.WriteCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("\n--- %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

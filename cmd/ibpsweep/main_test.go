@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRealMainList(t *testing.T) {
+	if err := realMain(true, "", 0, ""); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRealMainNoArgs(t *testing.T) {
+	if err := realMain(false, "", 0, ""); err == nil {
+		t.Fatal("no -run accepted")
+	}
+}
+
+func TestRealMainUnknownExperiment(t *testing.T) {
+	if err := realMain(false, "nonesuch", 0, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRealMainRunsAndWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	// table1 is cheap even at a moderate trace length.
+	if err := realMain(false, "table1", 2000, dir); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "table1-*.csv"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no CSV written: %v %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestRealMainCommaSeparated(t *testing.T) {
+	if err := realMain(false, "table1, sites", 1500, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Command ibptrace generates, inspects and summarizes indirect-branch trace
+// files in the IBPT binary format.
+//
+// Usage:
+//
+//	ibptrace gen -bench gcc -n 100000 -o gcc.trace [-returns]
+//	ibptrace stats gcc.trace
+//	ibptrace stats -bench gcc -n 100000
+//	ibptrace dump -count 20 gcc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ibptrace gen   (-bench <name> | -config <file.json>) [-n branches] [-returns] -o <file>
+  ibptrace stats [-bench <name> [-n branches]] [file]
+  ibptrace dump  [-count N] <file>`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name (see DESIGN.md Tables 1–2)")
+	config := fs.String("config", "", "JSON workload configuration file (alternative to -bench)")
+	n := fs.Int("n", workload.DefaultBranches, "indirect branches to generate")
+	out := fs.String("o", "", "output trace file")
+	returns := fs.Bool("returns", false, "emit call/return records for RAS studies")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*bench == "") == (*config == "") || *out == "" {
+		return fmt.Errorf("gen requires exactly one of -bench/-config, plus -o")
+	}
+	var cfg workload.Config
+	var err error
+	if *config != "" {
+		cfg, err = workload.LoadConfig(*config)
+	} else {
+		cfg, err = workload.ByName(*bench)
+	}
+	if err != nil {
+		return err
+	}
+	cfg.EmitReturns = *returns
+	tr, err := cfg.Generate(*n)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d indirect) to %s\n", len(tr), *n, *out)
+	return nil
+}
+
+func loadOrGenerate(fs *flag.FlagSet, bench *string, n *int) (trace.Trace, string, error) {
+	if *bench != "" {
+		cfg, err := workload.ByName(*bench)
+		if err != nil {
+			return nil, "", err
+		}
+		tr, err := cfg.Generate(*n)
+		return tr, *bench, err
+	}
+	if fs.NArg() != 1 {
+		return nil, "", fmt.Errorf("need a trace file or -bench")
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	return tr, path, err
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	bench := fs.String("bench", "", "generate this benchmark instead of reading a file")
+	n := fs.Int("n", workload.DefaultBranches, "indirect branches when generating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, name, err := loadOrGenerate(fs, bench, n)
+	if err != nil {
+		return err
+	}
+	s := trace.Summarize(tr)
+	fmt.Printf("%s: %d records\n", name, len(tr))
+	fmt.Printf("  indirect branches     %d\n", s.Indirect)
+	fmt.Printf("  returns / cond        %d / %d\n", s.Returns, s.Conds)
+	fmt.Printf("  instructions          %d (%.0f per indirect)\n", s.Instructions, s.InstrPerIndirect)
+	fmt.Printf("  cond per indirect     %.1f\n", s.CondPerIndirect)
+	fmt.Printf("  virtual-call fraction %.0f%%\n", 100*s.VCallFraction)
+	fmt.Printf("  branch sites          %d (max %d targets at one site)\n", s.Sites, s.MaxTargetsPerSite)
+	fmt.Printf("  sites for 90/95/99/100%% of branches: %d / %d / %d / %d\n",
+		s.Coverage[90], s.Coverage[95], s.Coverage[99], s.Coverage[100])
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	count := fs.Int("count", 20, "records to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dump needs a trace file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	return trace.Dump(os.Stdout, tr, *count)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+func TestGenStatsDump(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.trace")
+	if err := cmdGen([]string{"-bench", "xlisp", "-n", "2000", "-o", out}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file: %v %v", fi, err)
+	}
+	if err := cmdStats([]string{out}); err != nil {
+		t.Fatalf("stats file: %v", err)
+	}
+	if err := cmdStats([]string{"-bench", "xlisp", "-n", "1000"}); err != nil {
+		t.Fatalf("stats bench: %v", err)
+	}
+	if err := cmdDump([]string{"-count", "5", out}); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+}
+
+func TestGenWithReturns(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.trace")
+	if err := cmdGen([]string{"-bench", "jhm", "-n", "1000", "-returns", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenFromJSONConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "bench.json")
+	cfg, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := filepath.Join(dir, "c.trace")
+	if err := cmdGen([]string{"-config", cfgPath, "-n", "500", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-config", cfgPath, "-bench", "perl", "-n", "500", "-o", out}); err == nil {
+		t.Error("both -bench and -config accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := cmdGen([]string{"-bench", "xlisp"}); err == nil {
+		t.Error("gen without -o accepted")
+	}
+	if err := cmdGen([]string{"-bench", "nonesuch", "-o", "/tmp/x"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := cmdStats([]string{}); err == nil {
+		t.Error("stats without input accepted")
+	}
+	if err := cmdStats([]string{"/nonexistent/file"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := cmdDump([]string{}); err == nil {
+		t.Error("dump without file accepted")
+	}
+}

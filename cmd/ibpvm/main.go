@@ -1,0 +1,135 @@
+// Command ibpvm assembles and runs programs on the bytecode VM, optionally
+// writing the branch trace they produce — a real-program trace source for
+// the predictors.
+//
+// Usage:
+//
+//	ibpvm run fib                          # built-in sample
+//	ibpvm run -dispatch -o fib.trace fib   # with threaded-dispatch records
+//	ibpvm run prog.vasm                    # assemble and run a file
+//	ibpvm disasm fib
+//	ibpvm list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/oocsb/ibp/internal/minilang"
+	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "list":
+		for _, n := range vm.SampleNames() {
+			fmt.Println(n)
+		}
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibpvm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ibpvm run [-dispatch] [-cond] [-steps N] [-o trace] <sample|file.vasm>
+  ibpvm disasm <sample|file.vasm>
+  ibpvm list`)
+}
+
+// loadProgram resolves the argument as a built-in sample name, a minilang
+// source file (.ml, compiled), or an assembly file (anything else, e.g.
+// .vasm).
+func loadProgram(arg string) (*vm.Program, error) {
+	if src, ok := vm.Samples()[arg]; ok {
+		return vm.Assemble(src)
+	}
+	if !strings.Contains(arg, ".") && !strings.Contains(arg, "/") {
+		return nil, fmt.Errorf("unknown sample %q (see ibpvm list)", arg)
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(arg, ".ml") {
+		return minilang.Compile(string(src))
+	}
+	return vm.Assemble(string(src))
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	dispatch := fs.Bool("dispatch", false, "trace the threaded-code dispatch jumps")
+	cond := fs.Bool("cond", false, "trace conditional branches")
+	steps := fs.Int("steps", 0, "max VM steps (0 = default)")
+	out := fs.String("o", "", "write the branch trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run needs one program")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m := vm.New(prog, vm.Options{TraceDispatch: *dispatch, TraceCond: *cond, MaxSteps: *steps})
+	v, err := m.Run()
+	if err != nil {
+		return err
+	}
+	tr := m.Trace()
+	s := trace.Summarize(tr)
+	fmt.Printf("result: %d\n", v)
+	fmt.Printf("trace:  %d records, %d indirect branches, %d returns, %d sites\n",
+		len(tr), s.Indirect, s.Returns, s.Sites)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := trace.Write(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("disasm needs one program")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return vm.Disassemble(os.Stdout, prog)
+}

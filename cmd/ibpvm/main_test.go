@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSampleAndTraceOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fib.trace")
+	if err := cmdRun([]string{"-o", out, "fib"}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace output: %v %v", fi, err)
+	}
+}
+
+func TestRunDispatchAndCond(t *testing.T) {
+	if err := cmdRun([]string{"-dispatch", "-cond", "tokens"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	src := "func main\npush 41\npush 1\nadd\nret\n"
+	path := filepath.Join(t.TempDir(), "p.vasm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDisasm([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := cmdRun([]string{}); err == nil {
+		t.Error("no program accepted")
+	}
+	if err := cmdRun([]string{"nonesuch"}); err == nil {
+		t.Error("unknown sample accepted")
+	}
+	if err := cmdRun([]string{"/nonexistent/p.vasm"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := cmdRun([]string{"-steps", "5", "shapes"}); err == nil {
+		t.Error("step limit not enforced")
+	}
+	if err := cmdDisasm([]string{}); err == nil {
+		t.Error("disasm without program accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package ibp_test
+
+import (
+	"fmt"
+
+	ibp "github.com/oocsb/ibp"
+)
+
+// ExampleMissRate measures a two-level predictor against the ideal BTB on a
+// deterministic benchmark trace.
+func ExampleMissRate() {
+	tr := ibp.MustBenchmark("perl", 40_000)
+	btb := ibp.NewBTB(nil, ibp.UpdateTwoMiss)
+	two := ibp.MustTwoLevel(ibp.Config{
+		PathLength: 2,
+		Precision:  ibp.AutoPrecision,
+		Scheme:     ibp.Reverse,
+		TableKind:  "assoc4",
+		Entries:    1024,
+	})
+	fmt.Printf("two-level beats BTB: %v\n", ibp.MissRate(two, tr) < ibp.MissRate(btb, tr))
+	// Output: two-level beats BTB: true
+}
+
+// ExampleNewDualPath builds the paper's canonical hybrid predictor.
+func ExampleNewDualPath() {
+	hyb, err := ibp.NewDualPath(3, 1, "assoc4", 1024)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(hyb.Name())
+	// Output: hybrid(2lev[p=3,b=8,reverse,xor,assoc4/1024]+2lev[p=1,b=24,reverse,xor,assoc4/1024])
+}
+
+// ExampleSimulateRAS verifies the paper's §2 premise: a return address stack
+// predicts procedure returns almost perfectly.
+func ExampleSimulateRAS() {
+	_, tr, err := ibp.RunVMSample("fib", ibp.VMOptions{})
+	if err != nil {
+		panic(err)
+	}
+	res := ibp.SimulateRAS(tr, 64)
+	fmt.Printf("return mispredictions: %d\n", res.Misses)
+	// Output: return mispredictions: 0
+}
+
+// ExampleRunMinilang compiles and runs a program with the bundled compiler.
+func ExampleRunMinilang() {
+	src := `
+func twice(x) { return x * 2; }
+func main() {
+  var f = twice;
+  return f(21);
+}`
+	v, _, err := ibp.RunMinilang(src, ibp.VMOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	// Output: 42
+}
+
+// ExampleSummarize computes the Tables 1–2 benchmark characteristics of a
+// trace.
+func ExampleSummarize() {
+	tr := ibp.MustBenchmark("xlisp", 20_000)
+	s := ibp.Summarize(tr)
+	fmt.Printf("sites for 90%% of branches: %d of %d\n", s.Coverage[90], s.Sites)
+	// Output: sites for 90% of branches: 9 of 12
+}

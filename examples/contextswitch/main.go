@@ -1,0 +1,62 @@
+// contextswitch studies predictor interference under multiprogramming (the
+// concern [ECP96] raises for hybrid predictors, §7): two programs share one
+// predictor, alternating every `quantum` indirect branches. Finer quanta
+// mean more cross-program pollution; hybrids recover faster than deep
+// single-path predictors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	ibp "github.com/oocsb/ibp"
+)
+
+func main() {
+	n := flag.Int("n", 60_000, "indirect branches per program")
+	flag.Parse()
+
+	a := ibp.MustBenchmark("eqn", *n).Indirect()
+	b := ibp.MustBenchmark("perl", *n).Indirect()
+
+	mk := func() []ibp.Predictor {
+		long := ibp.MustTwoLevel(ibp.Config{
+			PathLength: 6, Precision: ibp.AutoPrecision,
+			Scheme: ibp.Reverse, TableKind: "assoc4", Entries: 4096,
+		})
+		short := ibp.MustTwoLevel(ibp.Config{
+			PathLength: 2, Precision: ibp.AutoPrecision,
+			Scheme: ibp.Reverse, TableKind: "assoc4", Entries: 4096,
+		})
+		hyb, err := ibp.NewDualPath(3, 1, "assoc4", 2048)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return []ibp.Predictor{short, long, hyb}
+	}
+
+	fmt.Println("misprediction % when two programs share one predictor")
+	fmt.Printf("%-12s %12s %12s %12s\n", "quantum", "2lev p=2", "2lev p=6", "hybrid 3.1")
+	for _, quantum := range []int{0, 50_000, 5_000, 500} {
+		var tr ibp.Trace
+		if quantum == 0 {
+			tr = ibp.ConcatTraces(a, b) // run to completion, no switching
+		} else {
+			var err error
+			tr, err = ibp.InterleaveTraces(quantum, a, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		label := fmt.Sprintf("%d", quantum)
+		if quantum == 0 {
+			label = "none"
+		}
+		fmt.Printf("%-12s", label)
+		for _, p := range mk() {
+			fmt.Printf(" %12.2f", ibp.MissRate(p, tr))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,66 @@
+// hybridtune searches the hybrid design space of §6 for a fixed hardware
+// budget: it sweeps dual-path combinations (p1, p2) and prints the
+// mini-Figure-17 matrix plus the winner, on one benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	ibp "github.com/oocsb/ibp"
+)
+
+func main() {
+	bench := flag.String("bench", "eqn", "suite benchmark to tune for")
+	entries := flag.Int("entries", 1024, "total table entries (components get half each)")
+	n := flag.Int("n", 80_000, "trace length in indirect branches")
+	flag.Parse()
+
+	cfg, err := ibp.BenchmarkByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := cfg.MustGenerate(*n).Indirect()
+
+	const maxP = 8
+	fmt.Printf("misprediction %% for hybrid(p1, p2), assoc4, %d total entries, on %s\n\n", *entries, *bench)
+	fmt.Print("p1\\p2 ")
+	for p2 := 0; p2 < maxP; p2++ {
+		fmt.Printf("%7d", p2)
+	}
+	fmt.Println()
+
+	bestRate := math.Inf(1)
+	var bestP1, bestP2 int
+	for p1 := 1; p1 <= maxP; p1++ {
+		fmt.Printf("%4d  ", p1)
+		for p2 := 0; p2 < maxP; p2++ {
+			if p2 >= p1 {
+				fmt.Printf("%7s", "")
+				continue
+			}
+			hyb, err := ibp.NewDualPath(p1, p2, "assoc4", *entries/2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rate := ibp.MissRate(hyb, tr)
+			fmt.Printf("%7.2f", rate)
+			if rate < bestRate {
+				bestRate, bestP1, bestP2 = rate, p1, p2
+			}
+		}
+		fmt.Println()
+	}
+
+	single := ibp.MustTwoLevel(ibp.Config{
+		PathLength: 3,
+		Precision:  ibp.AutoPrecision,
+		Scheme:     ibp.Reverse,
+		TableKind:  "assoc4",
+		Entries:    *entries,
+	})
+	fmt.Printf("\nbest hybrid: p=%d.%d at %.2f%%\n", bestP1, bestP2, bestRate)
+	fmt.Printf("non-hybrid p=3 of the same total size: %.2f%%\n", ibp.MissRate(single, tr))
+}

@@ -1,0 +1,3 @@
+module github.com/oocsb/ibp
+
+go 1.24

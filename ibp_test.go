@@ -1,0 +1,94 @@
+package ibp_test
+
+import (
+	"bytes"
+	"testing"
+
+	ibp "github.com/oocsb/ibp"
+)
+
+// TestQuickstart exercises the facade the way README's quickstart does.
+func TestQuickstart(t *testing.T) {
+	tr := ibp.MustBenchmark("gcc", 20_000)
+	btb := ibp.MissRate(ibp.NewBTB(nil, ibp.UpdateTwoMiss), tr)
+	two := ibp.MissRate(ibp.MustTwoLevel(ibp.Config{
+		PathLength: 3,
+		Precision:  ibp.AutoPrecision,
+		Scheme:     ibp.Reverse,
+		TableKind:  "assoc4",
+		Entries:    1024,
+	}), tr)
+	hyb, err := ibp.NewDualPath(3, 1, "assoc4", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybRate := ibp.MissRate(hyb, tr)
+	t.Logf("gcc: btb=%.1f%% two-level=%.1f%% hybrid=%.1f%%", btb, two, hybRate)
+	if two >= btb {
+		t.Errorf("two-level (%.1f%%) should beat BTB (%.1f%%)", two, btb)
+	}
+	if hybRate >= btb {
+		t.Errorf("hybrid (%.1f%%) should beat BTB (%.1f%%)", hybRate, btb)
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	tr := ibp.MustBenchmark("perl", 2_000)
+	var buf bytes.Buffer
+	if err := ibp.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ibp.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr) {
+		t.Fatalf("round trip %d != %d", len(back), len(tr))
+	}
+	s := ibp.Summarize(tr)
+	if s.Indirect != 2000 {
+		t.Errorf("summary indirect = %d", s.Indirect)
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	if got := len(ibp.Benchmarks()); got != 17 {
+		t.Errorf("suite size %d", got)
+	}
+	if _, err := ibp.BenchmarkByName("idl"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeVM(t *testing.T) {
+	v, tr, err := ibp.RunVMSample("fib", ibp.VMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1597 {
+		t.Errorf("fib = %d", v)
+	}
+	res := ibp.SimulateRAS(tr, 64)
+	if res.MissRate() != 0 {
+		t.Errorf("RAS on fib: %.2f%%", res.MissRate())
+	}
+	if len(ibp.VMSampleNames()) != 4 {
+		t.Error("sample names")
+	}
+}
+
+func TestFacadeSimOptions(t *testing.T) {
+	tr := ibp.MustBenchmark("xlisp", 5_000)
+	subject := ibp.MustTwoLevel(ibp.Config{
+		PathLength: 2, Precision: ibp.AutoPrecision,
+		Scheme: ibp.Reverse, TableKind: "assoc2", Entries: 64,
+	})
+	shadow := ibp.MustTwoLevel(ibp.Config{PathLength: 2, Precision: ibp.AutoPrecision})
+	res := ibp.Simulate(subject, tr, ibp.SimOptions{Warmup: 500, Shadow: shadow})
+	if res.Executed != 4500 {
+		t.Errorf("executed %d", res.Executed)
+	}
+	if res.Misses < res.CapacityMisses {
+		t.Error("capacity misses exceed misses")
+	}
+}

@@ -1,0 +1,162 @@
+// Package analysis profiles the dynamic behaviour of individual indirect
+// branch sites: target counts, dominance, and zeroth/first-order target
+// entropies. The classes it derives (monomorphic, dominated, cyclic,
+// chaotic) explain where each predictor generation earns its keep — BTBs
+// cover monomorphic and dominated sites, path-based predictors additionally
+// cover cyclic sites, and nothing covers chaotic ones (the noise floor).
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// SiteProfile describes one static indirect branch site.
+type SiteProfile struct {
+	// PC is the site address.
+	PC uint32
+	// Kind is the site's branch kind.
+	Kind trace.Kind
+	// Executions is the dynamic execution count.
+	Executions int
+	// Targets is the number of distinct targets observed.
+	Targets int
+	// Dominance is the frequency share of the most common target.
+	Dominance float64
+	// Entropy is the Shannon entropy of the target distribution in bits
+	// (0 for a monomorphic site).
+	Entropy float64
+	// CondEntropy is the first-order conditional entropy: the entropy of
+	// the next target given the site's previous target. Low conditional
+	// entropy with high plain entropy is the signature of a cyclic,
+	// path-predictable site.
+	CondEntropy float64
+}
+
+// Class names.
+const (
+	ClassMonomorphic = "monomorphic" // one target
+	ClassDominated   = "dominated"   // >= 90% one target
+	ClassCyclic      = "cyclic"      // polymorphic but sequence-predictable
+	ClassChaotic     = "chaotic"     // polymorphic and sequence-unpredictable
+)
+
+// Classes lists the class names in reporting order.
+func Classes() []string {
+	return []string{ClassMonomorphic, ClassDominated, ClassCyclic, ClassChaotic}
+}
+
+// Class buckets the site by its statistics.
+func (p SiteProfile) Class() string {
+	switch {
+	case p.Targets <= 1:
+		return ClassMonomorphic
+	case p.Dominance >= 0.9:
+		return ClassDominated
+	case p.CondEntropy <= p.Entropy/2 || p.CondEntropy < 0.3:
+		return ClassCyclic
+	default:
+		return ClassChaotic
+	}
+}
+
+// Profile computes per-site statistics for all indirect branches in the
+// trace, ordered by descending execution count.
+func Profile(tr trace.Trace) []SiteProfile {
+	type siteState struct {
+		kind   trace.Kind
+		counts map[uint32]int
+		trans  map[uint64]int // prev<<32|cur transitions
+		prev   uint32
+		seen   bool
+		total  int
+	}
+	sites := make(map[uint32]*siteState)
+	for _, r := range tr {
+		if !r.Kind.Indirect() {
+			continue
+		}
+		s := sites[r.PC]
+		if s == nil {
+			s = &siteState{kind: r.Kind, counts: make(map[uint32]int), trans: make(map[uint64]int)}
+			sites[r.PC] = s
+		}
+		s.counts[r.Target]++
+		s.total++
+		if s.seen {
+			s.trans[uint64(s.prev)<<32|uint64(r.Target)]++
+		}
+		s.prev = r.Target
+		s.seen = true
+	}
+
+	out := make([]SiteProfile, 0, len(sites))
+	for pc, s := range sites {
+		p := SiteProfile{
+			PC:         pc,
+			Kind:       s.kind,
+			Executions: s.total,
+			Targets:    len(s.counts),
+		}
+		maxCount := 0
+		for _, c := range s.counts {
+			if c > maxCount {
+				maxCount = c
+			}
+			f := float64(c) / float64(s.total)
+			p.Entropy -= f * math.Log2(f)
+		}
+		p.Dominance = float64(maxCount) / float64(s.total)
+		// Conditional entropy H(next | prev) over observed transitions.
+		prevTotals := make(map[uint32]int)
+		for k, c := range s.trans {
+			prevTotals[uint32(k>>32)] += c
+		}
+		transitions := 0
+		for _, c := range s.trans {
+			transitions += c
+		}
+		if transitions > 0 {
+			for k, c := range s.trans {
+				pPrev := float64(prevTotals[uint32(k>>32)]) / float64(transitions)
+				pCond := float64(c) / float64(prevTotals[uint32(k>>32)])
+				p.CondEntropy -= pPrev * pCond * math.Log2(pCond)
+			}
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Executions != out[j].Executions {
+			return out[i].Executions > out[j].Executions
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// Breakdown aggregates a profile: for each class, the number of sites and
+// the share of dynamic indirect branches it accounts for.
+type Breakdown struct {
+	Sites  map[string]int
+	Shares map[string]float64 // fraction of dynamic branches, in [0,1]
+}
+
+// Summarize computes the class breakdown of a profile.
+func Summarize(profiles []SiteProfile) Breakdown {
+	b := Breakdown{Sites: make(map[string]int), Shares: make(map[string]float64)}
+	total := 0
+	for _, p := range profiles {
+		total += p.Executions
+	}
+	if total == 0 {
+		return b
+	}
+	for _, p := range profiles {
+		c := p.Class()
+		b.Sites[c]++
+		b.Shares[c] += float64(p.Executions) / float64(total)
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// mkTrace builds a single-site trace from a target sequence.
+func mkTrace(pc uint32, targets []uint32) trace.Trace {
+	out := make(trace.Trace, len(targets))
+	for i, t := range targets {
+		out[i] = trace.Record{PC: pc, Target: t, Kind: trace.VirtualCall, Gap: 1}
+	}
+	return out
+}
+
+func seq(cycle []uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = cycle[i%len(cycle)]
+	}
+	return out
+}
+
+func TestProfileMonomorphic(t *testing.T) {
+	ps := Profile(mkTrace(0x1000, seq([]uint32{0x2000}, 100)))
+	if len(ps) != 1 {
+		t.Fatalf("%d profiles", len(ps))
+	}
+	p := ps[0]
+	if p.Class() != ClassMonomorphic || p.Targets != 1 || p.Entropy != 0 || p.Dominance != 1 {
+		t.Errorf("monomorphic profile: %+v class=%s", p, p.Class())
+	}
+}
+
+func TestProfileDominated(t *testing.T) {
+	targets := seq([]uint32{0x2000}, 95)
+	targets = append(targets, seq([]uint32{0x3000}, 5)...)
+	p := Profile(mkTrace(0x1000, targets))[0]
+	if p.Class() != ClassDominated {
+		t.Errorf("class = %s, dominance %v", p.Class(), p.Dominance)
+	}
+	if p.Dominance != 0.95 {
+		t.Errorf("Dominance = %v", p.Dominance)
+	}
+}
+
+func TestProfileCyclic(t *testing.T) {
+	// A strict period-3 cycle: high entropy (log2 3) but zero
+	// first-order conditional entropy.
+	p := Profile(mkTrace(0x1000, seq([]uint32{0x2000, 0x3000, 0x4000}, 300)))[0]
+	if math.Abs(p.Entropy-math.Log2(3)) > 0.01 {
+		t.Errorf("Entropy = %v, want log2(3)", p.Entropy)
+	}
+	if p.CondEntropy > 0.01 {
+		t.Errorf("CondEntropy = %v, want ~0", p.CondEntropy)
+	}
+	if p.Class() != ClassCyclic {
+		t.Errorf("class = %s", p.Class())
+	}
+}
+
+func TestProfileChaotic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	targets := make([]uint32, 3000)
+	for i := range targets {
+		targets[i] = 0x2000 + uint32(rng.IntN(4))*4
+	}
+	p := Profile(mkTrace(0x1000, targets))[0]
+	if p.Class() != ClassChaotic {
+		t.Errorf("class = %s (entropy %v, cond %v)", p.Class(), p.Entropy, p.CondEntropy)
+	}
+	if p.CondEntropy < p.Entropy*0.8 {
+		t.Errorf("iid stream: cond entropy %v should approach entropy %v", p.CondEntropy, p.Entropy)
+	}
+}
+
+func TestProfileOrderingAndKinds(t *testing.T) {
+	tr := mkTrace(0x1000, seq([]uint32{0x2000}, 10))
+	tr = append(tr, mkTrace(0x2000, seq([]uint32{0x3000}, 50))...)
+	tr = append(tr, trace.Record{PC: 0x3000, Target: 0x4000, Kind: trace.Return, Gap: 1})
+	ps := Profile(tr)
+	if len(ps) != 2 {
+		t.Fatalf("returns must be excluded: %d profiles", len(ps))
+	}
+	if ps[0].PC != 0x2000 {
+		t.Errorf("profiles not sorted by executions: %+v", ps)
+	}
+	if ps[0].Kind != trace.VirtualCall {
+		t.Errorf("Kind = %v", ps[0].Kind)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := mkTrace(0x1000, seq([]uint32{0x2000}, 60))                       // monomorphic
+	tr = append(tr, mkTrace(0x2000, seq([]uint32{0x5000, 0x6000}, 40))...) // cyclic
+	b := Summarize(Profile(tr))
+	if b.Sites[ClassMonomorphic] != 1 || b.Sites[ClassCyclic] != 1 {
+		t.Fatalf("sites: %+v", b.Sites)
+	}
+	if math.Abs(b.Shares[ClassMonomorphic]-0.6) > 1e-9 {
+		t.Errorf("monomorphic share %v, want 0.6", b.Shares[ClassMonomorphic])
+	}
+	sum := 0.0
+	for _, s := range b.Shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+	empty := Summarize(nil)
+	if len(empty.Sites) != 0 {
+		t.Errorf("empty summary: %+v", empty)
+	}
+	if len(Classes()) != 4 {
+		t.Error("Classes()")
+	}
+}

@@ -1,0 +1,146 @@
+// Package bits provides the low-level bit manipulation used to build
+// two-level predictor history patterns: field extraction, xor-folding, and
+// the pattern assembly schemes of Driesen & Hölzle §4–§5 (concatenation and
+// straight / reverse / ping-pong interleaving of partial target addresses).
+package bits
+
+import "fmt"
+
+// Field extracts n bits of x starting at bit lo (bit 0 is the least
+// significant). Bits beyond position 31 read as zero. n must be in [0, 32].
+func Field(x uint32, lo, n int) uint32 {
+	if n <= 0 {
+		return 0
+	}
+	if lo >= 32 {
+		return 0
+	}
+	x >>= uint(lo)
+	if n >= 32 {
+		return x
+	}
+	return x & (1<<uint(n) - 1)
+}
+
+// Fold xor-folds x into b bits by splitting it into ⌈32/b⌉ chunks of b bits
+// and xor-ing them together. Fold(x, 0) is 0; b ≥ 32 returns x unchanged.
+// This is the "fold the new target address" variant of §4.1.
+func Fold(x uint32, b int) uint32 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 32 {
+		return x
+	}
+	var out uint32
+	for x != 0 {
+		out ^= x & (1<<uint(b) - 1)
+		x >>= uint(b)
+	}
+	return out
+}
+
+// Scheme selects how the partial target addresses of a history are laid out
+// in the pattern. The paper's observation (§5.2.1): with limited-associative
+// tables the index part of the key should contain bits from as many targets
+// as possible, so the interleaving schemes beat plain concatenation.
+type Scheme uint8
+
+const (
+	// Concat places each target's b bits contiguously, the most recent
+	// target in the least significant bits (Figure 13, left).
+	Concat Scheme = iota
+	// Straight interleaves one bit per target per round, most recent
+	// target first, so the most recent targets are represented with the
+	// highest precision in the index part (Figure 15, top).
+	Straight
+	// Reverse interleaves oldest target first, giving older targets the
+	// higher precision. The paper found it slightly best on average and
+	// uses it for all interleaved results (§5.2.1).
+	Reverse
+	// PingPong alternates youngest, oldest, second-youngest,
+	// second-oldest, … (Figure 15, bottom).
+	PingPong
+)
+
+var schemeNames = [...]string{"concat", "straight", "reverse", "pingpong"}
+
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// ParseScheme converts a scheme name (as produced by String) back to a
+// Scheme value.
+func ParseScheme(name string) (Scheme, error) {
+	for i, n := range schemeNames {
+		if n == name {
+			return Scheme(i), nil
+		}
+	}
+	return 0, fmt.Errorf("bits: unknown interleave scheme %q", name)
+}
+
+// order returns the index into targets (0 = most recent) of the j-th target
+// in the scheme's fill order, for a history of p targets.
+func (s Scheme) order(j, p int) int {
+	switch s {
+	case Reverse:
+		return p - 1 - j
+	case PingPong:
+		if j%2 == 0 {
+			return j / 2
+		}
+		return p - 1 - j/2
+	default: // Concat and Straight fill youngest-first.
+		return j
+	}
+}
+
+// Assemble builds a history pattern from the p targets (targets[0] is the
+// most recent), taking b bits from each target starting at bit `start`
+// (paper: a=2, skipping the alignment bits). The result has p*b significant
+// bits; p*b must not exceed 32 (the paper caps it at 24).
+//
+// For Concat, target i occupies bits [i*b, (i+1)*b). For the interleaving
+// schemes, pattern bit r*p+j holds bit start+r of the j-th target in the
+// scheme's order, so the low-order p bits of the pattern contain bit `start`
+// of every target.
+func Assemble(targets []uint32, b, start int, scheme Scheme) uint32 {
+	p := len(targets)
+	if p == 0 || b <= 0 {
+		return 0
+	}
+	if p*b > 32 {
+		panic(fmt.Sprintf("bits: pattern of %d targets × %d bits exceeds 32 bits", p, b))
+	}
+	var pattern uint32
+	if scheme == Concat {
+		for i, t := range targets {
+			pattern |= Field(t, start, b) << uint(i*b)
+		}
+		return pattern
+	}
+	for r := 0; r < b; r++ {
+		for j := 0; j < p; j++ {
+			t := targets[scheme.order(j, p)]
+			bit := Field(t, start+r, 1)
+			pattern |= bit << uint(r*p+j)
+		}
+	}
+	return pattern
+}
+
+// XorKey folds the word-aligned branch address into the history pattern by
+// XOR (the gshare-style reduction of §4.2), producing a 30-bit key.
+func XorKey(pattern, pc uint32) uint64 {
+	return uint64(pattern) ^ uint64(pc>>2)
+}
+
+// ConcatKey concatenates the word-aligned branch address above the history
+// pattern (patternBits wide), producing a key of up to 30+patternBits bits.
+func ConcatKey(pattern, pc uint32, patternBits int) uint64 {
+	return uint64(pc>>2)<<uint(patternBits) | uint64(pattern)
+}

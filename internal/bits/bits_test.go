@@ -1,0 +1,240 @@
+package bits
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestField(t *testing.T) {
+	cases := []struct {
+		x     uint32
+		lo, n int
+		want  uint32
+	}{
+		{0xDEADBEEF, 0, 4, 0xF},
+		{0xDEADBEEF, 4, 4, 0xE},
+		{0xDEADBEEF, 0, 32, 0xDEADBEEF},
+		{0xDEADBEEF, 28, 4, 0xD},
+		{0xDEADBEEF, 31, 1, 1},
+		{0xDEADBEEF, 32, 4, 0},
+		{0xDEADBEEF, 2, 0, 0},
+		{0xDEADBEEF, 2, -1, 0},
+		{0xFFFFFFFF, 16, 32, 0xFFFF},
+		{0, 0, 32, 0},
+	}
+	for _, c := range cases {
+		if got := Field(c.x, c.lo, c.n); got != c.want {
+			t.Errorf("Field(%#x, %d, %d) = %#x, want %#x", c.x, c.lo, c.n, got, c.want)
+		}
+	}
+}
+
+func TestFieldWidth(t *testing.T) {
+	// The result of Field never exceeds n bits.
+	f := func(x uint32, lo, n uint8) bool {
+		got := Field(x, int(lo%40), int(n%40))
+		w := int(n % 40)
+		if w >= 32 {
+			return true
+		}
+		return got < 1<<uint(w) || w == 0 && got == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFold(t *testing.T) {
+	if got := Fold(0xFF00FF00, 8); got != 0 {
+		t.Errorf("Fold(0xFF00FF00, 8) = %#x, want 0 (chunks cancel)", got)
+	}
+	if got := Fold(0x12345678, 32); got != 0x12345678 {
+		t.Errorf("Fold identity at b=32: got %#x", got)
+	}
+	if got := Fold(0xABCD, 0); got != 0 {
+		t.Errorf("Fold(_, 0) = %#x, want 0", got)
+	}
+	// Fold into 16 bits: low ^ high halves.
+	if got, want := Fold(0x12345678, 16), uint32(0x1234^0x5678); got != want {
+		t.Errorf("Fold(0x12345678, 16) = %#x, want %#x", got, want)
+	}
+}
+
+func TestFoldWidth(t *testing.T) {
+	f := func(x uint32, b uint8) bool {
+		w := int(b % 34)
+		got := Fold(x, w)
+		if w == 0 {
+			return got == 0
+		}
+		if w >= 32 {
+			return got == x
+		}
+		return got < 1<<uint(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for _, s := range []Scheme{Concat, Straight, Reverse, PingPong} {
+		name := s.String()
+		back, err := ParseScheme(name)
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", name, err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %q -> %v", s, name, back)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("ParseScheme(bogus) succeeded, want error")
+	}
+}
+
+func TestAssembleConcat(t *testing.T) {
+	targets := []uint32{0xABC << 2, 0xDEF << 2} // bits [2..13] hold 0xABC / 0xDEF
+	got := Assemble(targets, 12, 2, Concat)
+	want := uint32(0xDEF)<<12 | 0xABC
+	if got != want {
+		t.Errorf("Assemble concat = %#x, want %#x", got, want)
+	}
+}
+
+func TestAssembleSingleTargetSchemesAgree(t *testing.T) {
+	// With one target, all schemes reduce to plain field extraction.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 100; i++ {
+		tgt := rng.Uint32() &^ 3
+		want := Field(tgt, 2, 24)
+		for _, s := range []Scheme{Concat, Straight, Reverse, PingPong} {
+			if got := Assemble([]uint32{tgt}, 24, 2, s); got != want {
+				t.Fatalf("scheme %v single target: got %#x want %#x", s, got, want)
+			}
+		}
+	}
+}
+
+func TestAssembleInterleaveLowBits(t *testing.T) {
+	// For every interleaving scheme, the low p bits of the pattern must
+	// contain bit `start` of every target (§5.2.1: index part covers all
+	// targets). We verify by flipping bit 2 of each target in turn and
+	// checking that exactly one of the low-p pattern bits changes.
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, scheme := range []Scheme{Straight, Reverse, PingPong} {
+		for p := 2; p <= 8; p++ {
+			b := 24 / p
+			targets := make([]uint32, p)
+			for i := range targets {
+				targets[i] = rng.Uint32() &^ 3
+			}
+			base := Assemble(targets, b, 2, scheme)
+			seen := make(map[uint32]bool)
+			for i := range targets {
+				flipped := make([]uint32, p)
+				copy(flipped, targets)
+				flipped[i] ^= 1 << 2
+				pat := Assemble(flipped, b, 2, scheme)
+				diff := (pat ^ base) & (1<<uint(p) - 1)
+				if diff == 0 || diff&(diff-1) != 0 {
+					t.Fatalf("scheme %v p=%d: flipping bit 2 of target %d changed low bits by %#x", scheme, p, i, diff)
+				}
+				if seen[diff] {
+					t.Fatalf("scheme %v p=%d: two targets map to the same low pattern bit", scheme, p)
+				}
+				seen[diff] = true
+			}
+		}
+	}
+}
+
+func TestAssembleConcatLowBitsOnlyYoungest(t *testing.T) {
+	// Concatenation leaves older targets out of the low-order bits: with
+	// p=2 and b=12, changing the older target must not affect the low 12
+	// pattern bits (the Figure 13 aliasing the paper diagnoses).
+	t1, t2a, t2b := uint32(0x1234)<<2, uint32(0x5678)<<2, uint32(0x9ABC)<<2
+	pa := Assemble([]uint32{t1, t2a}, 12, 2, Concat)
+	pb := Assemble([]uint32{t1, t2b}, 12, 2, Concat)
+	if pa&0xFFF != pb&0xFFF {
+		t.Errorf("concat low bits depend on older target: %#x vs %#x", pa, pb)
+	}
+	if pa == pb {
+		t.Errorf("patterns identical despite differing older target")
+	}
+}
+
+func TestAssembleIsPermutation(t *testing.T) {
+	// Interleaving is a bit permutation of concatenation: the multiset of
+	// extracted bits is preserved (popcount equality for random inputs).
+	rng := rand.New(rand.NewPCG(5, 6))
+	pop := func(x uint32) int {
+		n := 0
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+		return n
+	}
+	for i := 0; i < 200; i++ {
+		p := 1 + rng.IntN(12)
+		b := 24 / p
+		if b == 0 {
+			continue
+		}
+		targets := make([]uint32, p)
+		for j := range targets {
+			targets[j] = rng.Uint32() &^ 3
+		}
+		ref := pop(Assemble(targets, b, 2, Concat))
+		for _, s := range []Scheme{Straight, Reverse, PingPong} {
+			if got := pop(Assemble(targets, b, 2, s)); got != ref {
+				t.Fatalf("scheme %v popcount %d, concat %d (p=%d b=%d)", s, got, ref, p, b)
+			}
+		}
+	}
+}
+
+func TestAssembleEdgeCases(t *testing.T) {
+	if got := Assemble(nil, 8, 2, Reverse); got != 0 {
+		t.Errorf("empty targets: got %#x", got)
+	}
+	if got := Assemble([]uint32{0xFFFF}, 0, 2, Reverse); got != 0 {
+		t.Errorf("zero bits: got %#x", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Assemble with p*b > 32 did not panic")
+		}
+	}()
+	Assemble(make([]uint32, 5), 8, 2, Concat)
+}
+
+func TestKeys(t *testing.T) {
+	pc := uint32(0x0004_0010)
+	pat := uint32(0x00AB_CDEF) & 0xFFFFFF
+	if got, want := XorKey(pat, pc), uint64(pat)^uint64(pc>>2); got != want {
+		t.Errorf("XorKey = %#x, want %#x", got, want)
+	}
+	if got := XorKey(pat, pc); got >= 1<<30 {
+		t.Errorf("XorKey exceeds 30 bits: %#x", got)
+	}
+	ck := ConcatKey(pat, pc, 24)
+	if got, want := ck&0xFFFFFF, uint64(pat); got != want {
+		t.Errorf("ConcatKey pattern part = %#x, want %#x", got, want)
+	}
+	if got, want := ck>>24, uint64(pc>>2); got != want {
+		t.Errorf("ConcatKey address part = %#x, want %#x", got, want)
+	}
+}
+
+func TestXorKeyZeroPattern(t *testing.T) {
+	// With an empty history pattern, XorKey degenerates to the branch
+	// address, i.e. a BTB key (path length 0 reduces to a BTB, §3.2.3).
+	f := func(pc uint32) bool {
+		return XorKey(0, pc) == uint64(pc>>2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import "fmt"
+
+// BPSTHybrid selects between two component predictors with a branch
+// predictor selection table ([McFar93], discussed in §6.1): a table of
+// two-bit saturating counters indexed by branch address tracks which
+// component has been more accurate for that branch. It is the coarser
+// per-branch alternative to the paper's per-pattern confidence counters.
+type BPSTHybrid struct {
+	a, b Component
+	sel  []uint8 // 2-bit counters; >= 2 selects component b
+	mask uint32
+	name string
+}
+
+// NewBPSTHybrid returns a BPST-selected hybrid with the given selector table
+// size (a power of two; the selector is indexed by the word-aligned branch
+// address).
+func NewBPSTHybrid(a, b Component, selectorEntries int) (*BPSTHybrid, error) {
+	if selectorEntries <= 0 || selectorEntries&(selectorEntries-1) != 0 {
+		return nil, fmt.Errorf("core: BPST selector size must be a positive power of two, got %d", selectorEntries)
+	}
+	return &BPSTHybrid{
+		a:    a,
+		b:    b,
+		sel:  make([]uint8, selectorEntries),
+		mask: uint32(selectorEntries - 1),
+		name: fmt.Sprintf("bpst(%s|%s)", a.Name(), b.Name()),
+	}, nil
+}
+
+func (h *BPSTHybrid) idx(pc uint32) uint32 { return (pc >> 2) & h.mask }
+
+// Predict implements Predictor: the selected component's prediction is used;
+// if it has none, the other component's prediction is used instead.
+func (h *BPSTHybrid) Predict(pc uint32) (uint32, bool) {
+	first, second := h.a, h.b
+	if h.sel[h.idx(pc)] >= 2 {
+		first, second = h.b, h.a
+	}
+	if t, ok := first.Predict(pc); ok {
+		return t, true
+	}
+	return second.Predict(pc)
+}
+
+// Update implements Predictor: both components train, and the selector
+// counter moves toward the component that was correct when exactly one was.
+func (h *BPSTHybrid) Update(pc, target uint32) {
+	ta, oka := h.a.Predict(pc)
+	tb, okb := h.b.Predict(pc)
+	aCorrect := oka && ta == target
+	bCorrect := okb && tb == target
+	i := h.idx(pc)
+	switch {
+	case bCorrect && !aCorrect:
+		if h.sel[i] < 3 {
+			h.sel[i]++
+		}
+	case aCorrect && !bCorrect:
+		if h.sel[i] > 0 {
+			h.sel[i]--
+		}
+	}
+	h.a.Update(pc, target)
+	h.b.Update(pc, target)
+}
+
+// Name implements Predictor.
+func (h *BPSTHybrid) Name() string { return h.name }
+
+// Reset implements Resetter.
+func (h *BPSTHybrid) Reset() {
+	clear(h.sel)
+	for _, c := range []Component{h.a, h.b} {
+		if r, ok := c.(Resetter); ok {
+			r.Reset()
+		}
+	}
+}

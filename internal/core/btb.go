@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/table"
+)
+
+// BTB is a branch target buffer: the per-branch last-target predictor used
+// by current processors (§3.1, Figure 1). It caches one target per branch
+// address in a table of any of the organizations of internal/table; an
+// unbounded table gives the paper's "ideal BTB".
+//
+// The update rule distinguishes the paper's two variants: a standard BTB
+// (UpdateAlways) and BTB-2bc, which keeps its target until two consecutive
+// mispredictions.
+type BTB struct {
+	tab  table.Bounded
+	rule UpdateRule
+	name string
+}
+
+// NewBTB returns a BTB over the given table. A nil table means unbounded
+// (the ideal, fully-associative BTB of Figure 2).
+func NewBTB(tab table.Bounded, rule UpdateRule) *BTB {
+	if tab == nil {
+		tab = table.NewUnbounded64()
+	}
+	name := "btb"
+	if rule == UpdateTwoMiss {
+		name = "btb-2bc"
+	}
+	if tab.Capacity() >= 0 {
+		name = fmt.Sprintf("%s[%s/%d]", name, tab.Kind(), tab.Capacity())
+	}
+	return &BTB{tab: tab, rule: rule, name: name}
+}
+
+// key maps the branch address to the table key (word-aligned addresses, so
+// the two low bits are dropped).
+func (b *BTB) key(pc uint32) uint64 { return uint64(pc >> 2) }
+
+// Predict implements Predictor.
+func (b *BTB) Predict(pc uint32) (uint32, bool) {
+	e := b.tab.Probe(b.key(pc))
+	if e == nil {
+		return 0, false
+	}
+	return e.Target, true
+}
+
+// PredictConf implements Component, so a BTB can serve as a hybrid
+// component (a BTB is the p=0 end of the path-length spectrum).
+func (b *BTB) PredictConf(pc uint32) (uint32, uint8, bool) {
+	e := b.tab.Probe(b.key(pc))
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.Target, e.Conf, true
+}
+
+// Update implements Predictor.
+func (b *BTB) Update(pc, target uint32) {
+	k := b.key(pc)
+	e := b.tab.Probe(k)
+	if e == nil {
+		e = b.tab.Insert(k)
+		e.Target = target
+		return
+	}
+	correct := applyTarget(e, target, b.rule)
+	bumpConf(e, correct, confMax(2))
+}
+
+// Name implements Predictor.
+func (b *BTB) Name() string { return b.name }
+
+// Reset implements Resetter.
+func (b *BTB) Reset() { b.tab.Reset() }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cascade is a PPM-style predictor in the spirit of Chen, Coffey & Mudge
+// [CCM96] (discussed in §7): an ordered bank of two-level components with
+// strictly decreasing path lengths. Prediction uses the longest-path
+// component that has a matching pattern, falling back to progressively
+// shorter paths; the paper observes that a hybrid with different path
+// lengths can mimic this behaviour, and this type exists to test that claim
+// at equal hardware budget (experiment ext-ppm).
+type Cascade struct {
+	comps []*TwoLevel // longest path first
+	name  string
+}
+
+// NewCascade builds a cascade from components with the given path lengths
+// (deduplicated, sorted descending), each with its own table of the given
+// kind and size.
+func NewCascade(paths []int, tableKind string, entries int) (*Cascade, error) {
+	if len(paths) < 2 {
+		return nil, fmt.Errorf("core: cascade needs at least 2 path lengths, got %d", len(paths))
+	}
+	seen := make(map[int]bool, len(paths))
+	ordered := make([]int, 0, len(paths))
+	for _, p := range paths {
+		if p < 0 {
+			return nil, fmt.Errorf("core: negative path length %d", p)
+		}
+		if !seen[p] {
+			seen[p] = true
+			ordered = append(ordered, p)
+		}
+	}
+	for i := 1; i < len(ordered); i++ { // insertion sort descending
+		for j := i; j > 0 && ordered[j] > ordered[j-1]; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	c := &Cascade{}
+	names := make([]string, 0, len(ordered))
+	for _, p := range ordered {
+		t, err := NewTwoLevel(Config{
+			PathLength: p,
+			Precision:  AutoPrecision,
+			Scheme:     defaultScheme(tableKind),
+			TableKind:  tableKind,
+			Entries:    entries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.comps = append(c.comps, t)
+		names = append(names, fmt.Sprintf("%d", p))
+	}
+	c.name = fmt.Sprintf("ppm[p=%s,%s/%d]", strings.Join(names, "."), tableKind, entries)
+	return c, nil
+}
+
+// Predict implements Predictor: the first (longest-path) component with a
+// prediction wins.
+func (c *Cascade) Predict(pc uint32) (uint32, bool) {
+	for _, comp := range c.comps {
+		if t, ok := comp.Predict(pc); ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// Update implements Predictor: all components train on every branch, as in
+// a PPM model where every context order is updated.
+func (c *Cascade) Update(pc, target uint32) {
+	for _, comp := range c.comps {
+		comp.Update(pc, target)
+	}
+}
+
+// Name implements Predictor.
+func (c *Cascade) Name() string { return c.name }
+
+// Reset implements Resetter.
+func (c *Cascade) Reset() {
+	for _, comp := range c.comps {
+		comp.Reset()
+	}
+}

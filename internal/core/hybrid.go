@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/oocsb/ibp/internal/bits"
+)
+
+// Component is a predictor usable inside a hybrid: it exposes the confidence
+// of its prediction so the metapredictor can choose between components
+// (§6.1).
+type Component interface {
+	Predictor
+	// PredictConf returns the component's prediction together with the
+	// value of the predicting entry's confidence counter.
+	PredictConf(pc uint32) (target uint32, conf uint8, ok bool)
+}
+
+// Hybrid combines two or more component predictors with per-entry confidence
+// metaprediction (§6): on each access every component predicts, and the
+// target with the highest confidence wins; ties are broken by component
+// order (earlier components win). All components train on every branch.
+//
+// The paper evaluates two-component hybrids of equal table size and
+// different path lengths; NewHybrid accepts any number of components, which
+// also covers the three-component extension of §8.1.
+type Hybrid struct {
+	comps []Component
+	name  string
+}
+
+// NewHybrid returns a hybrid over the given components, with earlier
+// components winning confidence ties.
+func NewHybrid(comps ...Component) (*Hybrid, error) {
+	if len(comps) < 2 {
+		return nil, fmt.Errorf("core: hybrid needs at least 2 components, got %d", len(comps))
+	}
+	names := make([]string, len(comps))
+	for i, c := range comps {
+		names[i] = c.Name()
+	}
+	return &Hybrid{comps: comps, name: "hybrid(" + strings.Join(names, "+") + ")"}, nil
+}
+
+// MustHybrid is NewHybrid for statically-known component lists.
+func MustHybrid(comps ...Component) *Hybrid {
+	h, err := NewHybrid(comps...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Predict implements Predictor.
+func (h *Hybrid) Predict(pc uint32) (uint32, bool) {
+	var (
+		best     uint32
+		bestConf int = -1
+	)
+	for _, c := range h.comps {
+		if t, conf, ok := c.PredictConf(pc); ok && int(conf) > bestConf {
+			best, bestConf = t, int(conf)
+		}
+	}
+	return best, bestConf >= 0
+}
+
+// Update implements Predictor: every component resolves the branch.
+func (h *Hybrid) Update(pc, target uint32) {
+	for _, c := range h.comps {
+		c.Update(pc, target)
+	}
+}
+
+// Name implements Predictor.
+func (h *Hybrid) Name() string { return h.name }
+
+// Reset implements Resetter.
+func (h *Hybrid) Reset() {
+	for _, c := range h.comps {
+		if r, ok := c.(Resetter); ok {
+			r.Reset()
+		}
+	}
+}
+
+// NewDualPath builds the paper's canonical hybrid: two two-level components
+// with path lengths p1 and p2, equal table kind and size, 2-bit confidence
+// counters, and the §4–§5 default key construction. The p1 component wins
+// confidence ties.
+func NewDualPath(p1, p2 int, tableKind string, entries int) (*Hybrid, error) {
+	mk := func(p int) (*TwoLevel, error) {
+		return NewTwoLevel(Config{
+			PathLength: p,
+			Precision:  AutoPrecision,
+			Scheme:     defaultScheme(tableKind),
+			TableKind:  tableKind,
+			Entries:    entries,
+		})
+	}
+	a, err := mk(p1)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk(p2)
+	if err != nil {
+		return nil, err
+	}
+	return NewHybrid(a, b)
+}
+
+// NewDualPathSizes is the §8.1 variant with unequal component sizes: the
+// short-path component adapts fast and needs few entries, so most of the
+// budget can go to the long-path component (or vice versa).
+func NewDualPathSizes(p1, entries1, p2, entries2 int, tableKind string) (*Hybrid, error) {
+	mk := func(p, entries int) (*TwoLevel, error) {
+		return NewTwoLevel(Config{
+			PathLength: p,
+			Precision:  AutoPrecision,
+			Scheme:     defaultScheme(tableKind),
+			TableKind:  tableKind,
+			Entries:    entries,
+		})
+	}
+	a, err := mk(p1, entries1)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk(p2, entries2)
+	if err != nil {
+		return nil, err
+	}
+	return NewHybrid(a, b)
+}
+
+// defaultScheme picks the pattern layout the paper uses for each table
+// organization: reverse interleaving for index-based tables, concatenation
+// where there is no index to protect (§5.2.1 applies only to limited
+// associativity).
+func defaultScheme(tableKind string) bits.Scheme {
+	switch tableKind {
+	case "exact", "unbounded", "fullassoc":
+		return bits.Concat
+	}
+	return bits.Reverse
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/bits"
+)
+
+// ITTAGE is a compact indirect-target predictor in the style the paper's
+// hybrid results eventually led to (Seznec's ITTAGE): a tagless base
+// predictor backed by several tagged banks indexed with geometrically
+// growing target-path history lengths. Where the paper picks two fixed path
+// lengths and arbitrates with confidence counters, ITTAGE keeps a whole
+// spectrum of lengths and lets tag matches select the longest useful one.
+// It is included as the "what came next" extension experiment (ext-ittage).
+type ITTAGE struct {
+	base     []ittageEntry // tagless, indexed by pc
+	baseMask uint32
+	banks    []ittageBank
+	hist     []uint8 // ring of compressed recent targets, newest at histHead
+	histHead int
+	rng      uint32 // xorshift for allocation tie-breaks (deterministic)
+	name     string
+}
+
+type ittageBank struct {
+	entries []ittageEntry
+	mask    uint32
+	histLen int
+}
+
+type ittageEntry struct {
+	valid  bool
+	tag    uint16
+	target uint32
+	conf   uint8 // 0..3
+	useful uint8 // 0..3
+	hyst   uint8
+}
+
+// ittageHistBits is the number of low-order target bits shifted into the
+// path history per branch (the paper's §4.1 compression, at b=4).
+const ittageHistBits = 4
+
+// ittageSeed initializes the allocation tie-break generator.
+const ittageSeed = 0x2545F491
+
+// NewITTAGE builds a predictor with the given number of tagged banks, each
+// of bankEntries entries (a power of two), with history lengths growing
+// geometrically from minHist by factor two, over a base table of
+// 2*bankEntries entries.
+func NewITTAGE(numBanks, bankEntries, minHist int) (*ITTAGE, error) {
+	if numBanks < 1 || numBanks > 16 {
+		return nil, fmt.Errorf("core: ittage banks %d out of range [1,16]", numBanks)
+	}
+	if bankEntries <= 0 || bankEntries&(bankEntries-1) != 0 {
+		return nil, fmt.Errorf("core: ittage bank size must be a power of two, got %d", bankEntries)
+	}
+	if minHist < 1 {
+		return nil, fmt.Errorf("core: ittage minimum history %d must be positive", minHist)
+	}
+	t := &ITTAGE{
+		base:     make([]ittageEntry, 2*bankEntries),
+		baseMask: uint32(2*bankEntries - 1),
+		rng:      ittageSeed,
+		name:     fmt.Sprintf("ittage[%dx%d,hist>=%d]", numBanks, bankEntries, minHist),
+	}
+	maxHist := minHist
+	for i := 0; i < numBanks; i++ {
+		t.banks = append(t.banks, ittageBank{
+			entries: make([]ittageEntry, bankEntries),
+			mask:    uint32(bankEntries - 1),
+			histLen: maxHist,
+		})
+		maxHist *= 2
+	}
+	t.hist = make([]uint8, t.banks[numBanks-1].histLen)
+	return t, nil
+}
+
+// pushHist records a resolved target into the path history.
+func (t *ITTAGE) pushHist(target uint32) {
+	t.histHead--
+	if t.histHead < 0 {
+		t.histHead = len(t.hist) - 1
+	}
+	t.hist[t.histHead] = uint8(bits.Field(target, 2, ittageHistBits))
+}
+
+// hash mixes the branch address with the most recent histLen history
+// entries.
+func (t *ITTAGE) hash(pc uint32, histLen int) uint32 {
+	h := pc >> 2
+	for i := 0; i < histLen; i++ {
+		v := t.hist[(t.histHead+i)%len(t.hist)]
+		h = h*0x9E3779B1 + uint32(v) + 1
+		h ^= h >> 15
+	}
+	return h
+}
+
+// lookup finds the provider (longest matching bank) and the alternate
+// prediction. provider == -1 means the base table provides.
+func (t *ITTAGE) lookup(pc uint32) (provider int, pe *ittageEntry, alt *ittageEntry, altIsBase bool) {
+	provider = -1
+	for b := len(t.banks) - 1; b >= 0; b-- {
+		bank := &t.banks[b]
+		h := t.hash(pc, bank.histLen)
+		e := &bank.entries[h&bank.mask]
+		if e.valid && e.tag == uint16(h>>16) {
+			if pe == nil {
+				provider = b
+				pe = e
+			} else {
+				alt = e
+				return provider, pe, alt, false
+			}
+		}
+	}
+	be := &t.base[(pc>>2)&t.baseMask]
+	if pe == nil {
+		return -1, be, nil, true
+	}
+	return provider, pe, be, true
+}
+
+// Predict implements Predictor.
+func (t *ITTAGE) Predict(pc uint32) (uint32, bool) {
+	provider, pe, alt, _ := t.lookup(pc)
+	if provider < 0 {
+		if !pe.valid {
+			return 0, false
+		}
+		return pe.target, true
+	}
+	// A freshly allocated (weak) provider defers to a confident
+	// alternate, the standard TAGE "use alt on new entry" heuristic.
+	if pe.conf == 0 && alt != nil && alt.valid && alt.conf > 0 {
+		return alt.target, true
+	}
+	return pe.target, true
+}
+
+// Update implements Predictor.
+func (t *ITTAGE) Update(pc, target uint32) {
+	provider, pe, alt, _ := t.lookup(pc)
+	predicted, havePred := t.Predict(pc)
+	correct := havePred && predicted == target
+
+	if provider >= 0 {
+		provCorrect := pe.valid && pe.target == target
+		altCorrect := alt != nil && alt.valid && alt.target == target
+		if provCorrect && !altCorrect && pe.useful < 3 {
+			pe.useful++
+		}
+		if !provCorrect && altCorrect && pe.useful > 0 {
+			pe.useful--
+		}
+		if provCorrect {
+			if pe.conf < 3 {
+				pe.conf++
+			}
+			pe.hyst = 0
+		} else {
+			if pe.conf > 0 {
+				pe.conf--
+			}
+			if pe.hyst != 0 || pe.conf == 0 {
+				pe.target = target
+				pe.conf = 0
+				pe.hyst = 0
+			} else {
+				pe.hyst = 1
+			}
+		}
+	}
+
+	// The base table always trains (2bc rule).
+	be := &t.base[(pc>>2)&t.baseMask]
+	if !be.valid {
+		be.valid = true
+		be.target = target
+		be.hyst = 0
+	} else if be.target == target {
+		be.hyst = 0
+		if be.conf < 3 {
+			be.conf++
+		}
+	} else {
+		if be.conf > 0 {
+			be.conf--
+		}
+		if be.hyst != 0 {
+			be.target = target
+			be.hyst = 0
+		} else {
+			be.hyst = 1
+		}
+	}
+
+	// On a misprediction, try to allocate a longer-history entry.
+	if !correct && provider < len(t.banks)-1 {
+		t.allocate(pc, target, provider+1)
+	}
+	t.pushHist(target)
+}
+
+// allocate claims a not-useful entry in one of the banks at or above
+// fromBank for (pc, history), decaying useful bits when none is free.
+func (t *ITTAGE) allocate(pc, target uint32, fromBank int) {
+	// Randomize the starting bank a little so allocations spread.
+	start := fromBank
+	if start < len(t.banks)-1 && t.nextRand()&1 == 0 {
+		start++
+	}
+	for b := start; b < len(t.banks); b++ {
+		bank := &t.banks[b]
+		h := t.hash(pc, bank.histLen)
+		e := &bank.entries[h&bank.mask]
+		if !e.valid || e.useful == 0 {
+			e.valid = true
+			e.tag = uint16(h >> 16)
+			e.target = target
+			e.conf = 0
+			e.useful = 0
+			e.hyst = 0
+			return
+		}
+	}
+	// Nothing free: age the candidates so a future allocation succeeds.
+	for b := fromBank; b < len(t.banks); b++ {
+		bank := &t.banks[b]
+		h := t.hash(pc, bank.histLen)
+		e := &bank.entries[h&bank.mask]
+		if e.useful > 0 {
+			e.useful--
+		}
+	}
+}
+
+// nextRand is a deterministic xorshift32.
+func (t *ITTAGE) nextRand() uint32 {
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 17
+	t.rng ^= t.rng << 5
+	return t.rng
+}
+
+// Name implements Predictor.
+func (t *ITTAGE) Name() string { return t.name }
+
+// Storage returns the total entry count (base plus banks), for
+// equal-budget comparisons.
+func (t *ITTAGE) Storage() int {
+	n := len(t.base)
+	for _, b := range t.banks {
+		n += len(b.entries)
+	}
+	return n
+}
+
+// Reset implements Resetter.
+func (t *ITTAGE) Reset() {
+	clear(t.base)
+	for i := range t.banks {
+		clear(t.banks[i].entries)
+	}
+	clear(t.hist)
+	t.histHead = 0
+	t.rng = ittageSeed
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomStream builds an arbitrary (but structured) branch stream from a
+// seed: a few sites, small target sets, mixed cyclic and random behaviour.
+func randomStream(seed uint64, n int) []access {
+	rng := rand.New(rand.NewPCG(seed, seed^0xBEEF))
+	nSites := 1 + rng.IntN(6)
+	sites := make([]struct {
+		pc      uint32
+		targets []uint32
+		cyclic  bool
+		pos     int
+	}, nSites)
+	for i := range sites {
+		sites[i].pc = 0x1000 + uint32(i)*4
+		nt := 1 + rng.IntN(4)
+		for j := 0; j < nt; j++ {
+			sites[i].targets = append(sites[i].targets, 0x2000+uint32(rng.IntN(64))*4)
+		}
+		sites[i].cyclic = rng.IntN(2) == 0
+	}
+	out := make([]access, 0, n)
+	for len(out) < n {
+		s := &sites[rng.IntN(nSites)]
+		var tgt uint32
+		if s.cyclic {
+			tgt = s.targets[s.pos%len(s.targets)]
+			s.pos++
+		} else {
+			tgt = s.targets[rng.IntN(len(s.targets))]
+		}
+		out = append(out, access{s.pc, tgt})
+	}
+	return out
+}
+
+// predictorMakers builds one instance of every predictor family.
+func predictorMakers() map[string]func() Predictor {
+	return map[string]func() Predictor{
+		"btb":     func() Predictor { return NewBTB(nil, UpdateTwoMiss) },
+		"btb-alw": func() Predictor { return NewBTB(nil, UpdateAlways) },
+		"2lev-unb": func() Predictor {
+			return MustTwoLevel(Config{PathLength: 3, Precision: AutoPrecision})
+		},
+		"2lev-exact": func() Predictor {
+			return MustTwoLevel(Config{PathLength: 3, Precision: 0, TableKind: "exact"})
+		},
+		"2lev-a4": func() Predictor {
+			return MustTwoLevel(Config{PathLength: 4, Precision: AutoPrecision, Scheme: 2, TableKind: "assoc4", Entries: 256})
+		},
+		"2lev-tagless": func() Predictor {
+			return MustTwoLevel(Config{PathLength: 2, Precision: AutoPrecision, Scheme: 2, TableKind: "tagless", Entries: 128})
+		},
+		"hybrid": func() Predictor {
+			h, err := NewDualPath(3, 1, "assoc2", 128)
+			if err != nil {
+				panic(err)
+			}
+			return h
+		},
+		"bpst": func() Predictor {
+			a := MustTwoLevel(Config{PathLength: 1, Precision: AutoPrecision, Scheme: 2, TableKind: "assoc2", Entries: 64})
+			b := MustTwoLevel(Config{PathLength: 3, Precision: AutoPrecision, Scheme: 2, TableKind: "assoc2", Entries: 64})
+			h, err := NewBPSTHybrid(a, b, 64)
+			if err != nil {
+				panic(err)
+			}
+			return h
+		},
+		"ppm": func() Predictor {
+			c, err := NewCascade([]int{4, 1}, "assoc2", 128)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		},
+		"shared": func() Predictor {
+			s, err := NewSharedHybrid(3, 1, "assoc4", 128)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
+		"nextbranch": func() Predictor {
+			n, err := NewNextBranch(2, "assoc2", 128)
+			if err != nil {
+				panic(err)
+			}
+			return n
+		},
+		"ittage": func() Predictor {
+			it, err := NewITTAGE(4, 64, 2)
+			if err != nil {
+				panic(err)
+			}
+			return it
+		},
+	}
+}
+
+// TestPredictorsDeterministic: every predictor family gives bit-identical
+// results across repeated runs on the same stream.
+func TestPredictorsDeterministic(t *testing.T) {
+	for name, mk := range predictorMakers() {
+		f := func(seed uint64) bool {
+			stream := randomStream(seed, 400)
+			m1, _ := run(mk(), stream)
+			m2, _ := run(mk(), stream)
+			return m1 == m2
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestPredictorsResetEquivalence: Reset restores a predictor to its initial
+// behaviour.
+func TestPredictorsResetEquivalence(t *testing.T) {
+	for name, mk := range predictorMakers() {
+		p := mk()
+		r, ok := p.(Resetter)
+		if !ok {
+			t.Errorf("%s does not implement Resetter", name)
+			continue
+		}
+		stream := randomStream(99, 500)
+		fresh, _ := run(p, stream)
+		r.Reset()
+		again, _ := run(p, stream)
+		if fresh != again {
+			t.Errorf("%s: %d misses fresh vs %d after Reset", name, fresh, again)
+		}
+	}
+}
+
+// TestPredictUpdateSeparation: Predict must not change the prediction a
+// subsequent Predict at the same pc returns (no architectural state changes
+// before Update).
+func TestPredictUpdateSeparation(t *testing.T) {
+	for name, mk := range predictorMakers() {
+		p := mk()
+		stream := randomStream(7, 300)
+		for _, a := range stream {
+			t1, ok1 := p.Predict(a.pc)
+			t2, ok2 := p.Predict(a.pc)
+			if t1 != t2 || ok1 != ok2 {
+				t.Fatalf("%s: repeated Predict differs: (%#x,%v) vs (%#x,%v)", name, t1, ok1, t2, ok2)
+			}
+			p.Update(a.pc, a.target)
+		}
+	}
+}
+
+// TestP0MatchesBTBProperty: a p=0 two-level predictor and a BTB are the same
+// machine on any stream.
+func TestP0MatchesBTBProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		stream := randomStream(seed, 500)
+		m1, _ := run(MustTwoLevel(Config{PathLength: 0, Precision: AutoPrecision}), stream)
+		m2, _ := run(NewBTB(nil, UpdateTwoMiss), stream)
+		return m1 == m2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotoneLearning: on a fully deterministic cyclic stream, no predictor
+// family should miss in the second half more than in the first (they only
+// accumulate knowledge; nothing evicts on these small working sets).
+func TestMonotoneLearning(t *testing.T) {
+	cycle := []uint32{0x2000, 0x2004, 0x2000, 0x2008, 0x200C}
+	stream := repeat(0x1000, cycle, 200)
+	half := len(stream) / 2
+	for name, mk := range predictorMakers() {
+		p := mk()
+		m1, _ := run(p, stream[:half])
+		m2, _ := run(p, stream[half:])
+		if m2 > m1 {
+			t.Errorf("%s: second half missed more (%d) than first (%d)", name, m2, m1)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/oocsb/ibp/internal/bits"
+	"github.com/oocsb/ibp/internal/history"
+	"github.com/oocsb/ibp/internal/table"
+)
+
+// AutoPrecision selects the paper's bits-per-target rule b = ⌊24/p⌋ (§4.1).
+const AutoPrecision = -1
+
+// Config describes one point in the paper's two-level predictor design
+// space. The zero value is not valid; use Defaults() or fill the fields and
+// call Validate. Fields left zero take the documented defaults.
+type Config struct {
+	// PathLength is p, the number of recent targets in the history
+	// pattern (§3.2.3). p = 0 degenerates to a BTB.
+	PathLength int
+	// HistShare is s, the history-sharing region size exponent (§3.2.1):
+	// branches agreeing in address bits s..31 share a history register.
+	// 2 = per-branch, 31/32 = global. Default (0) = global.
+	HistShare int
+	// TableShare is h, the history-table sharing exponent (§3.2.2), used
+	// only in full-precision mode: branches agreeing in bits h..31 share
+	// a history table. 2 = per-branch tables, 31/32 = one global table.
+	// Default (0) = per-branch (h=2).
+	TableShare int
+	// Precision is b, the number of bits kept per history target (§4.1).
+	// 0 selects full 32-bit precision with exact keys (the §3
+	// unconstrained mode, which requires TableKind "exact");
+	// AutoPrecision selects ⌊24/p⌋. With TableKind "exact", a nonzero
+	// Precision truncates each target inside the exact key (the §4.1
+	// study without the 24-bit pattern cap).
+	Precision int
+	// StartBit is a, the lowest target address bit selected (§4.1).
+	// Default (0) = bit 2, the first bit above the word alignment.
+	StartBit int
+	// Scheme is the pattern layout (§5.2.1). Default: concatenation for
+	// unbounded and fully-associative tables (where layout is irrelevant)
+	// — set explicitly for index-based tables; the paper uses Reverse.
+	Scheme bits.Scheme
+	// KeyOp folds the branch address into the pattern (§4.2). Default:
+	// OpXor.
+	KeyOp history.KeyOp
+	// TableKind is the table organization: "exact" (unbounded,
+	// full-precision string keys), "unbounded", "tagless", "assoc1",
+	// "assoc2", "assoc4", or "fullassoc". Default: "exact" when
+	// Precision is 0, else "unbounded".
+	TableKind string
+	// Entries is the table capacity for bounded kinds.
+	Entries int
+	// Update is the target update rule. Default: UpdateTwoMiss.
+	Update UpdateRule
+	// ConfBits is the width of the per-entry confidence counter used by
+	// hybrid metaprediction (§6.1). Default: 2.
+	ConfBits int
+	// IncludeCond mixes taken conditional-branch targets into the history
+	// (the §3.3 variation; the paper found it hurts).
+	IncludeCond bool
+	// IncludeAddress records the branch address alongside each target in
+	// the history (the other §3.3 variation; also hurts). Each executed
+	// branch then consumes two history slots.
+	IncludeAddress bool
+}
+
+// Defaults returns cfg with zero-valued fields replaced by their defaults.
+func (cfg Config) Defaults() Config {
+	if cfg.HistShare == 0 {
+		cfg.HistShare = 32
+	}
+	if cfg.TableShare == 0 {
+		cfg.TableShare = 2
+	}
+	if cfg.Precision == AutoPrecision {
+		cfg.Precision = history.BitsForPath(cfg.PathLength)
+	}
+	if cfg.StartBit == 0 {
+		cfg.StartBit = 2
+	}
+	if cfg.TableKind == "" {
+		if cfg.Precision == 0 && cfg.PathLength > 0 {
+			cfg.TableKind = "exact"
+		} else {
+			cfg.TableKind = "unbounded"
+		}
+	}
+	if cfg.ConfBits == 0 {
+		cfg.ConfBits = 2
+	}
+	return cfg
+}
+
+// Validate reports whether the (defaulted) configuration is realizable.
+func (cfg Config) Validate() error {
+	cfg = cfg.Defaults()
+	if cfg.PathLength < 0 || cfg.PathLength > 64 {
+		return fmt.Errorf("core: path length %d out of range [0,64]", cfg.PathLength)
+	}
+	if cfg.Precision < 0 {
+		return fmt.Errorf("core: precision %d invalid", cfg.Precision)
+	}
+	// Exact (byte-key) tables have no pattern width limit; uint64-key
+	// tables cap the pattern at 32 bits (the paper stays within 24).
+	if cfg.Precision > 0 && cfg.TableKind != "exact" && cfg.PathLength*cfg.Precision > 32 {
+		return fmt.Errorf("core: pattern %d×%d bits exceeds 32", cfg.PathLength, cfg.Precision)
+	}
+	if cfg.Precision > 32 {
+		return fmt.Errorf("core: precision %d exceeds 32 bits", cfg.Precision)
+	}
+	if cfg.Precision == 0 && cfg.PathLength > 0 && cfg.TableKind != "exact" {
+		return fmt.Errorf("core: full precision requires TableKind \"exact\", got %q", cfg.TableKind)
+	}
+	if cfg.StartBit < 2 || cfg.StartBit > 31 {
+		return fmt.Errorf("core: start bit %d out of range [2,31]", cfg.StartBit)
+	}
+	if cfg.ConfBits < 1 || cfg.ConfBits > 8 {
+		return fmt.Errorf("core: confidence bits %d out of range [1,8]", cfg.ConfBits)
+	}
+	switch cfg.TableKind {
+	case "exact", "unbounded":
+	default:
+		if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
+			return fmt.Errorf("core: table %q needs a power-of-two entry count, got %d", cfg.TableKind, cfg.Entries)
+		}
+		if _, err := table.New(cfg.TableKind, cfg.Entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Name renders a compact configuration string.
+func (cfg Config) Name() string {
+	cfg = cfg.Defaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "2lev[p=%d", cfg.PathLength)
+	if cfg.HistShare < 32 {
+		fmt.Fprintf(&b, ",s=%d", cfg.HistShare)
+	}
+	if cfg.TableKind == "exact" {
+		fmt.Fprintf(&b, ",full,h=%d", cfg.TableShare)
+	} else if cfg.PathLength > 0 {
+		fmt.Fprintf(&b, ",b=%d,%v,%v", cfg.Precision, cfg.Scheme, cfg.KeyOp)
+	}
+	if cfg.TableKind == "exact" || cfg.TableKind == "unbounded" {
+		fmt.Fprintf(&b, ",%s", cfg.TableKind)
+	} else {
+		fmt.Fprintf(&b, ",%s/%d", cfg.TableKind, cfg.Entries)
+	}
+	if cfg.Update != UpdateTwoMiss {
+		fmt.Fprintf(&b, ",%v", cfg.Update)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// TwoLevel is the paper's two-level indirect branch predictor (Figure 3 /
+// Figure 8): the first level is a (possibly shared) history of recent branch
+// targets; the second level is a table of predicted targets keyed by the
+// history pattern combined with the branch address.
+type TwoLevel struct {
+	cfg     Config
+	spec    history.Spec
+	hist    *history.File
+	tab     table.Bounded       // compressed-key mode
+	exact   *table.UnboundedStr // full-precision mode
+	max     uint8
+	scratch []uint32
+	keyBuf  []byte
+}
+
+// NewTwoLevel builds a predictor for the configuration.
+func NewTwoLevel(cfg Config) (*TwoLevel, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &TwoLevel{
+		cfg: cfg,
+		spec: history.Spec{
+			PathLength: cfg.PathLength,
+			Bits:       cfg.Precision,
+			StartBit:   cfg.StartBit,
+			Scheme:     cfg.Scheme,
+			Op:         cfg.KeyOp,
+		},
+		hist:    history.NewFile(cfg.HistShare, cfg.PathLength),
+		max:     confMax(cfg.ConfBits),
+		scratch: make([]uint32, 0, cfg.PathLength+1),
+		keyBuf:  make([]byte, 0, 4*(cfg.PathLength+1)),
+	}
+	if cfg.TableKind == "exact" {
+		t.exact = table.NewUnboundedStr()
+		return t, nil
+	}
+	tab, err := table.New(cfg.TableKind, cfg.Entries)
+	if err != nil {
+		return nil, err
+	}
+	t.tab = tab
+	return t, nil
+}
+
+// MustTwoLevel is NewTwoLevel for statically-known configurations; it panics
+// on configuration errors.
+func MustTwoLevel(cfg Config) *TwoLevel {
+	t, err := NewTwoLevel(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the (defaulted) configuration.
+func (t *TwoLevel) Config() Config { return t.cfg }
+
+// probe locates the entry for the branch at pc under the current history,
+// without modifying prediction state beyond recency.
+func (t *TwoLevel) probe(pc uint32) *table.Entry {
+	reg := t.hist.Get(pc)
+	if t.exact != nil {
+		t.keyBuf = history.FullKey(t.keyBuf[:0], reg, pc, t.cfg.TableShare, t.cfg.StartBit, t.cfg.Precision)
+		return t.exact.Probe(t.keyBuf)
+	}
+	return t.tab.Probe(t.spec.Key(reg, pc, t.scratch))
+}
+
+// Predict implements Predictor.
+func (t *TwoLevel) Predict(pc uint32) (uint32, bool) {
+	e := t.probe(pc)
+	if e == nil {
+		return 0, false
+	}
+	return e.Target, true
+}
+
+// PredictConf implements Component: it additionally returns the entry's
+// confidence counter for hybrid metaprediction.
+func (t *TwoLevel) PredictConf(pc uint32) (uint32, uint8, bool) {
+	e := t.probe(pc)
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.Target, e.Conf, true
+}
+
+// Update implements Predictor: it trains the table entry under the
+// pre-branch history, then shifts the history.
+func (t *TwoLevel) Update(pc, target uint32) {
+	reg := t.hist.Get(pc)
+	if t.exact != nil {
+		t.keyBuf = history.FullKey(t.keyBuf[:0], reg, pc, t.cfg.TableShare, t.cfg.StartBit, t.cfg.Precision)
+		e := t.exact.Probe(t.keyBuf)
+		if e == nil {
+			e = t.exact.Insert(t.keyBuf)
+			e.Target = target
+		} else {
+			bumpConf(e, applyTarget(e, target, t.cfg.Update), t.max)
+		}
+	} else {
+		key := t.spec.Key(reg, pc, t.scratch)
+		e := t.tab.Probe(key)
+		if e == nil {
+			e = t.tab.Insert(key)
+			e.Target = target
+		} else {
+			bumpConf(e, applyTarget(e, target, t.cfg.Update), t.max)
+		}
+	}
+	if t.cfg.IncludeAddress {
+		reg.Push(pc)
+	}
+	reg.Push(target)
+}
+
+// ObserveCond implements CondObserver for the §3.3 variation: when enabled,
+// taken conditional-branch targets enter the history and dilute it.
+func (t *TwoLevel) ObserveCond(pc, target uint32, taken bool) {
+	if !t.cfg.IncludeCond || !taken {
+		return
+	}
+	reg := t.hist.Get(pc)
+	if t.cfg.IncludeAddress {
+		reg.Push(pc)
+	}
+	reg.Push(target)
+}
+
+// Name implements Predictor.
+func (t *TwoLevel) Name() string { return t.cfg.Name() }
+
+// Utilization reports the fraction of table entries in use (meaningful for
+// bounded tables; the paper quotes it when motivating interleaving, §5.2.1).
+func (t *TwoLevel) Utilization() float64 {
+	if t.tab != nil {
+		return t.tab.Utilization()
+	}
+	return 1
+}
+
+// Patterns returns the number of distinct patterns currently stored, the
+// statistic the paper quotes per path length in §5.1 (meaningful for
+// unbounded tables).
+func (t *TwoLevel) Patterns() int {
+	if t.exact != nil {
+		return t.exact.Len()
+	}
+	if u, ok := t.tab.(*table.Unbounded64); ok {
+		return u.Len()
+	}
+	return -1
+}
+
+// Reset implements Resetter.
+func (t *TwoLevel) Reset() {
+	t.hist.Reset()
+	if t.exact != nil {
+		t.exact.Reset()
+	} else {
+		t.tab.Reset()
+	}
+}

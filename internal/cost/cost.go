@@ -1,0 +1,113 @@
+// Package cost converts misprediction rates into execution-time estimates,
+// reproducing the arithmetic behind the paper's motivation (§1): with
+// indirect branches mispredicted an order of magnitude more often than
+// conditional ones, indirect misses dominate total branch overhead once a
+// program executes fewer than ~a dozen conditionals per indirect branch, and
+// better indirect predictors translate into measurable speedups ([CHP97]
+// reports 14% for perl and 5% for gcc).
+package cost
+
+import "fmt"
+
+// Model is a simple in-order-issue cost model: a baseline CPI plus a fixed
+// penalty per mispredicted branch.
+type Model struct {
+	// BaseCPI is the no-misprediction cycles per instruction.
+	BaseCPI float64
+	// Penalty is the pipeline refill cost of one misprediction in cycles.
+	Penalty float64
+	// CondMissRate is the assumed conditional-branch misprediction rate
+	// (the paper's §1 example uses ~3%).
+	CondMissRate float64
+}
+
+// Default4Wide is the paper's §1 setting: a wide-issue machine where a
+// misprediction costs around ten cycles and conditional branches predict at
+// 97%.
+func Default4Wide() Model {
+	return Model{BaseCPI: 0.5, Penalty: 10, CondMissRate: 0.03}
+}
+
+// Workload characterizes a benchmark's branch densities.
+type Workload struct {
+	// InstrPerIndirect is the dynamic instruction count per indirect
+	// branch.
+	InstrPerIndirect float64
+	// CondPerIndirect is the dynamic conditional-branch count per
+	// indirect branch.
+	CondPerIndirect float64
+}
+
+// Validate reports implausible workloads.
+func (w Workload) Validate() error {
+	if w.InstrPerIndirect <= 0 {
+		return fmt.Errorf("cost: instructions per indirect must be positive, got %v", w.InstrPerIndirect)
+	}
+	if w.CondPerIndirect < 0 {
+		return fmt.Errorf("cost: conditionals per indirect must be non-negative, got %v", w.CondPerIndirect)
+	}
+	return nil
+}
+
+// Breakdown is the per-instruction cycle accounting for one predictor.
+type Breakdown struct {
+	// CPI is the total cycles per instruction.
+	CPI float64
+	// IndirectOverhead and CondOverhead are the cycles per instruction
+	// lost to indirect and conditional mispredictions.
+	IndirectOverhead float64
+	CondOverhead     float64
+}
+
+// IndirectShare returns the fraction of branch-misprediction cycles caused
+// by indirect branches (the §1 dominance argument).
+func (b Breakdown) IndirectShare() float64 {
+	total := b.IndirectOverhead + b.CondOverhead
+	if total == 0 {
+		return 0
+	}
+	return b.IndirectOverhead / total
+}
+
+// Evaluate computes the cycle breakdown for a workload under a given
+// indirect misprediction rate (in percent).
+func (m Model) Evaluate(w Workload, indirectMissPct float64) (Breakdown, error) {
+	if err := w.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if indirectMissPct < 0 || indirectMissPct > 100 {
+		return Breakdown{}, fmt.Errorf("cost: miss rate %v%% out of range", indirectMissPct)
+	}
+	ind := (indirectMissPct / 100) * m.Penalty / w.InstrPerIndirect
+	cond := m.CondMissRate * m.Penalty * w.CondPerIndirect / w.InstrPerIndirect
+	return Breakdown{
+		CPI:              m.BaseCPI + ind + cond,
+		IndirectOverhead: ind,
+		CondOverhead:     cond,
+	}, nil
+}
+
+// Speedup returns the execution-time ratio of running the workload with the
+// baseline indirect predictor versus the improved one (1.10 = 10% faster).
+func (m Model) Speedup(w Workload, baselineMissPct, improvedMissPct float64) (float64, error) {
+	base, err := m.Evaluate(w, baselineMissPct)
+	if err != nil {
+		return 0, err
+	}
+	better, err := m.Evaluate(w, improvedMissPct)
+	if err != nil {
+		return 0, err
+	}
+	return base.CPI / better.CPI, nil
+}
+
+// DominanceThreshold returns the §1 break-even point: the number of
+// conditional branches per indirect branch below which indirect misses
+// account for the majority of branch misprediction cycles, given the
+// indirect miss rate (percent).
+func (m Model) DominanceThreshold(indirectMissPct float64) float64 {
+	if m.CondMissRate <= 0 {
+		return 0
+	}
+	return (indirectMissPct / 100) / m.CondMissRate
+}

@@ -1,0 +1,123 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperDominanceExample(t *testing.T) {
+	// §1: "if indirect branches are mispredicted 12 times more frequently
+	// (36% vs. 3%), indirect branch misses will dominate as long as
+	// indirect branches occur more frequently than every 12 conditional
+	// branches."
+	m := Default4Wide()
+	if got := m.DominanceThreshold(36); math.Abs(got-12) > 1e-9 {
+		t.Errorf("DominanceThreshold(36%%) = %v, want 12", got)
+	}
+	w := Workload{InstrPerIndirect: 100, CondPerIndirect: 11}
+	b, err := m.Evaluate(w, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.IndirectShare() <= 0.5 {
+		t.Errorf("at 11 cond/indirect, indirect share = %v, want > 0.5", b.IndirectShare())
+	}
+	w.CondPerIndirect = 13
+	b, _ = m.Evaluate(w, 36)
+	if b.IndirectShare() >= 0.5 {
+		t.Errorf("at 13 cond/indirect, indirect share = %v, want < 0.5", b.IndirectShare())
+	}
+}
+
+func TestEvaluateArithmetic(t *testing.T) {
+	m := Model{BaseCPI: 0.5, Penalty: 10, CondMissRate: 0.03}
+	w := Workload{InstrPerIndirect: 50, CondPerIndirect: 6}
+	b, err := m.Evaluate(w, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInd := 0.25 * 10 / 50      // 0.05
+	wantCond := 0.03 * 10 * 6 / 50 // 0.036
+	if math.Abs(b.IndirectOverhead-wantInd) > 1e-12 {
+		t.Errorf("IndirectOverhead = %v, want %v", b.IndirectOverhead, wantInd)
+	}
+	if math.Abs(b.CondOverhead-wantCond) > 1e-12 {
+		t.Errorf("CondOverhead = %v, want %v", b.CondOverhead, wantCond)
+	}
+	if math.Abs(b.CPI-(0.5+wantInd+wantCond)) > 1e-12 {
+		t.Errorf("CPI = %v", b.CPI)
+	}
+}
+
+func TestSpeedupImprovesWithBetterPrediction(t *testing.T) {
+	m := Default4Wide()
+	w := Workload{InstrPerIndirect: 47, CondPerIndirect: 6} // idl/jhm shape
+	s, err := m.Speedup(w, 25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 1 {
+		t.Errorf("speedup %v, want > 1", s)
+	}
+	// Identical rates give no speedup.
+	if s2, _ := m.Speedup(w, 10, 10); s2 != 1 {
+		t.Errorf("self speedup %v", s2)
+	}
+	// Sparse indirect branches make the speedup negligible (the AVG-infreq
+	// argument for excluding them from averages).
+	sparse := Workload{InstrPerIndirect: 56355, CondPerIndirect: 7123}
+	sSparse, _ := m.Speedup(sparse, 25, 6)
+	if sSparse > 1.001 {
+		t.Errorf("go-shaped workload speedup %v, want ~1", sSparse)
+	}
+}
+
+func TestSpeedupMonotone(t *testing.T) {
+	m := Default4Wide()
+	f := func(missA, missB uint8, ipi uint16) bool {
+		a := float64(missA % 101)
+		b := float64(missB % 101)
+		w := Workload{InstrPerIndirect: float64(ipi%1000) + 1, CondPerIndirect: 5}
+		s, err := m.Speedup(w, a, b)
+		if err != nil {
+			return false
+		}
+		switch {
+		case a > b:
+			return s >= 1
+		case a < b:
+			return s <= 1
+		default:
+			return s == 1
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := Default4Wide()
+	if _, err := m.Evaluate(Workload{InstrPerIndirect: 0}, 10); err == nil {
+		t.Error("zero instr/indirect accepted")
+	}
+	if _, err := m.Evaluate(Workload{InstrPerIndirect: 10, CondPerIndirect: -1}, 10); err == nil {
+		t.Error("negative cond/indirect accepted")
+	}
+	if _, err := m.Evaluate(Workload{InstrPerIndirect: 10}, 120); err == nil {
+		t.Error("miss rate > 100 accepted")
+	}
+	if _, err := m.Speedup(Workload{InstrPerIndirect: 0}, 1, 2); err == nil {
+		t.Error("speedup with bad workload accepted")
+	}
+	if _, err := m.Speedup(Workload{InstrPerIndirect: 10}, 1, 200); err == nil {
+		t.Error("speedup with bad rate accepted")
+	}
+	if th := (Model{}).DominanceThreshold(30); th != 0 {
+		t.Errorf("zero cond miss rate threshold = %v", th)
+	}
+	if b := (Breakdown{}); b.IndirectShare() != 0 {
+		t.Error("zero breakdown share")
+	}
+}

@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/oocsb/ibp/internal/bits"
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/sim"
+	"github.com/oocsb/ibp/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig11",
+		Artifact: "Figure 11",
+		Desc:     "limited-size fully-associative LRU tables, with capacity-miss attribution",
+		Run:      runFig11,
+	})
+	register(Experiment{
+		ID:       "fig12",
+		Artifact: "Figure 12",
+		Desc:     "4096-entry tables by associativity, concatenated patterns",
+		Run:      runFig12,
+	})
+	register(Experiment{
+		ID:       "fig14",
+		Artifact: "Figure 14",
+		Desc:     "4096-entry tables by associativity, reverse interleaving",
+		Run:      runFig14,
+	})
+	register(Experiment{
+		ID:       "fig15",
+		Artifact: "Figure 15 (§5.2.1)",
+		Desc:     "interleaving schemes: straight vs reverse vs ping-pong",
+		Run:      runFig15,
+	})
+	register(Experiment{
+		ID:       "fig16",
+		Artifact: "Figure 16",
+		Desc:     "table size × associativity sweep with best path length per size",
+		Run:      runFig16,
+	})
+}
+
+// fig11Sizes are the table sizes of the §5 experiments.
+var fig11Sizes = []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+// boundedConfig is the §4–§5 default configuration: b=⌊24/p⌋ bits from bit 2,
+// xor key folding.
+func boundedConfig(p int, scheme bits.Scheme, kind string, entries int) core.Config {
+	return core.Config{
+		PathLength: p,
+		Precision:  core.AutoPrecision,
+		Scheme:     scheme,
+		TableKind:  kind,
+		Entries:    entries,
+	}
+}
+
+// avgWithShadow runs the configuration over the suite with an unbounded
+// shadow twin and returns (AVG misprediction %, AVG capacity-miss %).
+func (c *Context) avgWithShadow(cfg core.Config) (float64, float64, error) {
+	miss := make(map[string]float64, len(c.Suite))
+	capac := make(map[string]float64, len(c.Suite))
+	var mu sync.Mutex
+	err := forEach(len(c.Suite), func(i int) error {
+		bench := c.Suite[i]
+		subject, err := core.NewTwoLevel(cfg)
+		if err != nil {
+			return err
+		}
+		shadowCfg := cfg
+		shadowCfg.TableKind = "unbounded"
+		shadowCfg.Entries = 0
+		shadow, err := core.NewTwoLevel(shadowCfg)
+		if err != nil {
+			return err
+		}
+		res := sim.Run(subject, c.Trace(bench), sim.Options{Shadow: shadow})
+		mu.Lock()
+		miss[bench.Name] = res.MissRate()
+		capac[bench.Name] = res.CapacityRate()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	m, _ := stats.GroupAverage(miss, stats.GroupAVG)
+	cp, _ := stats.GroupAverage(capac, stats.GroupAVG)
+	return m, cp, nil
+}
+
+func runFig11(ctx *Context) ([]*stats.Table, error) {
+	miss := stats.NewTable("Figure 11: fully-associative LRU tables (AVG misprediction %)", "path")
+	capac := stats.NewTable("Figure 11: capacity misses (AVG %, miss the unbounded twin predicts)", "path")
+	paths := []int{0, 1, 2, 3, 4, 6, 8, 10, 12}
+	for _, p := range paths {
+		for _, size := range fig11Sizes {
+			cfg := boundedConfig(p, bits.Concat, "fullassoc", size)
+			m, cp, err := ctx.avgWithShadow(cfg)
+			if err != nil {
+				return nil, err
+			}
+			col := fmt.Sprintf("%d", size)
+			row := fmt.Sprintf("p=%d", p)
+			miss.Set(row, col, m)
+			capac.Set(row, col, cp)
+		}
+	}
+	return []*stats.Table{miss, capac}, nil
+}
+
+// avgOver returns the AVG misprediction rate for a configuration.
+func (c *Context) avgOver(cfg core.Config) (float64, error) {
+	rates, err := c.Sweep(func() (core.Predictor, error) {
+		return core.NewTwoLevel(cfg)
+	})
+	if err != nil {
+		return 0, err
+	}
+	avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
+	return avg, nil
+}
+
+// assocRows are the table organizations of Figures 12/14.
+var assocRows = []string{"tagless", "assoc1", "assoc2", "assoc4"}
+
+func runAssocSweep(ctx *Context, title string, scheme bits.Scheme, entries int) (*stats.Table, error) {
+	t := stats.NewTable(title, "organization")
+	for _, kind := range assocRows {
+		for p := 0; p <= 12; p++ {
+			avg, err := ctx.avgOver(boundedConfig(p, scheme, kind, entries))
+			if err != nil {
+				return nil, err
+			}
+			t.Set(kind, fmt.Sprintf("p=%d", p), avg)
+		}
+	}
+	return t, nil
+}
+
+func runFig12(ctx *Context) ([]*stats.Table, error) {
+	t, err := runAssocSweep(ctx, "Figure 12: 4096 entries, concatenated patterns (AVG)", bits.Concat, 4096)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig14(ctx *Context) ([]*stats.Table, error) {
+	t, err := runAssocSweep(ctx, "Figure 14: 4096 entries, reverse interleaving (AVG)", bits.Reverse, 4096)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig15(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Figure 15: interleaving schemes, 1-way 4096 entries (AVG)", "scheme")
+	for _, scheme := range []bits.Scheme{bits.Concat, bits.Straight, bits.Reverse, bits.PingPong} {
+		for p := 1; p <= 12; p++ {
+			avg, err := ctx.avgOver(boundedConfig(p, scheme, "assoc1", 4096))
+			if err != nil {
+				return nil, err
+			}
+			t.Set(scheme.String(), fmt.Sprintf("p=%d", p), avg)
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig16(ctx *Context) ([]*stats.Table, error) {
+	full := stats.NewTable("Figure 16: AVG misprediction by size × path (tagless / assoc2 / assoc4)", "config")
+	best := stats.NewTable("Figure 16: best path length per size", "organization")
+	bestMiss := stats.NewTable("Figure 16: best misprediction per size (AVG)", "organization")
+	sizes := []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+	for _, kind := range []string{"tagless", "assoc2", "assoc4"} {
+		for _, size := range sizes {
+			bestP, bestV := -1, math.Inf(1)
+			for p := 0; p <= 12; p++ {
+				avg, err := ctx.avgOver(boundedConfig(p, bits.Reverse, kind, size))
+				if err != nil {
+					return nil, err
+				}
+				full.Set(fmt.Sprintf("%s/%d", kind, size), fmt.Sprintf("p=%d", p), avg)
+				if avg < bestV {
+					bestP, bestV = p, avg
+				}
+			}
+			col := fmt.Sprintf("%d", size)
+			best.Set(kind, col, float64(bestP))
+			bestMiss.Set(kind, col, bestV)
+		}
+	}
+	return []*stats.Table{bestMiss, best, full}, nil
+}

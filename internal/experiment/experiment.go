@@ -1,0 +1,224 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation. Each experiment is a registered runner that simulates the
+// relevant predictor configurations over the 17-benchmark suite and returns
+// paper-style result tables; cmd/ibpsweep is the front end.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/sim"
+	"github.com/oocsb/ibp/internal/stats"
+	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+// Context carries the shared parameters of an experiment run and caches the
+// generated benchmark traces (the expensive part) across experiments.
+type Context struct {
+	// TraceLen is the number of indirect branches per benchmark; the
+	// paper uses up to 6M, the default here is workload.DefaultBranches.
+	TraceLen int
+	// Suite is the benchmark set (default: the paper's 17 benchmarks).
+	Suite []workload.Config
+
+	mu        sync.Mutex
+	indirect  map[string]trace.Trace   // cached indirect-only traces
+	summaries map[string]trace.Summary // cached full-trace summaries
+	appx      appendix                 // memoized Table A-1 computation
+}
+
+// NewContext returns a context over the full suite. traceLen <= 0 selects
+// the default length.
+func NewContext(traceLen int) *Context {
+	if traceLen <= 0 {
+		traceLen = workload.DefaultBranches
+	}
+	return &Context{
+		TraceLen:  traceLen,
+		Suite:     workload.Suite(),
+		indirect:  make(map[string]trace.Trace),
+		summaries: make(map[string]trace.Summary),
+	}
+}
+
+// Trace returns the cached indirect-branch-only trace for a benchmark
+// (sufficient for every predictor except conditional-history consumers; use
+// FullTrace for those).
+func (c *Context) Trace(cfg workload.Config) trace.Trace {
+	c.mu.Lock()
+	tr, ok := c.indirect[cfg.Name]
+	c.mu.Unlock()
+	if ok {
+		return tr
+	}
+	full := cfg.MustGenerate(c.TraceLen)
+	sum := trace.Summarize(full)
+	tr = full.Indirect()
+	c.mu.Lock()
+	c.indirect[cfg.Name] = tr
+	c.summaries[cfg.Name] = sum
+	c.mu.Unlock()
+	return tr
+}
+
+// FullTrace regenerates the complete trace (conditionals, returns) for a
+// benchmark; it is not cached.
+func (c *Context) FullTrace(cfg workload.Config) trace.Trace {
+	return cfg.MustGenerate(c.TraceLen)
+}
+
+// Summary returns the Tables 1–2 statistics of the benchmark's full trace.
+func (c *Context) Summary(cfg workload.Config) trace.Summary {
+	c.Trace(cfg) // ensure cached
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.summaries[cfg.Name]
+}
+
+// forEach runs fn(i) for every i in [0, n) on up to GOMAXPROCS goroutines
+// and returns the first error.
+func forEach(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		mu   sync.Mutex
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return err
+}
+
+// Sweep simulates one predictor per benchmark (constructed by mk, which must
+// return a fresh predictor per call) and returns per-benchmark misprediction
+// rates in percent.
+func (c *Context) Sweep(mk func() (core.Predictor, error)) (map[string]float64, error) {
+	return c.sweepOpts(mk, sim.Options{}, false)
+}
+
+// SweepFull is Sweep over complete traces (conditional records included),
+// for predictors implementing core.CondObserver.
+func (c *Context) SweepFull(mk func() (core.Predictor, error)) (map[string]float64, error) {
+	return c.sweepOpts(mk, sim.Options{}, true)
+}
+
+func (c *Context) sweepOpts(mk func() (core.Predictor, error), opts sim.Options, full bool) (map[string]float64, error) {
+	out := make(map[string]float64, len(c.Suite))
+	var mu sync.Mutex
+	err := forEach(len(c.Suite), func(i int) error {
+		cfg := c.Suite[i]
+		var tr trace.Trace
+		if full {
+			tr = c.FullTrace(cfg)
+		} else {
+			tr = c.Trace(cfg)
+		}
+		p, err := mk()
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		rate := sim.Run(p, tr, opts).MissRate()
+		mu.Lock()
+		out[cfg.Name] = rate
+		mu.Unlock()
+		return nil
+	})
+	return out, err
+}
+
+// GroupRow extends per-benchmark rates with the Table 3 group averages and
+// returns the value for the requested key ("AVG" etc. or a benchmark name).
+func GroupRow(values map[string]float64) map[string]float64 {
+	return stats.WithGroups(values)
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the short name used by cmd/ibpsweep and bench targets.
+	ID string
+	// Artifact names the paper table/figure, e.g. "Figure 9".
+	Artifact string
+	// Desc is a one-line description.
+	Desc string
+	// Run produces the experiment's result tables.
+	Run func(ctx *Context) ([]*stats.Table, error)
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Experiment
+)
+
+// register adds an experiment; called from init functions of this package.
+func register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments sorted by id.
+func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q", id)
+}
+
+// groupRows lists the group labels shown as rows in the unconstrained
+// figures, AVG first as the headline.
+var groupRows = []string{
+	stats.GroupAVG, stats.GroupOO, stats.GroupC,
+	stats.Group100, stats.Group200, stats.GroupInfreq,
+}
+
+// setGroups writes a column of group averages into a table.
+func setGroups(t *stats.Table, col string, perBench map[string]float64) {
+	ext := stats.WithGroups(perBench)
+	for _, g := range groupRows {
+		if v, ok := ext[g]; ok {
+			t.Set(g, col, v)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/bits"
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/sim"
+	"github.com/oocsb/ibp/internal/stats"
+	"github.com/oocsb/ibp/internal/vm"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "limits",
+		Artifact: "TRCS97-10 (companion)",
+		Desc:     "predictability limits: static and first-order oracles vs realizable predictors",
+		Run:      runLimits,
+	})
+	register(Experiment{
+		ID:       "vm",
+		Artifact: "§1 (interpreters)",
+		Desc:     "predictor generations on real VM program traces",
+		Run:      runVM,
+	})
+	register(Experiment{
+		ID:       "ctxswitch",
+		Artifact: "§7 [ECP96]",
+		Desc:     "misprediction under periodic predictor flushes (context switches)",
+		Run:      runCtxSwitch,
+	})
+}
+
+func runLimits(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Predictability limits (misprediction %, per benchmark)", "benchmark",
+		"oracle-static", "oracle-1st", "btb-2bc", "2lev-p2", "hybrid-3.1")
+	for _, cfg := range ctx.Suite {
+		tr := ctx.Trace(cfg)
+		t.Set(cfg.Name, "oracle-static", sim.OracleStatic(tr))
+		t.Set(cfg.Name, "oracle-1st", sim.OracleFirstOrder(tr))
+		t.Set(cfg.Name, "btb-2bc", sim.MissRate(core.NewBTB(nil, core.UpdateTwoMiss), tr))
+		two := core.MustTwoLevel(core.Config{PathLength: 2, Precision: 0, TableKind: "exact"})
+		t.Set(cfg.Name, "2lev-p2", sim.MissRate(two, tr))
+		hyb, err := core.NewDualPath(3, 1, "assoc4", 4096)
+		if err != nil {
+			return nil, err
+		}
+		t.Set(cfg.Name, "hybrid-3.1", sim.MissRate(hyb, tr))
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runVM(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("VM program traces: misprediction (%) by predictor", "program")
+	for _, name := range vm.SampleNames() {
+		opts := vm.Options{}
+		if name == "tokens" {
+			opts.TraceDispatch = true // the interpreter-dispatch workload
+		}
+		_, tr, err := vm.RunSample(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		ind := tr.Indirect()
+		if len(ind) == 0 {
+			continue
+		}
+		t.Set(name, "btb-2bc", sim.MissRate(core.NewBTB(nil, core.UpdateTwoMiss), ind))
+		for _, p := range []int{1, 2, 4, 6} {
+			pred := core.MustTwoLevel(boundedConfig(p, bits.Reverse, "assoc4", 4096))
+			t.Set(name, fmt.Sprintf("2lev-p%d", p), sim.MissRate(pred, ind))
+		}
+		hyb, err := core.NewDualPath(3, 1, "assoc4", 2048)
+		if err != nil {
+			return nil, err
+		}
+		t.Set(name, "hybrid-3.1", sim.MissRate(hyb, ind))
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runCtxSwitch(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Context switches: AVG misprediction (%) with periodic predictor flushes", "flush-interval")
+	intervals := []int{0, 16384, 4096, 1024}
+	for _, iv := range intervals {
+		row := "none"
+		if iv > 0 {
+			row = fmt.Sprintf("%d", iv)
+		}
+		for _, pcfg := range []struct {
+			col string
+			mk  func() (core.Predictor, error)
+		}{
+			{"btb-2bc", func() (core.Predictor, error) { return core.NewBTB(nil, core.UpdateTwoMiss), nil }},
+			{"2lev-p2", func() (core.Predictor, error) {
+				return core.NewTwoLevel(boundedConfig(2, bits.Reverse, "assoc4", 4096))
+			}},
+			{"2lev-p6", func() (core.Predictor, error) {
+				return core.NewTwoLevel(boundedConfig(6, bits.Reverse, "assoc4", 4096))
+			}},
+			{"hybrid-3.1", func() (core.Predictor, error) { return core.NewDualPath(3, 1, "assoc4", 2048) }},
+		} {
+			rates := make(map[string]float64, len(ctx.Suite))
+			for _, cfg := range ctx.Suite {
+				p, err := pcfg.mk()
+				if err != nil {
+					return nil, err
+				}
+				rates[cfg.Name] = sim.Run(p, ctx.Trace(cfg), sim.Options{FlushEvery: iv}).MissRate()
+			}
+			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
+			t.Set(row, pcfg.col, avg)
+		}
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/history"
+	"github.com/oocsb/ibp/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig10",
+		Artifact: "Figure 10",
+		Desc:     "history pattern precision: b bits per target vs full addresses",
+		Run:      runFig10,
+	})
+	register(Experiment{
+		ID:       "table5",
+		Artifact: "Table 5",
+		Desc:     "xor vs concatenation of history pattern with branch address",
+		Run:      runTable5,
+	})
+}
+
+func runFig10(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Figure 10: bits per target (unconstrained tables, AVG)", "bits")
+	rows := []struct {
+		label string
+		bits  int
+	}{
+		{"b=1", 1}, {"b=2", 2}, {"b=3", 3}, {"b=4", 4}, {"b=8", 8}, {"full", 0},
+	}
+	for p := 0; p <= 12; p++ {
+		for _, r := range rows {
+			p, r := p, r
+			cfg := exactConfig(p)
+			if p > 0 {
+				cfg.TableKind = "exact"
+				cfg.Precision = r.bits
+			}
+			rates, err := ctx.Sweep(func() (core.Predictor, error) {
+				return core.NewTwoLevel(cfg)
+			})
+			if err != nil {
+				return nil, err
+			}
+			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
+			t.Set(r.label, fmt.Sprintf("p=%d", p), avg)
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runTable5(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Table 5: xor vs concatenation with branch address (AVG, b=⌊24/p⌋)", "operation")
+	for p := 0; p <= 12; p++ {
+		var xor, concat float64
+		for _, op := range []history.KeyOp{history.OpXor, history.OpConcat} {
+			p, op := p, op
+			cfg := core.Config{
+				PathLength: p,
+				Precision:  core.AutoPrecision,
+				KeyOp:      op,
+				TableKind:  "unbounded",
+			}
+			rates, err := ctx.Sweep(func() (core.Predictor, error) {
+				return core.NewTwoLevel(cfg)
+			})
+			if err != nil {
+				return nil, err
+			}
+			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
+			if op == history.OpXor {
+				xor = avg
+			} else {
+				concat = avg
+			}
+		}
+		col := fmt.Sprintf("p=%d", p)
+		t.Set("Xor", col, xor)
+		t.Set("Concat", col, concat)
+		t.Set("Xor-Concat", col, xor-concat)
+	}
+	return []*stats.Table{t}, nil
+}

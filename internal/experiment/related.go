@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/bits"
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/ras"
+	"github.com/oocsb/ibp/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "ras",
+		Artifact: "§2 (premise)",
+		Desc:     "return address stack accuracy on workloads with returns",
+		Run:      runRAS,
+	})
+	register(Experiment{
+		ID:       "rel-tcache",
+		Artifact: "§7 [CHP97]",
+		Desc:     "Chang-style pattern-history target cache vs path-based two-level",
+		Run:      runRelTCache,
+	})
+}
+
+func runRAS(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("§2: return address stack misprediction (%) by depth", "benchmark")
+	depths := []int{1, 2, 4, 8, 16, 64}
+	for _, cfg := range ctx.Suite {
+		cfg := cfg
+		cfg.EmitReturns = true
+		tr := cfg.MustGenerate(ctx.TraceLen / 4)
+		for _, d := range depths {
+			res := ras.Simulate(tr, d)
+			t.Set(cfg.Name, fmt.Sprintf("depth=%d", d), res.MissRate())
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runRelTCache(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("§7: target cache (gshare over conditionals) vs path-based (AVG)", "predictor")
+	for _, size := range []int{512, 4096} {
+		col := fmt.Sprintf("%d", size)
+		// Chang et al.'s gshare(9) pattern history target cache; the
+		// first level sees conditional outcomes, so it needs full
+		// traces.
+		tcache, err := ctx.SweepFull(func() (core.Predictor, error) {
+			return core.NewTargetCache(9, "tagless", size)
+		})
+		if err != nil {
+			return nil, err
+		}
+		avgTC, _ := stats.GroupAverage(tcache, stats.GroupAVG)
+		t.Set("target-cache(9)", col, avgTC)
+		// The paper's comparable non-hybrid (p=3, tagless) and best
+		// hybrid configurations (§7 discussion).
+		for _, pcfg := range []struct {
+			row string
+			p   int
+		}{{"2lev-p3-tagless", 3}} {
+			rates, err := ctx.Sweep(func() (core.Predictor, error) {
+				cfg := boundedConfig(pcfg.p, bits.Reverse, "tagless", size)
+				return core.NewTwoLevel(cfg)
+			})
+			if err != nil {
+				return nil, err
+			}
+			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
+			t.Set(pcfg.row, col, avg)
+		}
+		hyb, err := ctx.hybridRates(1, 3, "assoc4", size/2)
+		if err != nil {
+			return nil, err
+		}
+		avgHyb, _ := stats.GroupAverage(hyb, stats.GroupAVG)
+		t.Set("hybrid-3.1-assoc4", col, avgHyb)
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,28 @@
+package experiment
+
+import (
+	"github.com/oocsb/ibp/internal/analysis"
+	"github.com/oocsb/ibp/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "sites",
+		Artifact: "§2 (benchmark discussion)",
+		Desc:     "per-benchmark branch-site behaviour classes (monomorphic/dominated/cyclic/chaotic)",
+		Run:      runSites,
+	})
+}
+
+func runSites(ctx *Context) ([]*stats.Table, error) {
+	shares := stats.NewTable("Branch-site classes: share of dynamic indirect branches (%)", "benchmark")
+	counts := stats.NewTable("Branch-site classes: static site counts", "benchmark")
+	for _, cfg := range ctx.Suite {
+		b := analysis.Summarize(analysis.Profile(ctx.Trace(cfg)))
+		for _, class := range analysis.Classes() {
+			shares.Set(cfg.Name, class, 100*b.Shares[class])
+			counts.Set(cfg.Name, class, float64(b.Sites[class]))
+		}
+	}
+	return []*stats.Table{shares, counts}, nil
+}

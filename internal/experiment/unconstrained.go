@@ -1,0 +1,233 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "table1",
+		Artifact: "Tables 1–2",
+		Desc:     "benchmark characteristics: branch counts, densities, site coverage",
+		Run:      runTable1,
+	})
+	register(Experiment{
+		ID:       "fig2",
+		Artifact: "Figure 2",
+		Desc:     "unconstrained BTB vs BTB-2bc misprediction rates",
+		Run:      runFig2,
+	})
+	register(Experiment{
+		ID:       "fig5",
+		Artifact: "Figure 5",
+		Desc:     "history pattern sharing s (per-branch … global), p=8",
+		Run:      runFig5,
+	})
+	register(Experiment{
+		ID:       "fig7",
+		Artifact: "Figure 7",
+		Desc:     "history table sharing h (per-branch … global), p=8, global history",
+		Run:      runFig7,
+	})
+	register(Experiment{
+		ID:       "fig9",
+		Artifact: "Figure 9",
+		Desc:     "path length sweep p=0..18, unconstrained two-level",
+		Run:      runFig9,
+	})
+	register(Experiment{
+		ID:       "abl-update",
+		Artifact: "§3.2 (update rule claim)",
+		Desc:     "update-always vs two-miss (2bc) target update across path lengths",
+		Run:      runAblUpdate,
+	})
+	register(Experiment{
+		ID:       "abl-cond",
+		Artifact: "§3.3 (variation)",
+		Desc:     "including conditional-branch targets in the history",
+		Run:      runAblCond,
+	})
+	register(Experiment{
+		ID:       "abl-addr",
+		Artifact: "§3.3 (variation)",
+		Desc:     "including branch addresses alongside targets in the history",
+		Run:      runAblAddr,
+	})
+}
+
+func runTable1(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Tables 1–2: benchmark characteristics", "benchmark",
+		"branches", "instr/ind", "cond/ind", "vcall%", "sites90", "sites95", "sites99", "sites100")
+	for _, cfg := range ctx.Suite {
+		s := ctx.Summary(cfg)
+		t.AddRow(cfg.Name,
+			float64(s.Indirect),
+			s.InstrPerIndirect,
+			s.CondPerIndirect,
+			100*s.VCallFraction,
+			float64(s.Coverage[90]),
+			float64(s.Coverage[95]),
+			float64(s.Coverage[99]),
+			float64(s.Coverage[100]),
+		)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// exactConfig returns the unconstrained (§3) configuration for a path
+// length: full-precision keys, exact tables (p=0 keys are just the branch
+// address, which fits the unbounded 64-bit table).
+func exactConfig(p int) core.Config {
+	cfg := core.Config{PathLength: p, Precision: 0}
+	if p == 0 {
+		cfg.TableKind = "unbounded"
+	} else {
+		cfg.TableKind = "exact"
+	}
+	return cfg
+}
+
+func runFig2(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Figure 2: unconstrained BTB misprediction rates", "benchmark", "btb", "btb-2bc")
+	rules := []struct {
+		col  string
+		rule core.UpdateRule
+	}{{"btb", core.UpdateAlways}, {"btb-2bc", core.UpdateTwoMiss}}
+	for _, r := range rules {
+		rates, err := ctx.Sweep(func() (core.Predictor, error) {
+			return core.NewBTB(nil, r.rule), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ext := stats.WithGroups(rates)
+		for _, k := range stats.SortedKeys(ext) {
+			t.Set(k, r.col, ext[k])
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// shareSweepValues are the sharing exponents simulated for Figures 5 and 7
+// (the paper sweeps 2..22 plus 31 = global).
+var shareSweepValues = []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 31}
+
+func runFig5(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Figure 5: history sharing (p=8, per-branch tables)", "group")
+	for _, s := range shareSweepValues {
+		s := s
+		cfg := exactConfig(8)
+		cfg.HistShare = s
+		rates, err := ctx.Sweep(func() (core.Predictor, error) {
+			return core.NewTwoLevel(cfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		setGroups(t, fmt.Sprintf("s=%d", s), rates)
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig7(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Figure 7: history table sharing (p=8, global history)", "group")
+	for _, h := range shareSweepValues {
+		h := h
+		cfg := exactConfig(8)
+		cfg.TableShare = h
+		rates, err := ctx.Sweep(func() (core.Predictor, error) {
+			return core.NewTwoLevel(cfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		setGroups(t, fmt.Sprintf("h=%d", h), rates)
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig9(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("Figure 9: misprediction vs path length (global history, per-address tables)", "group")
+	for p := 0; p <= 18; p++ {
+		p := p
+		rates, err := ctx.Sweep(func() (core.Predictor, error) {
+			return core.NewTwoLevel(exactConfig(p))
+		})
+		if err != nil {
+			return nil, err
+		}
+		setGroups(t, fmt.Sprintf("p=%d", p), rates)
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runAblUpdate(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("§3.2 ablation: target update rule (AVG)", "rule")
+	for p := 0; p <= 8; p++ {
+		for _, rule := range []core.UpdateRule{core.UpdateAlways, core.UpdateTwoMiss} {
+			p, rule := p, rule
+			cfg := exactConfig(p)
+			cfg.Update = rule
+			rates, err := ctx.Sweep(func() (core.Predictor, error) {
+				return core.NewTwoLevel(cfg)
+			})
+			if err != nil {
+				return nil, err
+			}
+			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
+			t.Set(rule.String(), fmt.Sprintf("p=%d", p), avg)
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runAblCond(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("§3.3 ablation: conditional targets in the history (AVG)", "history")
+	for _, p := range []int{2, 4, 6, 8, 12} {
+		for _, include := range []bool{false, true} {
+			p, include := p, include
+			cfg := exactConfig(p)
+			cfg.IncludeCond = include
+			rates, err := ctx.SweepFull(func() (core.Predictor, error) {
+				return core.NewTwoLevel(cfg)
+			})
+			if err != nil {
+				return nil, err
+			}
+			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
+			row := "indirect-only"
+			if include {
+				row = "with-conditionals"
+			}
+			t.Set(row, fmt.Sprintf("p=%d", p), avg)
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runAblAddr(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("§3.3 ablation: branch addresses in the history (AVG)", "history")
+	for _, p := range []int{2, 4, 6, 8, 12} {
+		for _, include := range []bool{false, true} {
+			p, include := p, include
+			cfg := exactConfig(p)
+			cfg.IncludeAddress = include
+			rates, err := ctx.Sweep(func() (core.Predictor, error) {
+				return core.NewTwoLevel(cfg)
+			})
+			if err != nil {
+				return nil, err
+			}
+			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
+			row := "targets-only"
+			if include {
+				row = "targets+addresses"
+			}
+			t.Set(row, fmt.Sprintf("p=%d", p), avg)
+		}
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,259 @@
+// Package history implements the first level of the two-level indirect
+// branch predictor: history registers holding the targets of recently
+// executed indirect branches (the branch "path"), per-set history files
+// parameterized by the paper's sharing parameter s, and the construction of
+// lookup keys from (compressed) history patterns and branch addresses.
+package history
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/bits"
+)
+
+// Register is a fixed-capacity ring buffer of the most recent branch
+// targets. A fresh register reads as all-zero targets, matching a hardware
+// history register that powers up cleared.
+type Register struct {
+	buf  []uint32
+	head int // index of the most recent target
+}
+
+// NewRegister returns a register recording the last p targets. p = 0 yields
+// a degenerate register whose pattern is always empty (the BTB case).
+func NewRegister(p int) *Register {
+	if p < 0 {
+		panic(fmt.Sprintf("history: negative path length %d", p))
+	}
+	return &Register{buf: make([]uint32, p)}
+}
+
+// Depth returns the register's path length p.
+func (r *Register) Depth() int { return len(r.buf) }
+
+// Push records target as the most recent branch target.
+func (r *Register) Push(target uint32) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.head--
+	if r.head < 0 {
+		r.head = len(r.buf) - 1
+	}
+	r.buf[r.head] = target
+}
+
+// Targets appends the register contents to dst, most recent target first,
+// and returns the extended slice.
+func (r *Register) Targets(dst []uint32) []uint32 {
+	for i := 0; i < len(r.buf); i++ {
+		dst = append(dst, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return dst
+}
+
+// Recent returns the i-th most recent target (0 = newest). It panics if i is
+// out of range.
+func (r *Register) Recent(i int) uint32 {
+	if i < 0 || i >= len(r.buf) {
+		panic(fmt.Sprintf("history: Recent(%d) on depth-%d register", i, len(r.buf)))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Reset clears the register to the powered-up (all-zero) state.
+func (r *Register) Reset() {
+	for i := range r.buf {
+		r.buf[i] = 0
+	}
+	r.head = 0
+}
+
+// File is a set of history registers shared per address region: all branches
+// whose addresses agree in bits s..31 use the same register (Figure 4).
+// s=2 gives per-branch histories; s=31 (or more) is a single global history
+// for word-aligned 32-bit address spaces.
+type File struct {
+	shareBits int // s
+	depth     int // p
+	global    *Register
+	regs      map[uint32]*Register
+}
+
+// NewFile returns a history file with sharing parameter s and path length p.
+// s is clamped to [2, 32]; s >= 32 is fully global.
+func NewFile(s, p int) *File {
+	if s < 2 {
+		s = 2
+	}
+	if s > 32 {
+		s = 32
+	}
+	f := &File{shareBits: s, depth: p}
+	if s >= 32 {
+		f.global = NewRegister(p)
+	} else {
+		f.regs = make(map[uint32]*Register)
+	}
+	return f
+}
+
+// ShareBits returns the sharing parameter s.
+func (f *File) ShareBits() int { return f.shareBits }
+
+// Get returns the register used by the branch at pc, creating it on first
+// use.
+func (f *File) Get(pc uint32) *Register {
+	if f.global != nil {
+		return f.global
+	}
+	set := pc >> uint(f.shareBits)
+	r := f.regs[set]
+	if r == nil {
+		r = NewRegister(f.depth)
+		f.regs[set] = r
+	}
+	return r
+}
+
+// Registers returns the number of distinct registers materialized so far.
+func (f *File) Registers() int {
+	if f.global != nil {
+		return 1
+	}
+	return len(f.regs)
+}
+
+// Reset clears all registers.
+func (f *File) Reset() {
+	if f.global != nil {
+		f.global.Reset()
+		return
+	}
+	clear(f.regs)
+}
+
+// KeyOp selects how the branch address is folded into the history pattern
+// when forming the table lookup key (§4.2).
+type KeyOp uint8
+
+const (
+	// OpXor xors the word-aligned branch address with the pattern
+	// (gshare-style), yielding a 30-bit key.
+	OpXor KeyOp = iota
+	// OpConcat concatenates the address above the pattern, yielding a key
+	// of up to 54 bits.
+	OpConcat
+)
+
+func (op KeyOp) String() string {
+	switch op {
+	case OpXor:
+		return "xor"
+	case OpConcat:
+		return "concat"
+	}
+	return fmt.Sprintf("KeyOp(%d)", uint8(op))
+}
+
+// Spec describes the compressed history pattern of §4: p targets, b bits per
+// target taken from bit StartBit up, laid out per Scheme, combined with the
+// branch address per Op.
+type Spec struct {
+	PathLength int         // p
+	Bits       int         // b; the paper keeps p*b <= 24
+	StartBit   int         // a; the paper found a=2 best
+	Scheme     bits.Scheme // pattern layout
+	Op         KeyOp       // address folding
+}
+
+// BitsForPath returns the paper's choice of bits per target for path length
+// p: the largest b with b*p <= 24 (capped at 24 for p <= 1).
+func BitsForPath(p int) int {
+	if p <= 0 {
+		return 0
+	}
+	b := 24 / p
+	if b > 24 {
+		b = 24
+	}
+	return b
+}
+
+// DefaultSpec returns the paper's §4–§6 configuration for path length p:
+// b = BitsForPath(p) bits starting at bit 2, reverse interleaving, xor
+// address folding.
+func DefaultSpec(p int) Spec {
+	return Spec{
+		PathLength: p,
+		Bits:       BitsForPath(p),
+		StartBit:   2,
+		Scheme:     bits.Reverse,
+		Op:         OpXor,
+	}
+}
+
+// PatternBits returns the width of the compressed pattern in bits.
+func (s Spec) PatternBits() int { return s.PathLength * s.Bits }
+
+// Pattern builds the compressed history pattern from the register. scratch
+// is reused to avoid allocation; pass a slice with capacity >= p.
+func (s Spec) Pattern(r *Register, scratch []uint32) uint32 {
+	if s.PathLength == 0 || s.Bits == 0 {
+		return 0
+	}
+	targets := r.Targets(scratch[:0])
+	if len(targets) > s.PathLength {
+		targets = targets[:s.PathLength]
+	}
+	return bits.Assemble(targets, s.Bits, s.StartBit, s.Scheme)
+}
+
+// Key builds the table lookup key for the branch at pc using the register's
+// current contents.
+func (s Spec) Key(r *Register, pc uint32, scratch []uint32) uint64 {
+	pattern := s.Pattern(r, scratch)
+	if s.Op == OpConcat {
+		return bits.ConcatKey(pattern, pc, s.PatternBits())
+	}
+	return bits.XorKey(pattern, pc)
+}
+
+// KeyBits returns the number of significant bits in keys produced by Key.
+func (s Spec) KeyBits() int {
+	if s.Op == OpConcat {
+		return 30 + s.PatternBits()
+	}
+	if pb := s.PatternBits(); pb > 30 {
+		return pb
+	}
+	return 30
+}
+
+// FullKey appends the exact key for unconstrained (§3–§4) predictors to
+// dst: the table selector pc>>h followed by the register's p targets. With
+// bits = 0 each target contributes its full 32-bit address; otherwise each
+// target contributes its `bits`-wide field starting at startBit (the §4.1
+// limited-precision variant, without the 24-bit pattern cap — exact byte
+// keys have no width limit). Using exact bytes guarantees these experiments
+// are free of aliasing artifacts.
+func FullKey(dst []byte, r *Register, pc uint32, tableShareBits, startBit, nbits int) []byte {
+	h := tableShareBits
+	if h < 2 {
+		h = 2
+	}
+	var sel uint32
+	if h < 32 {
+		sel = pc >> uint(h)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, sel)
+	for i := 0; i < r.Depth(); i++ {
+		t := r.Recent(i)
+		if nbits > 0 {
+			t = bits.Field(t, startBit, nbits)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, t)
+	}
+	return dst
+}

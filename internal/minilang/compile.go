@@ -1,0 +1,364 @@
+package minilang
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/oocsb/ibp/internal/vm"
+)
+
+// Compile translates minilang source into an executable VM program.
+// Execution starts at func main(). Functions are first-class: a bare
+// function name evaluates to a function value, and calling through a
+// variable compiles to the VM's indirect call.
+func Compile(src string) (*vm.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	decls, err := parse(toks)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		prog:  &vm.Program{Main: -1},
+		fnIdx: make(map[string]int, len(decls)),
+		arity: make(map[string]int, len(decls)),
+	}
+	for _, d := range decls {
+		if _, dup := c.fnIdx[d.name]; dup {
+			return nil, fmt.Errorf("minilang: line %d: duplicate function %q", d.line, d.name)
+		}
+		c.fnIdx[d.name] = len(c.prog.Funcs)
+		c.arity[d.name] = len(d.params)
+		if d.name == "main" {
+			c.prog.Main = len(c.prog.Funcs)
+		}
+		c.prog.Funcs = append(c.prog.Funcs, vm.Func{Name: d.name, Params: len(d.params)})
+	}
+	if c.prog.Main < 0 {
+		return nil, fmt.Errorf("minilang: no main function")
+	}
+	if c.arity["main"] != 0 {
+		return nil, fmt.Errorf("minilang: main must take no parameters")
+	}
+	for i, d := range decls {
+		if err := c.compileFunc(i, d); err != nil {
+			return nil, err
+		}
+	}
+	return c.prog, nil
+}
+
+// compiler holds program-wide state; per-function state is reset in
+// compileFunc.
+type compiler struct {
+	prog  *vm.Program
+	fnIdx map[string]int
+	arity map[string]int
+
+	locals    map[string]int
+	numLocals int
+	breaks    []*[]int // fixup positions per enclosing loop
+}
+
+func (c *compiler) emit(op vm.Op, arg int32) int {
+	c.prog.Code = append(c.prog.Code, vm.Instr{Op: op, Arg: arg})
+	return len(c.prog.Code) - 1
+}
+
+// here returns the next instruction index.
+func (c *compiler) here() int { return len(c.prog.Code) }
+
+// patch sets the jump target of the instruction at pos.
+func (c *compiler) patch(pos, target int) {
+	c.prog.Code[pos].Arg = int32(target)
+}
+
+func (c *compiler) compileFunc(fi int, d fnDecl) error {
+	c.locals = make(map[string]int)
+	c.numLocals = 0
+	c.breaks = nil
+	for _, p := range d.params {
+		if _, dup := c.locals[p]; dup {
+			return fmt.Errorf("minilang: line %d: duplicate parameter %q", d.line, p)
+		}
+		c.locals[p] = c.numLocals
+		c.numLocals++
+	}
+	c.prog.Funcs[fi].Entry = c.here()
+	if err := c.compileStmts(d.body); err != nil {
+		return err
+	}
+	// Falling off the end returns 0.
+	c.emit(vm.OpPush, 0)
+	c.emit(vm.OpRet, 0)
+	c.prog.Funcs[fi].Locals = c.numLocals
+	return nil
+}
+
+func (c *compiler) compileStmts(stmts []stmt) error {
+	for _, s := range stmts {
+		if err := c.compileStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileStmt(s stmt) error {
+	switch s := s.(type) {
+	case varStmt:
+		if _, dup := c.locals[s.name]; dup {
+			return fmt.Errorf("minilang: line %d: variable %q redeclared", s.line, s.name)
+		}
+		if err := c.compileExpr(s.init); err != nil {
+			return err
+		}
+		slot := c.numLocals
+		c.locals[s.name] = slot
+		c.numLocals++
+		c.emit(vm.OpStore, int32(slot))
+		return nil
+	case assignStmt:
+		slot, ok := c.locals[s.name]
+		if !ok {
+			return fmt.Errorf("minilang: line %d: assignment to undeclared variable %q", s.line, s.name)
+		}
+		if err := c.compileExpr(s.value); err != nil {
+			return err
+		}
+		c.emit(vm.OpStore, int32(slot))
+		return nil
+	case ifStmt:
+		if err := c.compileExpr(s.cond); err != nil {
+			return err
+		}
+		jz := c.emit(vm.OpJz, -1)
+		if err := c.compileStmts(s.then); err != nil {
+			return err
+		}
+		if len(s.els) == 0 {
+			c.patch(jz, c.here())
+			return nil
+		}
+		jend := c.emit(vm.OpJmp, -1)
+		c.patch(jz, c.here())
+		if err := c.compileStmts(s.els); err != nil {
+			return err
+		}
+		c.patch(jend, c.here())
+		return nil
+	case whileStmt:
+		start := c.here()
+		if err := c.compileExpr(s.cond); err != nil {
+			return err
+		}
+		jz := c.emit(vm.OpJz, -1)
+		var brks []int
+		c.breaks = append(c.breaks, &brks)
+		if err := c.compileStmts(s.body); err != nil {
+			return err
+		}
+		c.breaks = c.breaks[:len(c.breaks)-1]
+		c.emit(vm.OpJmp, int32(start))
+		end := c.here()
+		c.patch(jz, end)
+		for _, pos := range brks {
+			c.patch(pos, end)
+		}
+		return nil
+	case returnStmt:
+		if s.value != nil {
+			if err := c.compileExpr(s.value); err != nil {
+				return err
+			}
+		} else {
+			c.emit(vm.OpPush, 0)
+		}
+		c.emit(vm.OpRet, 0)
+		return nil
+	case switchStmt:
+		if err := c.compileExpr(s.subject); err != nil {
+			return err
+		}
+		table := make([]int, len(s.cases))
+		ti := len(c.prog.Tables)
+		c.prog.Tables = append(c.prog.Tables, table)
+		c.emit(vm.OpSwitch, int32(ti))
+		var ends []int
+		for ci, body := range s.cases {
+			table[ci] = c.here()
+			if err := c.compileStmts(body); err != nil {
+				return err
+			}
+			ends = append(ends, c.emit(vm.OpJmp, -1))
+		}
+		end := c.here()
+		for _, pos := range ends {
+			c.patch(pos, end)
+		}
+		return nil
+	case breakStmt:
+		if len(c.breaks) == 0 {
+			return fmt.Errorf("minilang: line %d: break outside a loop", s.line)
+		}
+		top := c.breaks[len(c.breaks)-1]
+		*top = append(*top, c.emit(vm.OpJmp, -1))
+		return nil
+	case exprStmt:
+		if err := c.compileExpr(s.e); err != nil {
+			return err
+		}
+		c.emit(vm.OpPop, 0) // discard the statement expression's value
+		return nil
+	default:
+		return fmt.Errorf("minilang: unknown statement %T", s)
+	}
+}
+
+func (c *compiler) compileExpr(e expr) error {
+	switch e := e.(type) {
+	case numExpr:
+		if e.v > math.MaxInt32 || e.v < math.MinInt32 {
+			return fmt.Errorf("minilang: literal %d out of 32-bit range", e.v)
+		}
+		c.emit(vm.OpPush, int32(e.v))
+		return nil
+	case varExpr:
+		if slot, ok := c.locals[e.name]; ok {
+			c.emit(vm.OpLoad, int32(slot))
+			return nil
+		}
+		if fi, ok := c.fnIdx[e.name]; ok {
+			// A bare function name is a function value.
+			c.emit(vm.OpPush, int32(fi))
+			return nil
+		}
+		return fmt.Errorf("minilang: line %d: undefined name %q", e.line, e.name)
+	case unExpr:
+		if err := c.compileExpr(e.x); err != nil {
+			return err
+		}
+		if e.op == "-" {
+			c.emit(vm.OpNeg, 0)
+		} else {
+			c.emit(vm.OpNot, 0)
+		}
+		return nil
+	case binExpr:
+		return c.compileBinary(e)
+	case callExpr:
+		return c.compileCall(e)
+	default:
+		return fmt.Errorf("minilang: unknown expression %T", e)
+	}
+}
+
+func (c *compiler) compileBinary(e binExpr) error {
+	// Operand order: Lt pops b then a and pushes a<b, so ">"-family
+	// comparisons swap the compile order.
+	lFirst := true
+	switch e.op {
+	case ">", "<=":
+		lFirst = false
+	}
+	first, second := e.l, e.r
+	if !lFirst {
+		first, second = e.r, e.l
+	}
+	if err := c.compileExpr(first); err != nil {
+		return err
+	}
+	// Logical operators normalize each side to 0/1 before combining; note
+	// that both sides always evaluate (no short-circuit).
+	if e.op == "&&" || e.op == "||" {
+		c.emit(vm.OpNot, 0)
+		if e.op == "&&" {
+			c.emit(vm.OpNot, 0)
+		}
+	}
+	if err := c.compileExpr(second); err != nil {
+		return err
+	}
+	switch e.op {
+	case "+":
+		c.emit(vm.OpAdd, 0)
+	case "-":
+		c.emit(vm.OpSub, 0)
+	case "*":
+		c.emit(vm.OpMul, 0)
+	case "%":
+		c.emit(vm.OpMod, 0)
+	case "<", ">":
+		c.emit(vm.OpLt, 0)
+	case "<=", ">=":
+		c.emit(vm.OpLt, 0)
+		c.emit(vm.OpNot, 0)
+	case "==":
+		c.emit(vm.OpEq, 0)
+	case "!=":
+		c.emit(vm.OpEq, 0)
+		c.emit(vm.OpNot, 0)
+	case "&&":
+		c.emit(vm.OpNot, 0)
+		c.emit(vm.OpNot, 0)
+		c.emit(vm.OpMul, 0)
+	case "||":
+		c.emit(vm.OpNot, 0)
+		c.emit(vm.OpMul, 0)
+		c.emit(vm.OpNot, 0)
+	default:
+		return fmt.Errorf("minilang: line %d: unknown operator %q", e.line, e.op)
+	}
+	return nil
+}
+
+func (c *compiler) compileCall(e callExpr) error {
+	// Direct call when the callee is an unshadowed function name.
+	if v, ok := e.callee.(varExpr); ok {
+		if _, isLocal := c.locals[v.name]; !isLocal {
+			fi, isFn := c.fnIdx[v.name]
+			if !isFn {
+				return fmt.Errorf("minilang: line %d: call of undefined function %q", e.line, v.name)
+			}
+			if len(e.args) != c.arity[v.name] {
+				return fmt.Errorf("minilang: line %d: %s takes %d arguments, got %d",
+					e.line, v.name, c.arity[v.name], len(e.args))
+			}
+			for _, a := range e.args {
+				if err := c.compileExpr(a); err != nil {
+					return err
+				}
+			}
+			c.emit(vm.OpCall, int32(fi))
+			return nil
+		}
+	}
+	// Indirect call: arguments, then the function value, then callfn.
+	for _, a := range e.args {
+		if err := c.compileExpr(a); err != nil {
+			return err
+		}
+	}
+	if err := c.compileExpr(e.callee); err != nil {
+		return err
+	}
+	c.emit(vm.OpCallFn, 0)
+	return nil
+}
+
+// Run compiles and executes a minilang program, returning its main result
+// and the VM branch trace.
+func Run(src string, opts vm.Options) (int64, *vm.VM, error) {
+	prog, err := Compile(src)
+	if err != nil {
+		return 0, nil, err
+	}
+	m := vm.New(prog, opts)
+	v, err := m.Run()
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, m, nil
+}

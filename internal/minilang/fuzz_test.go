@@ -1,0 +1,37 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/vm"
+)
+
+// FuzzCompile checks the compiler never panics and that accepted programs
+// execute cleanly (or fail with a vm: error) under a small step budget.
+func FuzzCompile(f *testing.F) {
+	f.Add("func main() { return 1 + 2; }")
+	f.Add("func f(a) { return a; } func main() { var g = f; return g(4); }")
+	f.Add("func main() { var i = 0; while (i < 5) { i = i + 1; } return i; }")
+	f.Add("func main() { switch (1) { case 0: return 0; case 1: return 1; } return 2; }")
+	f.Add("func main() { if (1 && 0 || !2) { return 1; } else { return 2; } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		prog, err := Compile(src)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "minilang:") {
+				t.Fatalf("error without minilang prefix: %v", err)
+			}
+			return
+		}
+		m := vm.New(prog, vm.Options{MaxSteps: 20000, TraceDispatch: true, TraceCond: true})
+		if _, err := m.Run(); err != nil && !strings.HasPrefix(err.Error(), "vm:") {
+			t.Fatalf("runtime error without vm prefix: %v", err)
+		}
+		if err := m.Trace().Validate(); err != nil {
+			t.Fatalf("compiled program produced invalid trace: %v", err)
+		}
+	})
+}

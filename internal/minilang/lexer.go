@@ -1,0 +1,103 @@
+// Package minilang implements a small imperative language that compiles to
+// the bytecode VM (internal/vm): integers, locals, functions, first-class
+// function values, if/while control flow and dense switches. Programs
+// written in it exercise every indirect-branch kind the VM traces —
+// switch jump tables, indirect calls through function values, and (with
+// dispatch tracing) the interpreter loop itself — making the compiler a
+// workload factory in the spirit of the paper's benchmark suite, which is
+// itself dominated by compilers and interpreters.
+package minilang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokPunct
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true, "while": true,
+	"return": true, "switch": true, "case": true, "break": true,
+}
+
+// twoCharPunct lists the two-character operators.
+var twoCharPunct = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+}
+
+// lex tokenizes source text. The error includes a line number.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			n, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("minilang: line %d: bad number %q", line, src[i:j])
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], num: n, line: line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: word, line: line})
+			i = j
+		default:
+			if i+1 < len(src) && twoCharPunct[src[i:i+2]] {
+				toks = append(toks, token{kind: tokPunct, text: src[i : i+2], line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '%', '<', '>', '=', '!', '(', ')', '{', '}', ',', ';', ':':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, fmt.Errorf("minilang: line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

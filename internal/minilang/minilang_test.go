@@ -1,0 +1,249 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/vm"
+)
+
+func runProg(t *testing.T, src string) int64 {
+	t.Helper()
+	v, _, err := Run(src, vm.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5},
+		{"17 % 5", 2},
+		{"-4 + 1", -3},
+		{"2 < 3", 1},
+		{"3 < 2", 0},
+		{"3 > 2", 1},
+		{"2 >= 2", 1},
+		{"2 <= 1", 0},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"!0", 1},
+		{"!7", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 3", 1},
+		{"0 || 0", 0},
+		{"1 + 2 == 3 && 4 < 5", 1},
+	}
+	for _, c := range cases {
+		src := "func main() { return " + c.expr + "; }"
+		if got := runProg(t, src); got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestVariablesAndLoops(t *testing.T) {
+	src := `
+func main() {
+  var acc = 0;
+  var i = 0;
+  while (i < 10) {
+    if (i % 2 == 0) {
+      acc = acc + i;
+    } else {
+      acc = acc + 1;
+    }
+    i = i + 1;
+  }
+  return acc;  # 0+2+4+6+8 + 5*1
+}`
+	if got := runProg(t, src); got != 25 {
+		t.Errorf("loop result %d, want 25", got)
+	}
+}
+
+func TestBreak(t *testing.T) {
+	src := `
+func main() {
+  var i = 0;
+  while (1) {
+    if (i >= 7) { break; }
+    i = i + 1;
+  }
+  return i;
+}`
+	if got := runProg(t, src); got != 7 {
+		t.Errorf("break result %d, want 7", got)
+	}
+}
+
+func TestRecursionAndCalls(t *testing.T) {
+	src := `
+func fib(k) {
+  if (k < 2) { return k; }
+  return fib(k - 1) + fib(k - 2);
+}
+func main() { return fib(15); }`
+	if got := runProg(t, src); got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+func classify(x) {
+  if (x < 0) { return 0 - 1; }
+  else if (x == 0) { return 0; }
+  else { return 1; }
+}
+func main() { return classify(0 - 5) + classify(0) * 10 + classify(9) * 100; }`
+	if got := runProg(t, src); got != 99 {
+		t.Errorf("classify chain = %d, want 99", got)
+	}
+}
+
+func TestSwitchCompilesToJumpTable(t *testing.T) {
+	src := `
+func main() {
+  var acc = 0;
+  var i = 0;
+  while (i < 9) {
+    switch (i % 3) {
+      case 0: acc = acc + 1;
+      case 1: acc = acc + 10;
+      case 2: acc = acc + 100;
+    }
+    i = i + 1;
+  }
+  return acc;
+}`
+	v, m, err := Run(src, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 333 {
+		t.Errorf("switch result %d, want 333", v)
+	}
+	if n := m.Trace().CountKind(trace.SwitchJump); n != 9 {
+		t.Errorf("switch trace records = %d, want 9", n)
+	}
+}
+
+func TestFunctionValuesCompileToIndirectCalls(t *testing.T) {
+	src := `
+func double(x) { return x * 2; }
+func square(x) { return x * x; }
+func apply(f, x) { return f(x); }
+func main() {
+  var h = double;
+  return apply(square, 5) + h(3);
+}`
+	v, m, err := Run(src, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 31 {
+		t.Errorf("result %d, want 31", v)
+	}
+	icalls := m.Trace().CountKind(trace.IndirectCall)
+	if icalls != 2 {
+		t.Errorf("indirect calls = %d, want 2 (f(x) and h(3))", icalls)
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	if got := runProg(t, "func main() { var x = 5; }"); got != 0 {
+		t.Errorf("implicit return = %d, want 0", got)
+	}
+	if got := runProg(t, "func f() { return; } func main() { return f() + 3; }"); got != 3 {
+		t.Errorf("bare return = %d, want 3", got)
+	}
+}
+
+func TestLocalShadowsFunction(t *testing.T) {
+	src := `
+func f() { return 1; }
+func main() {
+  var f = 41;
+  return f + 1;
+}`
+	if got := runProg(t, src); got != 42 {
+		t.Errorf("shadowing = %d, want 42", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"func main() { return x; }", "undefined name"},
+		{"func main() { x = 1; }", "undeclared variable"},
+		{"func main() { var x = 1; var x = 2; }", "redeclared"},
+		{"func main() { break; }", "break outside"},
+		{"func main() { return f(); }", "undefined function"},
+		{"func f(a) { return a; } func main() { return f(); }", "takes 1 arguments, got 0"},
+		{"func f() { return 0; } func f() { return 1; } func main() { return 0; }", "duplicate function"},
+		{"func f(a, a) { return a; } func main() { return 0; }", "duplicate parameter"},
+		{"func f() { return 0; }", "no main"},
+		{"func main(x) { return x; }", "main must take no parameters"},
+		{"func main() { switch (1) { } }", "at least one case"},
+		{"func main() { switch (1) { case 1: return 0; } }", "dense and ordered"},
+		{"func main() { switch (1) { case x: return 0; } }", "case label"},
+		{"func main() { return 1 +; }", "unexpected token"},
+		{"func main() { return 9999999999999999; }", "out of 32-bit range"},
+		{"var x = 1;", "expected func"},
+		{"func main() { return 1 }", `expected ";"`},
+		{"func main() { @ }", "unexpected character"},
+		{"func main() { if 1 { return 0; } }", `expected "("`},
+		{"func main() {", "unterminated block"},
+		{"func main() { switch (1) { case 0: return 1;", "unterminated"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Compile(%q) error = %v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestCompiledInterpreterWorkload(t *testing.T) {
+	// A token-processing loop compiled from source: the switch becomes a
+	// VM jump table whose trace a path-based predictor learns far better
+	// than a BTB — the paper's story, end to end through our own
+	// compiler.
+	src := `
+func step(state) { return (state * 25173 + 13849) % 65536; }
+func main() {
+  var state = 7;
+  var acc = 0;
+  var i = 0;
+  while (i < 2000) {
+    state = step(state);
+    switch (state % 4) {
+      case 0: acc = acc + 1;
+      case 1: acc = acc - 1;
+      case 2: acc = acc + 2;
+      case 3: acc = acc % 1000003;
+    }
+    i = i + 1;
+  }
+  return acc;
+}`
+	_, m, err := Run(src, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	if n := tr.CountKind(trace.SwitchJump); n != 2000 {
+		t.Fatalf("switch records = %d", n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+}

@@ -1,0 +1,446 @@
+package minilang
+
+import "fmt"
+
+// AST node types. The language is deliberately tiny: integer expressions,
+// locals, functions (usable as values), if/while/switch control flow.
+type (
+	fnDecl struct {
+		name   string
+		params []string
+		body   []stmt
+		line   int
+	}
+
+	stmt interface{ stmtNode() }
+
+	varStmt struct {
+		name string
+		init expr
+		line int
+	}
+	assignStmt struct {
+		name  string
+		value expr
+		line  int
+	}
+	ifStmt struct {
+		cond expr
+		then []stmt
+		els  []stmt
+	}
+	whileStmt struct {
+		cond expr
+		body []stmt
+	}
+	returnStmt struct {
+		value expr // nil returns 0
+	}
+	switchStmt struct {
+		subject expr
+		cases   [][]stmt // dense case bodies for values 0..n-1
+		line    int
+	}
+	breakStmt struct{ line int }
+	exprStmt  struct{ e expr }
+
+	expr interface{ exprNode() }
+
+	numExpr struct{ v int64 }
+	varExpr struct {
+		name string
+		line int
+	}
+	binExpr struct {
+		op   string
+		l, r expr
+		line int
+	}
+	unExpr struct {
+		op string
+		x  expr
+	}
+	callExpr struct {
+		callee expr
+		args   []expr
+		line   int
+	}
+)
+
+func (varStmt) stmtNode()    {}
+func (assignStmt) stmtNode() {}
+func (ifStmt) stmtNode()     {}
+func (whileStmt) stmtNode()  {}
+func (returnStmt) stmtNode() {}
+func (switchStmt) stmtNode() {}
+func (breakStmt) stmtNode()  {}
+func (exprStmt) stmtNode()   {}
+
+func (numExpr) exprNode()  {}
+func (varExpr) exprNode()  {}
+func (binExpr) exprNode()  {}
+func (unExpr) exprNode()   {}
+func (callExpr) exprNode() {}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("minilang: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the next token if it is the given punct/keyword text.
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		t := p.peek()
+		return p.errf(t.line, "expected %q, found %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t.line, "expected identifier, found %q", t.text)
+	}
+	return t, nil
+}
+
+// parse builds the declaration list of a program.
+func parse(toks []token) ([]fnDecl, error) {
+	p := &parser{toks: toks}
+	var fns []fnDecl
+	for !p.atEOF() {
+		t := p.peek()
+		if t.kind != tokKeyword || t.text != "func" {
+			return nil, p.errf(t.line, "expected func declaration, found %q", t.text)
+		}
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, fn)
+	}
+	return fns, nil
+}
+
+func (p *parser) parseFunc() (fnDecl, error) {
+	line := p.next().line // "func"
+	name, err := p.expectIdent()
+	if err != nil {
+		return fnDecl{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return fnDecl{}, err
+	}
+	var params []string
+	if !p.accept(")") {
+		for {
+			id, err := p.expectIdent()
+			if err != nil {
+				return fnDecl{}, err
+			}
+			params = append(params, id.text)
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return fnDecl{}, err
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return fnDecl{}, err
+	}
+	return fnDecl{name: name.text, params: params, body: body, line: line}, nil
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept("}") {
+		if p.atEOF() {
+			return nil, p.errf(p.peek().line, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokKeyword && t.text == "var":
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return varStmt{name: name.text, init: e, line: name.line}, p.expect(";")
+	case t.kind == tokKeyword && t.text == "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.accept("else") {
+			if p.peek().kind == tokKeyword && p.peek().text == "if" {
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []stmt{s}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return ifStmt{cond: cond, then: then, els: els}, nil
+	case t.kind == tokKeyword && t.text == "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return whileStmt{cond: cond, body: body}, nil
+	case t.kind == tokKeyword && t.text == "return":
+		p.next()
+		if p.accept(";") {
+			return returnStmt{}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return returnStmt{value: e}, p.expect(";")
+	case t.kind == tokKeyword && t.text == "switch":
+		return p.parseSwitch()
+	case t.kind == tokKeyword && t.text == "break":
+		p.next()
+		return breakStmt{line: t.line}, p.expect(";")
+	case t.kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=":
+		name := p.next()
+		p.next() // "="
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{name: name.text, value: e, line: name.line}, p.expect(";")
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return exprStmt{e: e}, p.expect(";")
+	}
+}
+
+// parseSwitch parses a dense switch: cases must be the integers 0..n-1 in
+// order (the VM's jump tables index by value mod table size). Cases do not
+// fall through.
+func (p *parser) parseSwitch() (stmt, error) {
+	line := p.next().line // "switch"
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	subject, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var cases [][]stmt
+	for !p.accept("}") {
+		if err := p.expect("case"); err != nil {
+			return nil, err
+		}
+		num := p.next()
+		if num.kind != tokNumber {
+			return nil, p.errf(num.line, "case label must be a number, found %q", num.text)
+		}
+		if num.num != int64(len(cases)) {
+			return nil, p.errf(num.line, "switch cases must be dense and ordered: expected case %d, found %d", len(cases), num.num)
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		var body []stmt
+		for {
+			t := p.peek()
+			if (t.kind == tokKeyword && t.text == "case") || (t.kind == tokPunct && t.text == "}") {
+				break
+			}
+			if p.atEOF() {
+				return nil, p.errf(t.line, "unterminated switch")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, s)
+		}
+		cases = append(cases, body)
+	}
+	if len(cases) == 0 {
+		return nil, p.errf(line, "switch needs at least one case")
+	}
+	return switchStmt{subject: subject, cases: cases, line: line}, nil
+}
+
+// Expression parsing by precedence climbing.
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBinary(0) }
+
+// binary operator precedence levels, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!=", "<", ">", "<=", ">="},
+	{"+", "-"},
+	{"*", "%"},
+}
+
+func (p *parser) parseBinary(level int) (expr, error) {
+	if level == len(precLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		matched := false
+		if t.kind == tokPunct {
+			for _, op := range precLevels[level] {
+				if t.text == op {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: t.text, l: left, r: right, line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unExpr{op: t.text, x: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("(") {
+		call := callExpr{callee: e, line: p.toks[p.pos-1].line}
+		if !p.accept(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, a)
+				if p.accept(")") {
+					break
+				}
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		e = call
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		return numExpr{v: t.num}, nil
+	case t.kind == tokIdent:
+		return varExpr{name: t.text, line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	default:
+		return nil, p.errf(t.line, "unexpected token %q in expression", t.text)
+	}
+}

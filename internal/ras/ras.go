@@ -1,0 +1,110 @@
+// Package ras implements a return address stack, the mechanism the paper
+// assumes when excluding procedure returns from indirect branch prediction
+// (§2, [KE91]). It exists to verify that premise on workloads that emit
+// call/return records.
+package ras
+
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// Stack is a bounded return address stack. When the stack overflows, the
+// oldest entry is lost (wrap-around), as in real hardware.
+type Stack struct {
+	buf   []uint32
+	top   int // index of the next free slot
+	count int // valid entries, <= len(buf)
+	// Overflows counts pushes that destroyed an older entry.
+	Overflows int
+	// Underflows counts pops from an empty stack.
+	Underflows int
+}
+
+// New returns a stack holding up to depth return addresses.
+func New(depth int) *Stack {
+	if depth <= 0 {
+		panic(fmt.Sprintf("ras: depth must be positive, got %d", depth))
+	}
+	return &Stack{buf: make([]uint32, depth)}
+}
+
+// Depth returns the stack capacity.
+func (s *Stack) Depth() int { return len(s.buf) }
+
+// Len returns the number of live entries.
+func (s *Stack) Len() int { return s.count }
+
+// Push records the return address of a call.
+func (s *Stack) Push(returnAddr uint32) {
+	s.buf[s.top] = returnAddr
+	s.top = (s.top + 1) % len(s.buf)
+	if s.count == len(s.buf) {
+		s.Overflows++
+	} else {
+		s.count++
+	}
+}
+
+// Predict returns the address the next return is predicted to transfer to
+// (the top of stack) without popping.
+func (s *Stack) Predict() (uint32, bool) {
+	if s.count == 0 {
+		return 0, false
+	}
+	i := (s.top - 1 + len(s.buf)) % len(s.buf)
+	return s.buf[i], true
+}
+
+// Pop removes and returns the top entry. It returns 0, false on underflow.
+func (s *Stack) Pop() (uint32, bool) {
+	if s.count == 0 {
+		s.Underflows++
+		return 0, false
+	}
+	s.top = (s.top - 1 + len(s.buf)) % len(s.buf)
+	s.count--
+	return s.buf[s.top], true
+}
+
+// Reset clears the stack (keeping the overflow/underflow counters).
+func (s *Stack) Reset() {
+	s.top, s.count = 0, 0
+}
+
+// Result summarizes a return-prediction simulation.
+type Result struct {
+	Returns int
+	Misses  int
+}
+
+// MissRate returns the return misprediction rate in percent.
+func (r Result) MissRate() float64 {
+	if r.Returns == 0 {
+		return 0
+	}
+	return 100 * float64(r.Misses) / float64(r.Returns)
+}
+
+// Simulate replays the trace against a return address stack of the given
+// depth: call-kind records push their fall-through address (PC+4), return
+// records are predicted by the top of stack and then popped.
+func Simulate(tr trace.Trace, depth int) Result {
+	s := New(depth)
+	var res Result
+	for _, r := range tr {
+		switch r.Kind {
+		case trace.IndirectCall, trace.VirtualCall, trace.DirectCall:
+			s.Push(r.PC + 4)
+		case trace.Return:
+			res.Returns++
+			pred, ok := s.Predict()
+			s.Pop()
+			if !ok || pred != r.Target {
+				res.Misses++
+			}
+		}
+	}
+	return res
+}

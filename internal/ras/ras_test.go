@@ -1,0 +1,136 @@
+package ras
+
+import (
+	"testing"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+func TestStackLIFO(t *testing.T) {
+	s := New(8)
+	for _, v := range []uint32{0x10, 0x20, 0x30} {
+		s.Push(v)
+	}
+	if top, ok := s.Predict(); !ok || top != 0x30 {
+		t.Fatalf("Predict = %#x, %v", top, ok)
+	}
+	for _, want := range []uint32{0x30, 0x20, 0x10} {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %#x, want %#x", got, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("pop from empty stack succeeded")
+	}
+	if s.Underflows != 1 {
+		t.Errorf("Underflows = %d", s.Underflows)
+	}
+}
+
+func TestStackOverflowWraps(t *testing.T) {
+	s := New(2)
+	s.Push(1 * 4)
+	s.Push(2 * 4)
+	s.Push(3 * 4) // destroys the oldest (1*4)
+	if s.Overflows != 1 {
+		t.Fatalf("Overflows = %d", s.Overflows)
+	}
+	if got, _ := s.Pop(); got != 3*4 {
+		t.Errorf("Pop = %#x", got)
+	}
+	if got, _ := s.Pop(); got != 2*4 {
+		t.Errorf("Pop = %#x", got)
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("entry 1 should have been destroyed by wrap-around")
+	}
+}
+
+func TestStackDepthAndReset(t *testing.T) {
+	s := New(4)
+	if s.Depth() != 4 || s.Len() != 0 {
+		t.Errorf("Depth/Len: %d/%d", s.Depth(), s.Len())
+	}
+	s.Push(4)
+	s.Push(8)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Errorf("Len after Reset = %d", s.Len())
+	}
+	if _, ok := s.Predict(); ok {
+		t.Error("Predict on empty stack succeeded")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// nested builds a trace of properly nested calls and returns, depth-first.
+func nested(depth int) trace.Trace {
+	var out trace.Trace
+	var rec func(level int, base uint32)
+	rec = func(level int, base uint32) {
+		if level == 0 {
+			return
+		}
+		callPC := base
+		out = append(out, trace.Record{PC: callPC, Target: base + 0x100, Kind: trace.VirtualCall, Gap: 3})
+		rec(level-1, base+0x100)
+		out = append(out, trace.Record{PC: base + 0x100 + 0x1C, Target: callPC + 4, Kind: trace.Return, Gap: 2})
+	}
+	for i := 0; i < 20; i++ {
+		rec(depth, 0x1000+uint32(i)*0x1000)
+	}
+	return out
+}
+
+func TestSimulatePerfectlyNested(t *testing.T) {
+	res := Simulate(nested(5), 16)
+	if res.Returns != 100 {
+		t.Fatalf("Returns = %d", res.Returns)
+	}
+	if res.Misses != 0 {
+		t.Errorf("deep-enough RAS missed %d returns", res.Misses)
+	}
+	if res.MissRate() != 0 {
+		t.Errorf("MissRate = %v", res.MissRate())
+	}
+}
+
+func TestSimulateShallowStackOverflows(t *testing.T) {
+	res := Simulate(nested(8), 2)
+	if res.Misses == 0 {
+		t.Error("depth-2 RAS on depth-8 nesting should miss")
+	}
+	if res.MissRate() <= 0 || res.MissRate() > 100 {
+		t.Errorf("MissRate = %v", res.MissRate())
+	}
+}
+
+func TestSimulateEmptyTrace(t *testing.T) {
+	res := Simulate(nil, 8)
+	if res.Returns != 0 || res.MissRate() != 0 {
+		t.Errorf("empty trace: %+v", res)
+	}
+}
+
+func TestSimulateIgnoresJumps(t *testing.T) {
+	tr := trace.Trace{
+		{PC: 0x1000, Target: 0x2000, Kind: trace.IndirectJump, Gap: 1},
+		{PC: 0x1004, Target: 0x3000, Kind: trace.SwitchJump, Gap: 1},
+	}
+	res := Simulate(tr, 8)
+	if res.Returns != 0 {
+		t.Errorf("jumps counted as returns: %+v", res)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import "github.com/oocsb/ibp/internal/trace"
+
+// OracleStatic returns the misprediction rate (percent) of a perfect static
+// predictor: each site always predicts its overall most frequent target,
+// chosen with full knowledge of the trace. It bounds what profile-guided
+// (compile-time) devirtualization could achieve and separates a benchmark's
+// "dominant target" predictability from its history predictability
+// (cf. Driesen & Hölzle, "Limits of Indirect Branch Prediction", TRCS97-10).
+func OracleStatic(tr trace.Trace) float64 {
+	counts := make(map[uint32]map[uint32]int)
+	total := 0
+	for _, r := range tr {
+		if !r.Kind.Indirect() {
+			continue
+		}
+		m := counts[r.PC]
+		if m == nil {
+			m = make(map[uint32]int)
+			counts[r.PC] = m
+		}
+		m[r.Target]++
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	hits := 0
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		hits += best
+	}
+	return 100 * float64(total-hits) / float64(total)
+}
+
+// OracleFirstOrder returns the misprediction rate (percent) of a perfect
+// first-order predictor: for each (site, previous target at that site) pair
+// it predicts the most frequent successor, again with full knowledge of the
+// trace. It bounds what any per-branch (s=2, p=1) predictor could learn.
+func OracleFirstOrder(tr trace.Trace) float64 {
+	type key struct{ pc, prev uint32 }
+	counts := make(map[key]map[uint32]int)
+	last := make(map[uint32]uint32)
+	seen := make(map[uint32]bool)
+	total := 0
+	for _, r := range tr {
+		if !r.Kind.Indirect() {
+			continue
+		}
+		if seen[r.PC] {
+			k := key{r.PC, last[r.PC]}
+			m := counts[k]
+			if m == nil {
+				m = make(map[uint32]int)
+				counts[k] = m
+			}
+			m[r.Target]++
+			total++
+		}
+		last[r.PC] = r.Target
+		seen[r.PC] = true
+	}
+	if total == 0 {
+		return 0
+	}
+	hits := 0
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		hits += best
+	}
+	return 100 * float64(total-hits) / float64(total)
+}

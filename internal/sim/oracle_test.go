@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+func TestOracleStatic(t *testing.T) {
+	// 70/30 split at one site: the oracle always predicts the majority
+	// target, missing exactly 30%.
+	var tr trace.Trace
+	for i := 0; i < 100; i++ {
+		tgt := uint32(0x2000)
+		if i%10 >= 7 {
+			tgt = 0x3000
+		}
+		tr = append(tr, trace.Record{PC: 0x1000, Target: tgt, Kind: trace.VirtualCall, Gap: 1})
+	}
+	if got := OracleStatic(tr); got != 30 {
+		t.Errorf("OracleStatic = %v, want 30", got)
+	}
+	if got := OracleStatic(nil); got != 0 {
+		t.Errorf("empty OracleStatic = %v", got)
+	}
+}
+
+func TestOracleFirstOrderBeatsStaticOnCycle(t *testing.T) {
+	// A period-2 cycle is 50% for the static oracle but 0% for the
+	// first-order oracle (the previous target determines the next).
+	tr := cycleTrace(0x1000, []uint32{0x2000, 0x3000}, 200)
+	if got := OracleStatic(tr); got != 50 {
+		t.Errorf("OracleStatic = %v, want 50", got)
+	}
+	if got := OracleFirstOrder(tr); got != 0 {
+		t.Errorf("OracleFirstOrder = %v, want 0", got)
+	}
+	if got := OracleFirstOrder(nil); got != 0 {
+		t.Errorf("empty OracleFirstOrder = %v", got)
+	}
+}
+
+func TestOraclesLowerBoundPredictors(t *testing.T) {
+	// On any stream, no realizable BTB beats the static oracle by more
+	// than warm-up effects allow; check the ordering on a mixed stream.
+	tr := append(cycleTrace(0x1000, []uint32{0x2000, 0x3000, 0x4000}, 200),
+		cycleTrace(0x2000, []uint32{0x5000}, 100)...)
+	static := OracleStatic(tr)
+	first := OracleFirstOrder(tr)
+	btb := MissRate(core.NewBTB(nil, core.UpdateTwoMiss), tr)
+	if first > static {
+		t.Errorf("first-order oracle (%v) worse than static (%v)", first, static)
+	}
+	if btb < first-1 {
+		t.Errorf("BTB (%v) beat the first-order oracle (%v)", btb, first)
+	}
+}
+
+func TestFlushEveryHurtsLearnedState(t *testing.T) {
+	tr := cycleTrace(0x1000, []uint32{0x2000, 0x3000, 0x4000}, 500)
+	mk := func() core.Predictor {
+		return core.MustTwoLevel(core.Config{PathLength: 1, Precision: core.AutoPrecision})
+	}
+	clean := Run(mk(), tr, Options{})
+	flushed := Run(mk(), tr, Options{FlushEvery: 50})
+	if flushed.Misses <= clean.Misses {
+		t.Errorf("flushing every 50 branches: %d misses vs %d clean", flushed.Misses, clean.Misses)
+	}
+	// Roughly: each flush costs ~3 cold misses (one per pattern).
+	if flushed.Misses < clean.Misses+20 {
+		t.Errorf("flush cost implausibly low: %d vs %d", flushed.Misses, clean.Misses)
+	}
+}

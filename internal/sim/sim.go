@@ -1,0 +1,169 @@
+// Package sim drives predictors over branch traces and accounts for
+// mispredictions the way the paper does: every dynamic indirect branch is
+// predicted then resolved; a missing prediction counts as a misprediction;
+// returns are excluded (they belong to the return address stack); and an
+// optional unbounded shadow twin attributes misses to capacity/conflict
+// effects (§5.1).
+package sim
+
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// Options controls a simulation run.
+type Options struct {
+	// Warmup is the number of leading indirect branches excluded from the
+	// accounting (they still train the predictor). The paper skips
+	// initialization phases of two benchmarks the same way (§2).
+	Warmup int
+	// Shadow, when non-nil, is an unbounded predictor with the same key
+	// function as the subject; a subject miss that the shadow predicts
+	// correctly is counted as a capacity/conflict miss.
+	Shadow core.Predictor
+	// Sites enables per-site accounting (used for benchmark analysis).
+	Sites bool
+	// FlushEvery clears all predictor state every N indirect branches,
+	// modelling context switches that lose the predictor's contents
+	// (cf. [ECP96]). 0 disables flushing. Requires a predictor
+	// implementing core.Resetter; others are left untouched.
+	FlushEvery int
+}
+
+// SiteStats is the per-branch-site accounting collected when Options.Sites
+// is set.
+type SiteStats struct {
+	Executed int
+	Misses   int
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	// Executed is the number of indirect branches counted (after warmup).
+	Executed int
+	// Misses is the number of mispredictions (wrong target or no
+	// prediction).
+	Misses int
+	// NoPrediction is the subset of Misses where the predictor produced
+	// no target at all.
+	NoPrediction int
+	// CapacityMisses is the subset of Misses the unbounded shadow twin
+	// predicted correctly (only populated when a shadow was supplied).
+	CapacityMisses int
+	// Warmup is the number of indirect branches excluded from accounting.
+	Warmup int
+	// PerSite holds per-site counts when requested.
+	PerSite map[uint32]*SiteStats
+}
+
+// MissRate returns the misprediction rate in percent.
+func (r Result) MissRate() float64 {
+	if r.Executed == 0 {
+		return 0
+	}
+	return 100 * float64(r.Misses) / float64(r.Executed)
+}
+
+// CapacityRate returns the capacity/conflict misprediction rate in percent.
+func (r Result) CapacityRate() float64 {
+	if r.Executed == 0 {
+		return 0
+	}
+	return 100 * float64(r.CapacityMisses) / float64(r.Executed)
+}
+
+// String renders the result as a one-line report.
+func (r Result) String() string {
+	s := fmt.Sprintf("%.2f%% misses (%d/%d, %d no-prediction)",
+		r.MissRate(), r.Misses, r.Executed, r.NoPrediction)
+	if r.CapacityMisses > 0 {
+		s += fmt.Sprintf(", %.2f%% capacity", r.CapacityRate())
+	}
+	return s
+}
+
+// Run simulates the predictor over the trace. Conditional-branch records are
+// delivered to predictors implementing core.CondObserver; return records are
+// skipped (see the ras package).
+func Run(p core.Predictor, tr trace.Trace, opts Options) Result {
+	res := Result{Warmup: opts.Warmup}
+	if opts.Sites {
+		res.PerSite = make(map[uint32]*SiteStats)
+	}
+	condObs, _ := p.(core.CondObserver)
+	var shadowObs core.CondObserver
+	if opts.Shadow != nil {
+		shadowObs, _ = opts.Shadow.(core.CondObserver)
+	}
+	resetter, _ := p.(core.Resetter)
+	var shadowResetter core.Resetter
+	if opts.Shadow != nil {
+		shadowResetter, _ = opts.Shadow.(core.Resetter)
+	}
+	seen := 0
+	for _, r := range tr {
+		switch {
+		case r.Kind == trace.Cond:
+			if condObs != nil {
+				condObs.ObserveCond(r.PC, r.Target, r.Target != 0)
+			}
+			if shadowObs != nil {
+				shadowObs.ObserveCond(r.PC, r.Target, r.Target != 0)
+			}
+			continue
+		case !r.Kind.Indirect():
+			continue
+		}
+		if opts.FlushEvery > 0 && seen > 0 && seen%opts.FlushEvery == 0 {
+			if resetter != nil {
+				resetter.Reset()
+			}
+			if shadowResetter != nil {
+				shadowResetter.Reset()
+			}
+		}
+		pred, ok := p.Predict(r.PC)
+		p.Update(r.PC, r.Target)
+		var shadowCorrect bool
+		if opts.Shadow != nil {
+			st, sok := opts.Shadow.Predict(r.PC)
+			opts.Shadow.Update(r.PC, r.Target)
+			shadowCorrect = sok && st == r.Target
+		}
+		seen++
+		if seen <= opts.Warmup {
+			continue
+		}
+		res.Executed++
+		miss := !ok || pred != r.Target
+		if miss {
+			res.Misses++
+			if !ok {
+				res.NoPrediction++
+			}
+			if shadowCorrect {
+				res.CapacityMisses++
+			}
+		}
+		if res.PerSite != nil {
+			ss := res.PerSite[r.PC]
+			if ss == nil {
+				ss = &SiteStats{}
+				res.PerSite[r.PC] = ss
+			}
+			ss.Executed++
+			if miss {
+				ss.Misses++
+			}
+		}
+	}
+	return res
+}
+
+// MissRate is a convenience wrapper: simulate and return the misprediction
+// percentage with default options.
+func MissRate(p core.Predictor, tr trace.Trace) float64 {
+	return Run(p, tr, Options{}).MissRate()
+}

@@ -1,0 +1,151 @@
+// Package stats implements the paper's benchmark grouping (Table 3) and the
+// result-table plumbing shared by all experiments: building, averaging,
+// rendering and exporting tables of misprediction rates.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+// Group names per Table 3.
+const (
+	GroupAVG    = "AVG"        // AVG-100 plus AVG-200 (13 programs)
+	GroupOO     = "AVG-OO"     // the OO benchmarks of Table 1
+	GroupC      = "AVG-C"      // C benchmarks excluding AVG-infreq
+	Group100    = "AVG-100"    // fewer than 100 instructions per indirect
+	Group200    = "AVG-200"    // between 100 and 200 instructions per indirect
+	GroupInfreq = "AVG-infreq" // more than 1,000 instructions per indirect
+)
+
+// GroupNames lists the groups in presentation order.
+func GroupNames() []string {
+	return []string{GroupAVG, GroupOO, GroupC, Group100, Group200, GroupInfreq}
+}
+
+// GroupsFor returns the groups a benchmark belongs to, derived from the
+// paper's dynamic instruction densities (Table 3 criteria).
+func GroupsFor(m workload.Meta) []string {
+	var out []string
+	ipi := m.InstrPerIndirect
+	switch {
+	case ipi > 1000:
+		out = append(out, GroupInfreq)
+	case ipi < 100:
+		out = append(out, GroupAVG, Group100)
+	default:
+		out = append(out, GroupAVG, Group200)
+	}
+	if ipi <= 1000 {
+		if m.OO() {
+			out = append(out, GroupOO)
+		} else {
+			out = append(out, GroupC)
+		}
+	}
+	return out
+}
+
+// InGroup reports whether the benchmark belongs to the named group.
+func InGroup(m workload.Meta, group string) bool {
+	for _, g := range GroupsFor(m) {
+		if g == group {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupAverage computes the arithmetic mean of per-benchmark values over the
+// members of a group (the paper reports arithmetic averages). Benchmarks
+// missing from values are skipped.
+func GroupAverage(values map[string]float64, group string) (float64, int) {
+	sum, n := 0.0, 0
+	for _, cfg := range workload.Suite() {
+		v, ok := values[cfg.Name]
+		if !ok || !InGroup(cfg.Meta, group) {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// Average is the arithmetic mean of all values.
+func Average(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// WithGroups extends a per-benchmark value map with one entry per group
+// average, keyed by the group name.
+func WithGroups(values map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(values)+6)
+	for k, v := range values {
+		out[k] = v
+	}
+	for _, g := range GroupNames() {
+		if avg, n := GroupAverage(values, g); n > 0 {
+			out[g] = avg
+		}
+	}
+	return out
+}
+
+// SortedKeys returns the map keys sorted: suite benchmarks first in suite
+// order, then groups, then anything else alphabetically.
+func SortedKeys(values map[string]float64) []string {
+	rank := make(map[string]int)
+	for i, name := range workload.Names() {
+		rank[name] = i
+	}
+	for i, g := range GroupNames() {
+		rank[g] = 100 + i
+	}
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ri, iok := rank[keys[i]]
+		rj, jok := rank[keys[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return keys[i] < keys[j]
+		}
+	})
+	return keys
+}
+
+// MinIndex returns the index of the smallest value (first on ties), or -1
+// for an empty slice.
+func MinIndex(values []float64) int {
+	best := -1
+	for i, v := range values {
+		if best < 0 || v < values[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Fmt renders a misprediction rate like the paper's tables ("5.95").
+func Fmt(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+func metaFor(t *testing.T, name string) workload.Meta {
+	t.Helper()
+	cfg, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.Meta
+}
+
+func TestGroupsForMatchesPaperTable3(t *testing.T) {
+	// Spot checks against the paper's groups.
+	cases := map[string][]string{
+		"idl":     {GroupAVG, Group100, GroupOO},
+		"xlisp":   {GroupAVG, Group100, GroupC},
+		"perl":    {GroupAVG, Group200, GroupC},
+		"beta":    {GroupAVG, Group200, GroupOO},
+		"gcc":     {GroupAVG, Group200, GroupC},
+		"go":      {GroupInfreq},
+		"m88ksim": {GroupInfreq},
+	}
+	for name, want := range cases {
+		got := GroupsFor(metaFor(t, name))
+		if len(got) != len(want) {
+			t.Errorf("%s: groups %v, want %v", name, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: groups %v, want %v", name, got, want)
+			}
+		}
+	}
+}
+
+func TestGroupSizesMatchPaper(t *testing.T) {
+	// Table 3: AVG=13, AVG-OO=9, AVG-C=4, AVG-100=6, AVG-200=7, infreq=4.
+	want := map[string]int{
+		GroupAVG: 13, GroupOO: 9, GroupC: 4,
+		Group100: 6, Group200: 7, GroupInfreq: 4,
+	}
+	for group, n := range want {
+		count := 0
+		for _, cfg := range workload.Suite() {
+			if InGroup(cfg.Meta, group) {
+				count++
+			}
+		}
+		if count != n {
+			t.Errorf("group %s has %d members, paper says %d", group, count, n)
+		}
+	}
+}
+
+func TestGroupAverage(t *testing.T) {
+	values := map[string]float64{}
+	for _, cfg := range workload.Suite() {
+		values[cfg.Name] = 10
+	}
+	values["gcc"] = 23 // AVG (13 members) average shifts by 1
+	avg, n := GroupAverage(values, GroupAVG)
+	if n != 13 {
+		t.Fatalf("AVG n = %d", n)
+	}
+	if avg != 11 {
+		t.Errorf("AVG = %v, want 11", avg)
+	}
+	if _, n := GroupAverage(map[string]float64{}, GroupAVG); n != 0 {
+		t.Errorf("empty values gave n=%d", n)
+	}
+}
+
+func TestWithGroupsAndSortedKeys(t *testing.T) {
+	values := map[string]float64{}
+	for _, cfg := range workload.Suite() {
+		values[cfg.Name] = 5
+	}
+	ext := WithGroups(values)
+	for _, g := range GroupNames() {
+		if v, ok := ext[g]; !ok || v != 5 {
+			t.Errorf("group %s = %v, %v", g, v, ok)
+		}
+	}
+	keys := SortedKeys(ext)
+	if keys[0] != "idl" {
+		t.Errorf("first key %q, want idl", keys[0])
+	}
+	// Groups come after all benchmarks.
+	if keys[len(keys)-6] != GroupAVG {
+		t.Errorf("keys tail: %v", keys[len(keys)-6:])
+	}
+}
+
+func TestAverageAndMinIndex(t *testing.T) {
+	if Average(nil) != 0 {
+		t.Error("Average(nil)")
+	}
+	if got := Average([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Average = %v", got)
+	}
+	if MinIndex(nil) != -1 {
+		t.Error("MinIndex(nil)")
+	}
+	if got := MinIndex([]float64{3, 1, 2, 1}); got != 1 {
+		t.Errorf("MinIndex = %d", got)
+	}
+}
+
+func TestTableSetGet(t *testing.T) {
+	tb := NewTable("Figure X", "bench", "a", "b")
+	tb.Set("r1", "a", 1.5)
+	tb.Set("r1", "b", 2.5)
+	tb.Set("r2", "b", 3.5)
+	tb.Set("r2", "c", 4.5) // new column on the fly
+	if v, ok := tb.Get("r1", "a"); !ok || v != 1.5 {
+		t.Errorf("Get r1/a = %v, %v", v, ok)
+	}
+	if _, ok := tb.Get("r2", "a"); ok {
+		t.Error("unset cell reported present")
+	}
+	if _, ok := tb.Get("nope", "a"); ok {
+		t.Error("missing row reported present")
+	}
+	if len(tb.Cols) != 3 {
+		t.Errorf("Cols = %v", tb.Cols)
+	}
+	row := tb.Row("r2")
+	if len(row) != 3 || row[1] != 3.5 || row[2] != 4.5 {
+		t.Errorf("Row = %v", row)
+	}
+	if rows := tb.Rows(); len(rows) != 2 || rows[0] != "r1" {
+		t.Errorf("Rows = %v", rows)
+	}
+}
+
+func TestTableAddRow(t *testing.T) {
+	tb := NewTable("T", "k", "x", "y")
+	tb.AddRow("r", 1, 2)
+	if v, _ := tb.Get("r", "y"); v != 2 {
+		t.Errorf("AddRow cell = %v", v)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Figure 9", "bench", "p0", "p1")
+	tb.AddRow("gcc", 65.7, 17.5)
+	tb.AddRow("AVG", 24.9, 13.1)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"Figure 9", "bench", "gcc", "65.70", "13.10"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", "bench", "p0")
+	tb.AddRow("gcc", 65.7)
+	tb.Set("idl", "p1", 1.0) // leaves p0 unset
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines: %v", lines)
+	}
+	if lines[0] != "bench,p0,p1" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "gcc,65.7") {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "idl,,1") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestFmt(t *testing.T) {
+	if Fmt(5.954) != "5.95" {
+		t.Errorf("Fmt = %q", Fmt(5.954))
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := NewTable("Figure 9", "bench", "p0", "p1")
+	tb.AddRow("gcc", 65.7, 17.5)
+	tb.Set("idl", "p0", 2.4) // p1 unset
+	var buf bytes.Buffer
+	if err := tb.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"**Figure 9**",
+		"| bench | p0 | p1 |",
+		"|---|---|---|",
+		"| gcc | 65.70 | 17.50 |",
+		"| idl | 2.40 |  |",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+}

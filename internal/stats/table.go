@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Table is a labelled grid of float64 cells — one experiment output (a paper
+// figure's series or a paper table).
+type Table struct {
+	// Title names the experiment artifact, e.g. "Figure 9".
+	Title string
+	// RowHeader labels the row-key column, e.g. "benchmark".
+	RowHeader string
+	// Cols are column labels, e.g. path lengths.
+	Cols []string
+	rows []string
+	data map[string][]float64
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(title, rowHeader string, cols ...string) *Table {
+	return &Table{
+		Title:     title,
+		RowHeader: rowHeader,
+		Cols:      cols,
+		data:      make(map[string][]float64),
+	}
+}
+
+// Set stores a single cell, growing the row as needed. Unset cells are NaN.
+func (t *Table) Set(row, col string, v float64) {
+	ci := t.colIndex(col)
+	if ci < 0 {
+		t.Cols = append(t.Cols, col)
+		ci = len(t.Cols) - 1
+	}
+	cells, ok := t.data[row]
+	if !ok {
+		t.rows = append(t.rows, row)
+	}
+	for len(cells) < len(t.Cols) {
+		cells = append(cells, math.NaN())
+	}
+	cells[ci] = v
+	t.data[row] = cells
+}
+
+// AddRow appends a full row of cells in column order.
+func (t *Table) AddRow(row string, cells ...float64) {
+	for i, v := range cells {
+		if i < len(t.Cols) {
+			t.Set(row, t.Cols[i], v)
+		}
+	}
+}
+
+// Get returns the cell value; ok is false for missing cells.
+func (t *Table) Get(row, col string) (float64, bool) {
+	ci := t.colIndex(col)
+	cells, rok := t.data[row]
+	if ci < 0 || !rok || ci >= len(cells) || math.IsNaN(cells[ci]) {
+		return 0, false
+	}
+	return cells[ci], true
+}
+
+// Row returns the cells of a row in column order (NaN for unset).
+func (t *Table) Row(row string) []float64 {
+	cells := t.data[row]
+	out := make([]float64, len(t.Cols))
+	for i := range out {
+		if i < len(cells) {
+			out[i] = cells[i]
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// Rows returns the row labels in insertion order.
+func (t *Table) Rows() []string { return t.rows }
+
+func (t *Table) colIndex(col string) int {
+	for i, c := range t.Cols {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		fmt.Fprintf(bw, "## %s\n", t.Title)
+	}
+	rowW := len(t.RowHeader)
+	for _, r := range t.rows {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	colW := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		colW[i] = len(c)
+		if colW[i] < 6 {
+			colW[i] = 6
+		}
+	}
+	fmt.Fprintf(bw, "%-*s", rowW, t.RowHeader)
+	for i, c := range t.Cols {
+		fmt.Fprintf(bw, "  %*s", colW[i], c)
+	}
+	fmt.Fprintln(bw)
+	for _, r := range t.rows {
+		fmt.Fprintf(bw, "%-*s", rowW, r)
+		cells := t.data[r]
+		for i := range t.Cols {
+			s := ""
+			if i < len(cells) && !math.IsNaN(cells[i]) {
+				s = strconv.FormatFloat(cells[i], 'f', 2, 64)
+			}
+			fmt.Fprintf(bw, "  %*s", colW[i], s)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// RenderMarkdown writes the table as a GitHub-flavoured markdown table.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		fmt.Fprintf(bw, "**%s**\n\n", t.Title)
+	}
+	fmt.Fprintf(bw, "| %s |", t.RowHeader)
+	for _, c := range t.Cols {
+		fmt.Fprintf(bw, " %s |", c)
+	}
+	fmt.Fprint(bw, "\n|---|")
+	for range t.Cols {
+		fmt.Fprint(bw, "---|")
+	}
+	fmt.Fprintln(bw)
+	for _, r := range t.rows {
+		fmt.Fprintf(bw, "| %s |", r)
+		cells := t.data[r]
+		for i := range t.Cols {
+			s := ""
+			if i < len(cells) && !math.IsNaN(cells[i]) {
+				s = strconv.FormatFloat(cells[i], 'f', 2, 64)
+			}
+			fmt.Fprintf(bw, " %s |", s)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteCSV exports the table as CSV with the row header as the first column.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.RowHeader}, t.Cols...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		rec := make([]string, 0, len(t.Cols)+1)
+		rec = append(rec, r)
+		cells := t.data[r]
+		for i := range t.Cols {
+			if i < len(cells) && !math.IsNaN(cells[i]) {
+				rec = append(rec, strconv.FormatFloat(cells[i], 'f', 4, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

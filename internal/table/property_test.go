@@ -1,0 +1,105 @@
+package table
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSetAssocFullWaysEqualsFullAssoc: a set-associative table whose
+// associativity equals its capacity has a single set with true LRU, i.e. it
+// must behave exactly like the fully-associative table on any traffic.
+func TestSetAssocFullWaysEqualsFullAssoc(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		const entries = 16
+		sa := NewSetAssoc(entries, entries)
+		fa := NewFullAssoc(entries)
+		rng := rand.New(rand.NewPCG(uint64(trial), 77))
+		for step := 0; step < 5000; step++ {
+			key := uint64(rng.IntN(64))
+			se := sa.Probe(key)
+			fe := fa.Probe(key)
+			if (se == nil) != (fe == nil) {
+				t.Fatalf("trial %d step %d: hit mismatch for key %d", trial, step, key)
+			}
+			if se == nil {
+				tgt := rng.Uint32()
+				sa.Insert(key).Target = tgt
+				fa.Insert(key).Target = tgt
+			} else if se.Target != fe.Target {
+				t.Fatalf("trial %d step %d: targets differ: %d vs %d", trial, step, se.Target, fe.Target)
+			}
+		}
+	}
+}
+
+// TestVictimPredictsEviction: the entry returned by Victim is exactly the
+// entry whose contents vanish after Insert (for tagged tables).
+func TestVictimPredictsEviction(t *testing.T) {
+	makers := []func() Bounded{
+		func() Bounded { return NewSetAssoc(16, 4) },
+		func() Bounded { return NewSetAssoc(16, 1) },
+		func() Bounded { return NewFullAssoc(16) },
+		func() Bounded { return NewTagless(16) },
+	}
+	for _, mk := range makers {
+		tb := mk()
+		rng := rand.New(rand.NewPCG(5, 6))
+		for step := 0; step < 3000; step++ {
+			key := uint64(rng.IntN(80))
+			if tb.Probe(key) != nil {
+				continue
+			}
+			victim := tb.Victim(key)
+			var victimKey uint64
+			hadVictim := victim != nil
+			if hadVictim {
+				victimKey = victim.Key()
+			}
+			tb.Insert(key).Target = uint32(step)
+			if hadVictim && victimKey != key {
+				if _, isTagless := tb.(*Tagless); !isTagless {
+					if tb.Probe(victimKey) != nil {
+						t.Fatalf("%s: victim key %d still present after Insert(%d)",
+							tb.Kind(), victimKey, key)
+					}
+				}
+			}
+			if got := tb.Probe(key); got == nil || got.Target != uint32(step) {
+				t.Fatalf("%s: inserted key %d not found", tb.Kind(), key)
+			}
+		}
+	}
+}
+
+// TestUnboundedIsSupersetOfBounded: any key a bounded table predicts, the
+// unbounded table predicts identically when driven with the same traffic
+// (bounded tables only lose information, never invent it).
+func TestUnboundedIsSupersetOfBounded(t *testing.T) {
+	bounded := NewSetAssoc(32, 2)
+	unbounded := NewUnbounded64()
+	rng := rand.New(rand.NewPCG(8, 9))
+	for step := 0; step < 5000; step++ {
+		key := uint64(rng.IntN(300))
+		be := bounded.Probe(key)
+		ue := unbounded.Probe(key)
+		if be != nil {
+			if ue == nil {
+				t.Fatalf("step %d: bounded has key %d, unbounded lost it", step, key)
+			}
+			if be.Target != ue.Target {
+				t.Fatalf("step %d: key %d targets differ: %d vs %d", step, key, be.Target, ue.Target)
+			}
+		}
+		tgt := rng.Uint32()
+		if be == nil {
+			bounded.Insert(key).Target = tgt
+		} else {
+			be.Target = tgt
+		}
+		if ue == nil {
+			unbounded.Insert(key).Target = tgt
+		} else {
+			ue.Target = tgt
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package table implements the second level of the predictors: target
+// tables. The paper's progression from ideal to implementable hardware maps
+// to four bounded organizations over 64-bit keys — fully-associative LRU,
+// set-associative (1/2/4-way, LRU per set), direct-mapped tagged (1-way),
+// and tagless direct-mapped — plus unbounded map-backed tables used for the
+// §3 unconstrained experiments and for capacity-miss attribution.
+package table
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Entry is one target-table entry. Beyond the predicted target it carries
+// the hysteresis bit of the two-miss update rule (§3.1 "2bc") and the
+// confidence counter used for hybrid metaprediction (§6.1). The tag and
+// valid bit are managed by the owning table.
+type Entry struct {
+	key   uint64
+	valid bool
+	// Target is the predicted target address.
+	Target uint32
+	// Hyst is the hysteresis state of the two-miss update rule: nonzero
+	// when the previous access to this entry was a misprediction.
+	Hyst uint8
+	// Conf is the saturating confidence counter (§6.1). Tables reset it
+	// to zero when an entry is replaced.
+	Conf uint8
+	// Chosen is the auxiliary counter of the paper's §8.1 shared-table
+	// hybrid: how often this entry's prediction was selected.
+	Chosen uint8
+	// Next is the predicted address of the next indirect branch (the
+	// §8.1 run-ahead extension); zero when unknown.
+	Next uint32
+}
+
+// Valid reports whether the entry currently holds a prediction.
+func (e *Entry) Valid() bool { return e.valid }
+
+// Key returns the full key stored with the entry (the tag).
+func (e *Entry) Key() uint64 { return e.key }
+
+// reset prepares the entry for a new key; replacing an entry resets all
+// counters (§6.1).
+func (e *Entry) reset(key uint64) {
+	e.key = key
+	e.valid = true
+	e.Target = 0
+	e.Hyst = 0
+	e.Conf = 0
+	e.Chosen = 0
+	e.Next = 0
+}
+
+// Bounded is a prediction table over 64-bit keys. The predictor calls Probe
+// first; on nil it may call Insert to allocate an entry (choosing a victim
+// if the table is full). Probe updates recency state on a hit.
+type Bounded interface {
+	// Probe returns the entry for key, or nil if the table has no
+	// prediction for it.
+	Probe(key uint64) *Entry
+	// Insert allocates (possibly by eviction) an entry for key, resets
+	// its fields, and returns it. The caller sets Target afterwards.
+	Insert(key uint64) *Entry
+	// Capacity returns the table size in entries, or -1 if unbounded.
+	Capacity() int
+	// Utilization returns the fraction of entries currently valid
+	// (∈ [0,1]); unbounded tables report 1.
+	Utilization() float64
+	// Victim returns the valid entry that Insert(key) would evict, or nil
+	// if the insertion would not displace a valid entry. It does not
+	// modify the table; the §8.1 shared-table hybrid consults it before
+	// replacing entries.
+	Victim(key uint64) *Entry
+	// Reset clears all entries.
+	Reset()
+	// Kind returns a short organization name for reports, e.g. "assoc2".
+	Kind() string
+}
+
+func checkPow2(n int, what string) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("table: %s must be a positive power of two, got %d", what, n))
+	}
+}
+
+// Tagless is a direct-mapped table without tags: the entry selected by the
+// low-order key bits is returned whatever pattern wrote it, so different
+// patterns interfere — sometimes constructively (§5.2.2).
+type Tagless struct {
+	slots []Entry
+	mask  uint64
+}
+
+// NewTagless returns a tagless table with the given number of entries
+// (a power of two).
+func NewTagless(entries int) *Tagless {
+	checkPow2(entries, "entries")
+	return &Tagless{slots: make([]Entry, entries), mask: uint64(entries - 1)}
+}
+
+// Probe returns the slot indexed by key if it holds any prediction. No tag
+// comparison is performed.
+func (t *Tagless) Probe(key uint64) *Entry {
+	e := &t.slots[key&t.mask]
+	if !e.valid {
+		return nil
+	}
+	return e
+}
+
+// Insert claims the slot indexed by key.
+func (t *Tagless) Insert(key uint64) *Entry {
+	e := &t.slots[key&t.mask]
+	e.reset(key)
+	return e
+}
+
+// Victim implements Bounded.
+func (t *Tagless) Victim(key uint64) *Entry {
+	e := &t.slots[key&t.mask]
+	if !e.valid {
+		return nil
+	}
+	return e
+}
+
+// Capacity implements Bounded.
+func (t *Tagless) Capacity() int { return len(t.slots) }
+
+// Utilization implements Bounded.
+func (t *Tagless) Utilization() float64 { return utilization(t.slots) }
+
+// Reset implements Bounded.
+func (t *Tagless) Reset() { clear(t.slots) }
+
+// Kind implements Bounded.
+func (t *Tagless) Kind() string { return "tagless" }
+
+// SetAssoc is a set-associative table with per-set LRU replacement. Ways=1
+// gives a direct-mapped tagged table. Entries within a set are kept in
+// recency order (index 0 most recent), which is cheap for the small
+// associativities the paper studies (1, 2, 4).
+type SetAssoc struct {
+	ways      int
+	indexBits int
+	mask      uint64
+	slots     []Entry // sets * ways, set-major
+}
+
+// NewSetAssoc returns a table with the given total entries (power of two)
+// and associativity (power of two, dividing entries).
+func NewSetAssoc(entries, ways int) *SetAssoc {
+	checkPow2(entries, "entries")
+	checkPow2(ways, "ways")
+	if ways > entries {
+		panic(fmt.Sprintf("table: ways %d exceeds entries %d", ways, entries))
+	}
+	sets := entries / ways
+	return &SetAssoc{
+		ways:      ways,
+		indexBits: bits.TrailingZeros(uint(sets)),
+		mask:      uint64(sets - 1),
+		slots:     make([]Entry, entries),
+	}
+}
+
+// Ways returns the associativity.
+func (t *SetAssoc) Ways() int { return t.ways }
+
+// set returns the slice of ways for key's set.
+func (t *SetAssoc) set(key uint64) []Entry {
+	i := int(key&t.mask) * t.ways
+	return t.slots[i : i+t.ways]
+}
+
+// Probe implements Bounded: it compares the full key against each way's tag
+// and promotes a hit to most-recently-used.
+func (t *SetAssoc) Probe(key uint64) *Entry {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			if i != 0 {
+				hit := set[i]
+				copy(set[1:i+1], set[:i])
+				set[0] = hit
+			}
+			return &set[0]
+		}
+	}
+	return nil
+}
+
+// Insert implements Bounded: the victim is the least recently used way (or
+// an invalid way if one exists, which is always the last in recency order).
+func (t *SetAssoc) Insert(key uint64) *Entry {
+	set := t.set(key)
+	victim := set[t.ways-1]
+	copy(set[1:], set[:t.ways-1])
+	set[0] = victim
+	set[0].reset(key)
+	return &set[0]
+}
+
+// Victim implements Bounded.
+func (t *SetAssoc) Victim(key uint64) *Entry {
+	set := t.set(key)
+	e := &set[t.ways-1]
+	if !e.valid {
+		return nil
+	}
+	return e
+}
+
+// Capacity implements Bounded.
+func (t *SetAssoc) Capacity() int { return len(t.slots) }
+
+// Utilization implements Bounded.
+func (t *SetAssoc) Utilization() float64 { return utilization(t.slots) }
+
+// Reset implements Bounded.
+func (t *SetAssoc) Reset() { clear(t.slots) }
+
+// Kind implements Bounded.
+func (t *SetAssoc) Kind() string { return fmt.Sprintf("assoc%d", t.ways) }
+
+// FullAssoc is a fully-associative table with true LRU replacement,
+// implemented as a hash map plus an intrusive recency list (§5.1).
+type FullAssoc struct {
+	capacity int
+	m        map[uint64]*faNode
+	mru, lru *faNode
+}
+
+type faNode struct {
+	Entry
+	prev, next *faNode
+}
+
+// NewFullAssoc returns a fully-associative LRU table with the given
+// capacity in entries (any positive count).
+func NewFullAssoc(entries int) *FullAssoc {
+	if entries <= 0 {
+		panic(fmt.Sprintf("table: capacity must be positive, got %d", entries))
+	}
+	return &FullAssoc{capacity: entries, m: make(map[uint64]*faNode, entries)}
+}
+
+func (t *FullAssoc) unlink(n *faNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.mru = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.lru = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (t *FullAssoc) pushFront(n *faNode) {
+	n.next = t.mru
+	if t.mru != nil {
+		t.mru.prev = n
+	}
+	t.mru = n
+	if t.lru == nil {
+		t.lru = n
+	}
+}
+
+// Probe implements Bounded.
+func (t *FullAssoc) Probe(key uint64) *Entry {
+	n := t.m[key]
+	if n == nil {
+		return nil
+	}
+	if t.mru != n {
+		t.unlink(n)
+		t.pushFront(n)
+	}
+	return &n.Entry
+}
+
+// Insert implements Bounded, evicting the least recently used entry when the
+// table is full.
+func (t *FullAssoc) Insert(key uint64) *Entry {
+	if n := t.m[key]; n != nil {
+		// Defensive: reuse an existing entry rather than duplicating.
+		t.unlink(n)
+		t.pushFront(n)
+		n.Entry.reset(key)
+		return &n.Entry
+	}
+	var n *faNode
+	if len(t.m) >= t.capacity {
+		n = t.lru
+		t.unlink(n)
+		delete(t.m, n.key)
+	} else {
+		n = &faNode{}
+	}
+	n.Entry.reset(key)
+	t.m[key] = n
+	t.pushFront(n)
+	return &n.Entry
+}
+
+// Victim implements Bounded.
+func (t *FullAssoc) Victim(key uint64) *Entry {
+	if t.m[key] != nil || len(t.m) < t.capacity {
+		return nil
+	}
+	return &t.lru.Entry
+}
+
+// Capacity implements Bounded.
+func (t *FullAssoc) Capacity() int { return t.capacity }
+
+// Utilization implements Bounded.
+func (t *FullAssoc) Utilization() float64 {
+	return float64(len(t.m)) / float64(t.capacity)
+}
+
+// Reset implements Bounded.
+func (t *FullAssoc) Reset() {
+	clear(t.m)
+	t.mru, t.lru = nil, nil
+}
+
+// Kind implements Bounded.
+func (t *FullAssoc) Kind() string { return "fullassoc" }
+
+// Len returns the number of valid entries.
+func (t *FullAssoc) Len() int { return len(t.m) }
+
+// Unbounded64 is a map-backed table without capacity limits, used for the
+// limited-precision §4 experiments and as the shadow twin that attributes
+// capacity and conflict misses (§5.1).
+type Unbounded64 struct {
+	m map[uint64]*Entry
+}
+
+// NewUnbounded64 returns an empty unbounded table.
+func NewUnbounded64() *Unbounded64 {
+	return &Unbounded64{m: make(map[uint64]*Entry)}
+}
+
+// Probe implements Bounded.
+func (t *Unbounded64) Probe(key uint64) *Entry { return t.m[key] }
+
+// Insert implements Bounded.
+func (t *Unbounded64) Insert(key uint64) *Entry {
+	e := t.m[key]
+	if e == nil {
+		e = &Entry{}
+		t.m[key] = e
+	}
+	e.reset(key)
+	return e
+}
+
+// Victim implements Bounded: an unbounded table never evicts.
+func (t *Unbounded64) Victim(key uint64) *Entry { return nil }
+
+// Capacity implements Bounded (-1: unbounded).
+func (t *Unbounded64) Capacity() int { return -1 }
+
+// Utilization implements Bounded.
+func (t *Unbounded64) Utilization() float64 { return 1 }
+
+// Reset implements Bounded.
+func (t *Unbounded64) Reset() { clear(t.m) }
+
+// Kind implements Bounded.
+func (t *Unbounded64) Kind() string { return "unbounded" }
+
+// Len returns the number of patterns stored (the paper quotes pattern counts
+// per path length, §5.1).
+func (t *Unbounded64) Len() int { return len(t.m) }
+
+// UnboundedStr is the unbounded table over exact byte-string keys used by
+// the §3 full-precision predictors, where keys (selector + p full targets)
+// exceed 64 bits.
+type UnboundedStr struct {
+	m map[string]*Entry
+}
+
+// NewUnboundedStr returns an empty table.
+func NewUnboundedStr() *UnboundedStr {
+	return &UnboundedStr{m: make(map[string]*Entry)}
+}
+
+// Probe returns the entry for key or nil. The []byte key avoids allocation
+// on lookups.
+func (t *UnboundedStr) Probe(key []byte) *Entry { return t.m[string(key)] }
+
+// Insert allocates an entry for key.
+func (t *UnboundedStr) Insert(key []byte) *Entry {
+	e := t.m[string(key)]
+	if e == nil {
+		e = &Entry{}
+		t.m[string(key)] = e
+	}
+	e.reset(0)
+	return e
+}
+
+// Len returns the number of patterns stored.
+func (t *UnboundedStr) Len() int { return len(t.m) }
+
+// Reset clears the table.
+func (t *UnboundedStr) Reset() { clear(t.m) }
+
+func utilization(slots []Entry) float64 {
+	if len(slots) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for i := range slots {
+		if slots[i].valid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(slots))
+}
+
+// New returns a Bounded table of the named organization: "tagless",
+// "assoc1", "assoc2", "assoc4" (or any assoc<2^k>), "fullassoc", or
+// "unbounded". It is the string form accepted by the CLI tools.
+func New(kind string, entries int) (Bounded, error) {
+	switch kind {
+	case "tagless":
+		return NewTagless(entries), nil
+	case "fullassoc":
+		return NewFullAssoc(entries), nil
+	case "unbounded":
+		return NewUnbounded64(), nil
+	}
+	var ways int
+	if _, err := fmt.Sscanf(kind, "assoc%d", &ways); err == nil && ways > 0 {
+		if ways&(ways-1) != 0 || ways > entries {
+			return nil, fmt.Errorf("table: invalid associativity %d for %d entries", ways, entries)
+		}
+		return NewSetAssoc(entries, ways), nil
+	}
+	return nil, fmt.Errorf("table: unknown kind %q", kind)
+}

@@ -1,0 +1,107 @@
+package trace
+
+import "fmt"
+
+// Filter returns the subsequence of records satisfying keep, preserving
+// instruction accounting: the Gap of a dropped record is folded into the
+// next kept record, so Instructions() is invariant over any filter that
+// keeps at least the final record's successor set.
+func (t Trace) Filter(keep func(Record) bool) Trace {
+	out := make(Trace, 0, len(t))
+	var carry uint32
+	for _, r := range t {
+		if !keep(r) {
+			carry += r.Gap
+			continue
+		}
+		r.Gap += carry
+		carry = 0
+		out = append(out, r)
+	}
+	return out
+}
+
+// OfKind returns the records of the given kinds, with gaps folded.
+func (t Trace) OfKind(kinds ...Kind) Trace {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	return t.Filter(func(r Record) bool { return want[r.Kind] })
+}
+
+// Slice returns the subtrace covering the half-open indirect-branch index
+// range [from, to): warm-up skipping and phase isolation for analyses. The
+// records before the from-th indirect branch are dropped; non-indirect
+// records travel with the indirect branch that follows them.
+func (t Trace) Slice(from, to int) (Trace, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("trace: invalid slice [%d, %d)", from, to)
+	}
+	out := make(Trace, 0)
+	seen := 0
+	var pending Trace
+	for _, r := range t {
+		if !r.Kind.Indirect() {
+			pending = append(pending, r)
+			continue
+		}
+		if seen >= from && seen < to {
+			out = append(out, pending...)
+			out = append(out, r)
+		}
+		pending = pending[:0]
+		seen++
+		if seen >= to {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Concat joins traces into one (useful for context-switch studies: the
+// tables see one program's branches, then another's).
+func Concat(traces ...Trace) Trace {
+	n := 0
+	for _, t := range traces {
+		n += len(t)
+	}
+	out := make(Trace, 0, n)
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// Interleave merges traces round-robin in chunks of the given size,
+// approximating fine-grained multiprogramming over a shared predictor.
+func Interleave(chunk int, traces ...Trace) (Trace, error) {
+	if chunk <= 0 {
+		return nil, fmt.Errorf("trace: interleave chunk must be positive, got %d", chunk)
+	}
+	total := 0
+	pos := make([]int, len(traces))
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make(Trace, 0, total)
+	for len(out) < total {
+		progressed := false
+		for i, t := range traces {
+			if pos[i] >= len(t) {
+				continue
+			}
+			end := pos[i] + chunk
+			if end > len(t) {
+				end = len(t)
+			}
+			out = append(out, t[pos[i]:end]...)
+			pos[i] = end
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package trace
+
+import "testing"
+
+func filterSample() Trace {
+	return Trace{
+		{PC: 0x1000, Target: 0x2000, Kind: Cond, Gap: 5},
+		{PC: 0x1004, Target: 0x3000, Kind: VirtualCall, Gap: 10},
+		{PC: 0x1008, Target: 0x4000, Kind: Return, Gap: 3},
+		{PC: 0x100C, Target: 0x5000, Kind: SwitchJump, Gap: 7},
+		{PC: 0x1010, Target: 0x6000, Kind: IndirectJump, Gap: 2},
+	}
+}
+
+func TestFilterFoldsGaps(t *testing.T) {
+	tr := filterSample()
+	ind := tr.Filter(func(r Record) bool { return r.Kind.Indirect() })
+	if len(ind) != 3 {
+		t.Fatalf("kept %d records", len(ind))
+	}
+	// The dropped Cond's 5 instructions fold into the vcall.
+	if ind[0].Gap != 15 {
+		t.Errorf("first gap = %d, want 15", ind[0].Gap)
+	}
+	// The dropped Return's 3 fold into the switch.
+	if ind[1].Gap != 10 {
+		t.Errorf("second gap = %d, want 10", ind[1].Gap)
+	}
+	if ind.Instructions() != tr.Instructions() {
+		t.Errorf("instructions not preserved: %d vs %d", ind.Instructions(), tr.Instructions())
+	}
+}
+
+func TestOfKind(t *testing.T) {
+	tr := filterSample()
+	got := tr.OfKind(VirtualCall, Return)
+	if len(got) != 2 || got[0].Kind != VirtualCall || got[1].Kind != Return {
+		t.Errorf("OfKind: %+v", got)
+	}
+	if len(tr.OfKind()) != 0 {
+		t.Error("OfKind() should keep nothing")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := filterSample()
+	mid, err := tr.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indirect branches are vcall(#0), switch(#1), ijump(#2); [1,3) keeps
+	// the switch (with its preceding return) and the jump.
+	if len(mid) != 3 {
+		t.Fatalf("slice kept %d records: %+v", len(mid), mid)
+	}
+	if mid[0].Kind != Return || mid[1].Kind != SwitchJump || mid[2].Kind != IndirectJump {
+		t.Errorf("slice contents: %+v", mid)
+	}
+	empty, err := tr.Slice(5, 9)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("out-of-range slice: %v, %v", empty, err)
+	}
+	if _, err := tr.Slice(-1, 2); err == nil {
+		t.Error("negative from accepted")
+	}
+	if _, err := tr.Slice(3, 2); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := filterSample()
+	b := filterSample()
+	c := Concat(a, b)
+	if len(c) != len(a)+len(b) {
+		t.Errorf("Concat length %d", len(c))
+	}
+	if len(Concat()) != 0 {
+		t.Error("empty Concat")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := Trace{
+		{PC: 0x1000, Target: 0x2000, Kind: IndirectJump, Gap: 1},
+		{PC: 0x1000, Target: 0x2000, Kind: IndirectJump, Gap: 1},
+		{PC: 0x1000, Target: 0x2000, Kind: IndirectJump, Gap: 1},
+	}
+	b := Trace{
+		{PC: 0x9000, Target: 0x8000, Kind: IndirectJump, Gap: 1},
+	}
+	got, err := Interleave(2, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("interleave length %d", len(got))
+	}
+	want := []uint32{0x1000, 0x1000, 0x9000, 0x1000}
+	for i, pc := range want {
+		if got[i].PC != pc {
+			t.Fatalf("record %d pc %#x, want %#x", i, got[i].PC, pc)
+		}
+	}
+	if _, err := Interleave(0, a); err == nil {
+		t.Error("zero chunk accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead checks that the trace decoder never panics and that anything it
+// accepts re-encodes to a semantically identical trace.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Trace{
+		{PC: 0x1000, Target: 0x2000, Kind: VirtualCall, Gap: 3},
+		{PC: 0x1004, Target: 0x3000, Kind: Return, Gap: 1},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("IBPT"))
+	f.Add([]byte("IBPT\x01\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round trip length %d != %d", len(back), len(tr))
+		}
+		for i := range tr {
+			if back[i] != tr[i] {
+				t.Fatalf("record %d: %+v != %+v", i, back[i], tr[i])
+			}
+		}
+	})
+}

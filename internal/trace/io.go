@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format
+//
+//	magic   "IBPT"            4 bytes
+//	version uvarint           currently 1
+//	count   uvarint           number of records
+//	records count times:
+//	    pcDelta   varint     (pc - prevPC) / 4, zigzag
+//	    tgtDelta  varint     (target - prevTarget) / 4, zigzag
+//	    kind      uvarint
+//	    gap       uvarint
+//
+// PC and target deltas are word deltas from the previous record, which keeps
+// typical loop traces to a few bytes per record.
+
+const (
+	magic         = "IBPT"
+	formatVersion = 1
+)
+
+// ErrBadFormat is returned when a trace stream does not start with the
+// expected magic or uses an unsupported version.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write encodes the trace to w in the binary trace format.
+func Write(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putI := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putU(formatVersion); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(t))); err != nil {
+		return err
+	}
+	var prevPC, prevTgt uint32
+	for _, r := range t {
+		if err := putI(int64(int32(r.PC-prevPC)) / 4); err != nil {
+			return err
+		}
+		if err := putI(int64(int32(r.Target-prevTgt)) / 4); err != nil {
+			return err
+		}
+		if err := putU(uint64(r.Kind)); err != nil {
+			return err
+		}
+		if err := putU(uint64(r.Gap)); err != nil {
+			return err
+		}
+		prevPC, prevTgt = r.PC, r.Target
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace previously encoded with Write.
+func Read(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxReasonable = 1 << 28
+	if count > maxReasonable {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, count)
+	}
+	out := make(Trace, 0, count)
+	var prevPC, prevTgt uint32
+	for i := uint64(0); i < count; i++ {
+		pcd, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
+		}
+		tgd, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d target: %w", i, err)
+		}
+		kind, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d kind: %w", i, err)
+		}
+		if kind >= numKinds {
+			return nil, fmt.Errorf("%w: record %d kind %d", ErrBadFormat, i, kind)
+		}
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d gap: %w", i, err)
+		}
+		if gap == 0 || gap > 1<<32-1 {
+			return nil, fmt.Errorf("%w: record %d gap %d", ErrBadFormat, i, gap)
+		}
+		pc := prevPC + uint32(pcd*4)
+		tgt := prevTgt + uint32(tgd*4)
+		out = append(out, Record{PC: pc, Target: tgt, Kind: Kind(kind), Gap: uint32(gap)})
+		prevPC, prevTgt = pc, tgt
+	}
+	return out, nil
+}
+
+// Dump writes a human-readable listing of the first n records (all records
+// if n <= 0) to w, one record per line.
+func Dump(w io.Writer, t Trace, n int) error {
+	if n <= 0 || n > len(t) {
+		n = len(t)
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < n; i++ {
+		r := t[i]
+		if _, err := fmt.Fprintf(bw, "%8d  %-6s  pc=%08x  target=%08x  gap=%d\n",
+			i, r.Kind, r.PC, r.Target, r.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Summary holds the benchmark-characteristic statistics of Tables 1–2:
+// dynamic branch counts, instruction and conditional-branch densities, the
+// virtual-call fraction, and the active-branch-site coverage counts (how many
+// sites account for 90/95/99/100% of dynamic indirect branches).
+type Summary struct {
+	// Indirect is the number of dynamic indirect branches (excluding
+	// returns and conditionals).
+	Indirect int
+	// Returns and Conds count the non-indirect records.
+	Returns int
+	Conds   int
+	// Instructions is the total instruction count covered by the trace.
+	Instructions uint64
+	// InstrPerIndirect is Instructions / Indirect ("instr. / indirect").
+	InstrPerIndirect float64
+	// CondPerIndirect is Conds / Indirect ("cond. / indirect").
+	CondPerIndirect float64
+	// VCallFraction is the fraction of indirect branches that are virtual
+	// function calls ("virt. func." in Table 1).
+	VCallFraction float64
+	// Sites is the number of distinct indirect branch sites.
+	Sites int
+	// Coverage[q] is the minimum number of sites whose dynamic execution
+	// counts sum to at least q percent of all indirect branches, for
+	// q in CoverageQuantiles.
+	Coverage map[int]int
+	// MaxTargetsPerSite is the largest number of distinct targets
+	// observed at any single site (the arity of the benchmark's most
+	// polymorphic branch).
+	MaxTargetsPerSite int
+}
+
+// CoverageQuantiles are the "active branch sites" columns of Tables 1–2.
+var CoverageQuantiles = []int{90, 95, 99, 100}
+
+// Summarize computes the Summary of a trace.
+func Summarize(t Trace) Summary {
+	s := Summary{Coverage: make(map[int]int, len(CoverageQuantiles))}
+	siteCounts := make(map[uint32]int)
+	siteTargets := make(map[uint32]map[uint32]struct{})
+	vcalls := 0
+	for _, r := range t {
+		s.Instructions += uint64(r.Gap)
+		switch {
+		case r.Kind == Return:
+			s.Returns++
+		case r.Kind == Cond:
+			s.Conds++
+		case r.Kind.Indirect():
+			s.Indirect++
+			siteCounts[r.PC]++
+			ts := siteTargets[r.PC]
+			if ts == nil {
+				ts = make(map[uint32]struct{})
+				siteTargets[r.PC] = ts
+			}
+			ts[r.Target] = struct{}{}
+			if r.Kind == VirtualCall {
+				vcalls++
+			}
+		}
+	}
+	s.Sites = len(siteCounts)
+	for _, ts := range siteTargets {
+		if len(ts) > s.MaxTargetsPerSite {
+			s.MaxTargetsPerSite = len(ts)
+		}
+	}
+	if s.Indirect > 0 {
+		s.InstrPerIndirect = float64(s.Instructions) / float64(s.Indirect)
+		s.CondPerIndirect = float64(s.Conds) / float64(s.Indirect)
+		s.VCallFraction = float64(vcalls) / float64(s.Indirect)
+	}
+	counts := make([]int, 0, len(siteCounts))
+	for _, c := range siteCounts {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	for _, q := range CoverageQuantiles {
+		s.Coverage[q] = sitesForCoverage(counts, s.Indirect, q)
+	}
+	return s
+}
+
+// sitesForCoverage returns the number of leading (descending) counts needed
+// to reach q percent of total.
+func sitesForCoverage(desc []int, total, q int) int {
+	if total == 0 {
+		return 0
+	}
+	need := (total*q + 99) / 100 // ceil(total * q / 100)
+	sum := 0
+	for i, c := range desc {
+		sum += c
+		if sum >= need {
+			return i + 1
+		}
+	}
+	return len(desc)
+}
+
+// String renders the summary as a single Tables 1–2 style row.
+func (s Summary) String() string {
+	return fmt.Sprintf("indirect=%d instr/ind=%.0f cond/ind=%.1f vcall=%.0f%% sites(90/95/99/100%%)=%d/%d/%d/%d",
+		s.Indirect, s.InstrPerIndirect, s.CondPerIndirect, 100*s.VCallFraction,
+		s.Coverage[90], s.Coverage[95], s.Coverage[99], s.Coverage[100])
+}

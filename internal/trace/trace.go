@@ -1,0 +1,130 @@
+// Package trace defines the indirect-branch trace substrate used throughout
+// the reproduction. The paper obtained traces of all indirect branches from
+// the shade instruction-level simulator; here a trace is a sequence of
+// Records produced by the synthetic workload generators (internal/workload)
+// or the bytecode VM (internal/vm), with a compact binary on-disk format.
+package trace
+
+import "fmt"
+
+// Kind classifies a traced control transfer. Predictors in this study only
+// consume indirect branches; Return records exist so the return address
+// stack premise of §2 can be verified, and Cond records exist for the §3.3
+// variation that includes conditional-branch targets in the history.
+type Kind uint8
+
+const (
+	// IndirectCall is a call through a function pointer.
+	IndirectCall Kind = iota
+	// IndirectJump is a computed jump (e.g. threaded interpreter dispatch).
+	IndirectJump
+	// VirtualCall is a virtual function call (vtable dispatch).
+	VirtualCall
+	// SwitchJump is the jump-table branch of a switch statement.
+	SwitchJump
+	// Return is a procedure return (excluded from prediction; handled by
+	// a return address stack).
+	Return
+	// Cond is a taken conditional branch (recorded only when a workload
+	// is configured to emit them).
+	Cond
+	// DirectCall is a direct (statically-bound) call. It is not an
+	// indirect branch; it exists so return address stacks see the full
+	// call structure.
+	DirectCall
+
+	numKinds = 7
+)
+
+var kindNames = [numKinds]string{
+	"icall", "ijump", "vcall", "switch", "return", "cond", "call",
+}
+
+func (k Kind) String() string {
+	if int(k) < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Indirect reports whether records of this kind are indirect branches in the
+// paper's sense: predicted by the indirect-branch predictor and counted in
+// misprediction rates. Returns and conditional branches are not.
+func (k Kind) Indirect() bool {
+	switch k {
+	case IndirectCall, IndirectJump, VirtualCall, SwitchJump:
+		return true
+	}
+	return false
+}
+
+// Record is one traced control transfer.
+type Record struct {
+	// PC is the word-aligned address of the branch instruction (the
+	// branch site).
+	PC uint32
+	// Target is the word-aligned address the branch transferred to. For
+	// Return records it is the actual return address.
+	Target uint32
+	// Kind classifies the transfer.
+	Kind Kind
+	// Gap is the number of instructions executed since the previous
+	// record (inclusive of this branch); it feeds the instructions-per-
+	// indirect-branch statistic of Tables 1–2.
+	Gap uint32
+}
+
+// Trace is an in-memory branch trace.
+type Trace []Record
+
+// Indirect returns the subsequence of indirect branch records (the input to
+// all predictors), preserving order.
+func (t Trace) Indirect() Trace {
+	out := make(Trace, 0, len(t))
+	for _, r := range t {
+		if r.Kind.Indirect() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CountKind returns the number of records of kind k.
+func (t Trace) CountKind(k Kind) int {
+	n := 0
+	for _, r := range t {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Instructions returns the total instruction count covered by the trace.
+func (t Trace) Instructions() uint64 {
+	var n uint64
+	for _, r := range t {
+		n += uint64(r.Gap)
+	}
+	return n
+}
+
+// Validate checks structural invariants: word-aligned addresses, known
+// kinds, and non-zero gaps. It returns the first violation found.
+func (t Trace) Validate() error {
+	for i, r := range t {
+		if r.PC&3 != 0 {
+			return fmt.Errorf("trace: record %d: PC %#x not word-aligned", i, r.PC)
+		}
+		if r.Target&3 != 0 {
+			return fmt.Errorf("trace: record %d: target %#x not word-aligned", i, r.Target)
+		}
+		if int(r.Kind) >= numKinds {
+			return fmt.Errorf("trace: record %d: unknown kind %d", i, r.Kind)
+		}
+		if r.Gap == 0 {
+			return fmt.Errorf("trace: record %d: zero instruction gap", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates the VM's assembly text into a Program.
+//
+// Syntax (one item per line, '#' starts a comment):
+//
+//	class <name> fields=<n> vtable=<func>,<func>,...
+//	table <name> = <label>,<label>,...
+//	func <name> [params=<n>] [locals=<n>]
+//	<label>:
+//	<op> [<arg>]
+//
+// Instruction arguments are integers, labels (jmp/jz/jnz), function names
+// (call, or push for function values), class names (new), or table names
+// (switch). Labels share one global namespace. Execution starts at the
+// function named "main".
+func Assemble(src string) (*Program, error) {
+	p := &Program{Main: -1}
+	type fixup struct {
+		pc   int
+		kind string // "label", "func", "class", "table", "fnval"
+		name string
+		line int
+	}
+	var (
+		fixups     []fixup
+		labels     = map[string]int{}
+		funcIdx    = map[string]int{}
+		classIdx   = map[string]int{}
+		tableIdx   = map[string]int{}
+		tableLists [][]string
+		classVTs   [][]string
+		curFunc    = -1
+	)
+	opByName := map[string]Op{}
+	for op := Op(0); op < numOps; op++ {
+		opByName[op.String()] = op
+	}
+
+	fail := func(line int, format string, args ...any) error {
+		return fmt.Errorf("asm: line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := lineNo + 1
+		text := raw
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "class":
+			if len(fields) < 2 {
+				return nil, fail(line, "class needs a name")
+			}
+			name := fields[1]
+			if _, dup := classIdx[name]; dup {
+				return nil, fail(line, "duplicate class %q", name)
+			}
+			c := Class{Name: name}
+			var vts []string
+			for _, f := range fields[2:] {
+				switch {
+				case strings.HasPrefix(f, "fields="):
+					n, err := strconv.Atoi(strings.TrimPrefix(f, "fields="))
+					if err != nil || n < 0 {
+						return nil, fail(line, "bad fields count %q", f)
+					}
+					c.Fields = n
+				case strings.HasPrefix(f, "vtable="):
+					vts = strings.Split(strings.TrimPrefix(f, "vtable="), ",")
+				default:
+					return nil, fail(line, "unknown class attribute %q", f)
+				}
+			}
+			classIdx[name] = len(p.Classes)
+			p.Classes = append(p.Classes, c)
+			classVTs = append(classVTs, vts)
+		case fields[0] == "table":
+			// table name = a,b,c  (also tolerate "table name a,b,c")
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "table"))
+			eq := strings.SplitN(rest, "=", 2)
+			name := strings.TrimSpace(eq[0])
+			if name == "" {
+				return nil, fail(line, "table needs a name")
+			}
+			if len(eq) != 2 {
+				return nil, fail(line, "table needs '= label,label,...'")
+			}
+			if _, dup := tableIdx[name]; dup {
+				return nil, fail(line, "duplicate table %q", name)
+			}
+			var entries []string
+			for _, e := range strings.Split(eq[1], ",") {
+				e = strings.TrimSpace(e)
+				if e != "" {
+					entries = append(entries, e)
+				}
+			}
+			if len(entries) == 0 {
+				return nil, fail(line, "table %q has no entries", name)
+			}
+			tableIdx[name] = len(tableLists)
+			tableLists = append(tableLists, entries)
+		case fields[0] == "func":
+			if len(fields) < 2 {
+				return nil, fail(line, "func needs a name")
+			}
+			name := fields[1]
+			if _, dup := funcIdx[name]; dup {
+				return nil, fail(line, "duplicate function %q", name)
+			}
+			fn := Func{Name: name, Entry: len(p.Code)}
+			for _, f := range fields[2:] {
+				switch {
+				case strings.HasPrefix(f, "params="):
+					n, err := strconv.Atoi(strings.TrimPrefix(f, "params="))
+					if err != nil || n < 0 {
+						return nil, fail(line, "bad params %q", f)
+					}
+					fn.Params = n
+				case strings.HasPrefix(f, "locals="):
+					n, err := strconv.Atoi(strings.TrimPrefix(f, "locals="))
+					if err != nil || n < 0 {
+						return nil, fail(line, "bad locals %q", f)
+					}
+					fn.Locals = n
+				default:
+					return nil, fail(line, "unknown func attribute %q", f)
+				}
+			}
+			if fn.Locals < fn.Params {
+				fn.Locals = fn.Params
+			}
+			funcIdx[name] = len(p.Funcs)
+			if name == "main" {
+				p.Main = len(p.Funcs)
+			}
+			p.Funcs = append(p.Funcs, fn)
+			curFunc = funcIdx[name]
+		case strings.HasSuffix(fields[0], ":") && len(fields) == 1:
+			name := strings.TrimSuffix(fields[0], ":")
+			if _, dup := labels[name]; dup {
+				return nil, fail(line, "duplicate label %q", name)
+			}
+			labels[name] = len(p.Code)
+		default:
+			op, ok := opByName[fields[0]]
+			if !ok {
+				return nil, fail(line, "unknown opcode %q", fields[0])
+			}
+			if curFunc < 0 {
+				return nil, fail(line, "instruction outside a function")
+			}
+			in := Instr{Op: op}
+			if len(fields) > 2 {
+				return nil, fail(line, "too many operands")
+			}
+			if len(fields) == 2 {
+				arg := fields[1]
+				if n, err := strconv.ParseInt(arg, 0, 32); err == nil {
+					in.Arg = int32(n)
+				} else {
+					kind := ""
+					switch op {
+					case OpJmp, OpJz, OpJnz:
+						kind = "label"
+					case OpCall:
+						kind = "func"
+					case OpPush:
+						kind = "fnval"
+					case OpNew:
+						kind = "class"
+					case OpSwitch:
+						kind = "table"
+					default:
+						return nil, fail(line, "opcode %s takes a numeric operand", op)
+					}
+					fixups = append(fixups, fixup{pc: len(p.Code), kind: kind, name: arg, line: line})
+				}
+			} else if needsArg(op) {
+				return nil, fail(line, "opcode %s needs an operand", op)
+			}
+			p.Code = append(p.Code, in)
+		}
+	}
+
+	// Resolve symbolic operands.
+	for _, fx := range fixups {
+		var v int
+		var ok bool
+		switch fx.kind {
+		case "label":
+			v, ok = labels[fx.name]
+		case "func", "fnval":
+			v, ok = funcIdx[fx.name]
+		case "class":
+			v, ok = classIdx[fx.name]
+		case "table":
+			v, ok = tableIdx[fx.name]
+		}
+		if !ok {
+			return nil, fail(fx.line, "undefined %s %q", fx.kind, fx.name)
+		}
+		p.Code[fx.pc].Arg = int32(v)
+	}
+	// Resolve switch tables and vtables.
+	for _, entries := range tableLists {
+		tbl := make([]int, len(entries))
+		for i, label := range entries {
+			pc, ok := labels[label]
+			if !ok {
+				return nil, fmt.Errorf("asm: table entry %q is not a label", label)
+			}
+			tbl[i] = pc
+		}
+		p.Tables = append(p.Tables, tbl)
+	}
+	for ci, vts := range classVTs {
+		for _, fn := range vts {
+			fi, ok := funcIdx[fn]
+			if !ok {
+				return nil, fmt.Errorf("asm: class %s vtable entry %q is not a function", p.Classes[ci].Name, fn)
+			}
+			p.Classes[ci].VTable = append(p.Classes[ci].VTable, fi)
+		}
+	}
+	if p.Main < 0 {
+		return nil, fmt.Errorf("asm: no main function")
+	}
+	return p, nil
+}
+
+// needsArg reports whether an opcode requires an operand.
+func needsArg(op Op) bool {
+	switch op {
+	case OpPush, OpLoad, OpStore, OpJmp, OpJz, OpJnz,
+		OpCall, OpSwitch, OpNew, OpGetF, OpSetF, OpVCall:
+		return true
+	}
+	return false
+}
+
+// MustAssemble is Assemble for statically-known sources.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

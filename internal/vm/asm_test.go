@@ -1,0 +1,127 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble(`
+# a comment
+func main locals=1
+  push 42   # trailing comment
+  ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Main != 0 || len(p.Funcs) != 1 || p.Funcs[0].Name != "main" {
+		t.Fatalf("funcs: %+v", p.Funcs)
+	}
+	if len(p.Code) != 2 || p.Code[0] != (Instr{OpPush, 42}) || p.Code[1].Op != OpRet {
+		t.Fatalf("code: %+v", p.Code)
+	}
+}
+
+func TestAssembleSymbols(t *testing.T) {
+	p, err := Assemble(`
+class C fields=1 vtable=m
+table tt = a,b
+func m params=1
+  push 0
+  ret
+func main
+a:
+  push 1
+  jz a
+b:
+  call m
+  new C
+  vcall 0
+  push 0
+  switch tt
+  ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Classes) != 1 || p.Classes[0].VTable[0] != 0 {
+		t.Fatalf("classes: %+v", p.Classes)
+	}
+	if len(p.Tables) != 1 || len(p.Tables[0]) != 2 {
+		t.Fatalf("tables: %+v", p.Tables)
+	}
+	// Label "a" is the first instruction of main (index 2: m has 2).
+	if p.Tables[0][0] != 2 {
+		t.Errorf("table entry a = %d", p.Tables[0][0])
+	}
+}
+
+func TestAssembleParamsDefaultLocals(t *testing.T) {
+	p, err := Assemble("func main params=3\nret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Funcs[0].Locals != 3 {
+		t.Errorf("locals = %d, want params-sized 3", p.Funcs[0].Locals)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, frag string
+	}{
+		{"push 1", "outside a function"},
+		{"func main\nbogus 1", "unknown opcode"},
+		{"func main\npush", "needs an operand"},
+		{"func main\npush 1 2", "too many operands"},
+		{"func main\njmp nowhere", "undefined label"},
+		{"func main\ncall nowhere", "undefined func"},
+		{"func main\nnew Nope", "undefined class"},
+		{"func main\nswitch nope", "undefined table"},
+		{"func main\nadd foo", "numeric operand"},
+		{"func f\nret", "no main"},
+		{"func main\nret\nfunc main\nret", "duplicate function"},
+		{"func main\nx:\nx:\nret", "duplicate label"},
+		{"class C\nclass C\nfunc main\nret", "duplicate class"},
+		{"class", "class needs a name"},
+		{"class C junk=1\nfunc main\nret", "unknown class attribute"},
+		{"class C fields=x\nfunc main\nret", "bad fields"},
+		{"func", "func needs a name"},
+		{"func main junk=2\nret", "unknown func attribute"},
+		{"func main params=x\nret", "bad params"},
+		{"func main locals=-1\nret", "bad locals"},
+		{"table t\nfunc main\nret", "table needs"},
+		{"table = a\nfunc main\nret", "table needs a name"},
+		{"table t =\nfunc main\nret", "no entries"},
+		{"table t = a\ntable t = a\nfunc main\na:\nret", "duplicate table"},
+		{"table t = zz\nfunc main\nret", "not a label"},
+		{"class C vtable=zz\nfunc main\nret", "not a function"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Assemble(%q) error = %v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("junk")
+}
+
+func TestAllSamplesAssemble(t *testing.T) {
+	for name, src := range Samples() {
+		if _, err := Assemble(src); err != nil {
+			t.Errorf("sample %s: %v", name, err)
+		}
+	}
+	if len(SampleNames()) != 4 {
+		t.Errorf("SampleNames = %v", SampleNames())
+	}
+}

@@ -1,0 +1,78 @@
+package vm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Disassemble writes a human-readable listing of the program: functions in
+// entry order with their instructions, plus class and switch-table
+// summaries. The output round-trips conceptually (it is valid input for a
+// reader, not for Assemble — labels are rendered as absolute indices).
+func Disassemble(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+
+	for _, c := range p.Classes {
+		fmt.Fprintf(bw, "class %s fields=%d vtable=", c.Name, c.Fields)
+		for i, fi := range c.VTable {
+			if i > 0 {
+				fmt.Fprint(bw, ",")
+			}
+			fmt.Fprint(bw, funcName(p, fi))
+		}
+		fmt.Fprintln(bw)
+	}
+	for ti, tbl := range p.Tables {
+		fmt.Fprintf(bw, "table %d = %v\n", ti, tbl)
+	}
+
+	// Order functions by entry so the listing follows the code layout.
+	order := make([]int, len(p.Funcs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return p.Funcs[order[a]].Entry < p.Funcs[order[b]].Entry })
+
+	starts := make(map[int]int, len(p.Funcs)) // code index -> func index
+	for fi, f := range p.Funcs {
+		starts[f.Entry] = fi
+	}
+	for pc, in := range p.Code {
+		if fi, ok := starts[pc]; ok {
+			f := p.Funcs[fi]
+			fmt.Fprintf(bw, "\nfunc %s params=%d locals=%d", f.Name, f.Params, f.Locals)
+			if fi == p.Main {
+				fmt.Fprint(bw, "  # entry point")
+			}
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "%5d  %-7s", pc, in.Op)
+		switch in.Op {
+		case OpCall:
+			fmt.Fprintf(bw, " %s", funcName(p, int(in.Arg)))
+		case OpNew:
+			if int(in.Arg) < len(p.Classes) {
+				fmt.Fprintf(bw, " %s", p.Classes[in.Arg].Name)
+			} else {
+				fmt.Fprintf(bw, " class?%d", in.Arg)
+			}
+		case OpJmp, OpJz, OpJnz:
+			fmt.Fprintf(bw, " ->%d", in.Arg)
+		case OpSwitch:
+			fmt.Fprintf(bw, " table%d", in.Arg)
+		case OpPush, OpLoad, OpStore, OpGetF, OpSetF, OpVCall:
+			fmt.Fprintf(bw, " %d", in.Arg)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+func funcName(p *Program, fi int) string {
+	if fi >= 0 && fi < len(p.Funcs) {
+		return p.Funcs[fi].Name
+	}
+	return fmt.Sprintf("func?%d", fi)
+}

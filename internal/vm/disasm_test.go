@@ -1,0 +1,58 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDisassemble(t *testing.T) {
+	p := MustAssemble(srcShapes)
+	var buf bytes.Buffer
+	if err := Disassemble(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"class Circle fields=1 vtable=Circle.area",
+		"func main",
+		"# entry point",
+		"vcall",
+		"table 0 =",
+		"new",
+		"Circle.area",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("disassembly missing %q", frag)
+		}
+	}
+	// Every instruction appears exactly once: count lines with opcodes.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	instrLines := 0
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "0") ||
+			(len(l) > 5 && l[5] == ' ' && l[0] == ' ') {
+			instrLines++
+		}
+	}
+	if instrLines < len(p.Code) {
+		t.Errorf("disassembly shows %d instruction lines for %d instructions", instrLines, len(p.Code))
+	}
+}
+
+func TestDisassembleBadReferences(t *testing.T) {
+	p := &Program{
+		Code:    []Instr{{Op: OpCall, Arg: 7}, {Op: OpNew, Arg: 9}},
+		Funcs:   []Func{{Name: "main", Entry: 0}},
+		Classes: []Class{{Name: "C", VTable: []int{42}}},
+		Main:    0,
+	}
+	var buf bytes.Buffer
+	if err := Disassemble(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "func?7") || !strings.Contains(out, "class?9") || !strings.Contains(out, "func?42") {
+		t.Errorf("dangling references not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,37 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks that the assembler never panics and that accepted
+// programs either run to completion or fail with a clean error under a small
+// step budget.
+func FuzzAssemble(f *testing.F) {
+	for _, src := range Samples() {
+		f.Add(src)
+	}
+	f.Add("func main\nret")
+	f.Add("class C fields=1 vtable=m\nfunc m params=1\nret\nfunc main\nnew C\nvcall 0\nret")
+	f.Add("table t = a\nfunc main\na:\npush 0\nswitch t")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		p, err := Assemble(src)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "asm:") {
+				t.Fatalf("error without asm prefix: %v", err)
+			}
+			return
+		}
+		m := New(p, Options{MaxSteps: 5000, TraceDispatch: true, TraceCond: true})
+		if _, err := m.Run(); err != nil && !strings.HasPrefix(err.Error(), "vm:") {
+			t.Fatalf("runtime error without vm prefix: %v", err)
+		}
+		if err := m.Trace().Validate(); err != nil {
+			t.Fatalf("VM produced invalid trace: %v", err)
+		}
+	})
+}

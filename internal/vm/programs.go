@@ -1,0 +1,317 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// Samples returns the built-in demonstration programs, keyed by name:
+//
+//   - "fib": deeply recursive calls and returns (return address stack food)
+//   - "tokens": an interpreter-style loop switching over a pseudo-random
+//     token stream (the xlisp/perl-shaped switch workload)
+//   - "shapes": polymorphic virtual calls over a cyclic mix of classes
+//   - "dispatch": indirect calls through function values
+func Samples() map[string]string {
+	return map[string]string{
+		"fib":      srcFib,
+		"tokens":   srcTokens,
+		"shapes":   srcShapes,
+		"dispatch": srcDispatch,
+	}
+}
+
+// SampleNames returns the sample program names in sorted order.
+func SampleNames() []string {
+	m := Samples()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunSample assembles and executes a built-in program, returning its result
+// value and branch trace.
+func RunSample(name string, opts Options) (int64, trace.Trace, error) {
+	src, ok := Samples()[name]
+	if !ok {
+		return 0, nil, fmt.Errorf("vm: unknown sample %q (have %v)", name, SampleNames())
+	}
+	prog, err := Assemble(src)
+	if err != nil {
+		return 0, nil, err
+	}
+	m := New(prog, opts)
+	v, err := m.Run()
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, m.Trace(), nil
+}
+
+const srcFib = `
+# Recursive Fibonacci: every call site returns through the stack, the
+# workload the return address stack of [KE91] is built for.
+func main
+  push 17
+  call fib
+  ret
+
+func fib params=1
+  load 0
+  push 2
+  lt
+  jz rec
+  load 0
+  ret
+rec:
+  load 0
+  push 1
+  sub
+  call fib
+  load 0
+  push 2
+  sub
+  call fib
+  add
+  ret
+`
+
+const srcTokens = `
+# An interpreter-style token loop: a linear-congruential stream of token
+# kinds drives a switch jump table, the classic indirect-branch profile of
+# interpreters (xlisp, perl).
+func main locals=3
+  push 4000
+  store 0          # remaining tokens
+  push 12345
+  store 1          # lcg state
+loop:
+  load 0
+  jz done
+  load 0
+  push 1
+  sub
+  store 0
+  load 1           # state = (state*25173 + 13849) mod 65536
+  push 25173
+  mul
+  push 13849
+  add
+  push 65536
+  mod
+  store 1
+  load 1
+  switch tok
+t0:
+  load 2
+  push 1
+  add
+  store 2
+  jmp loop
+t1:
+  load 2
+  push 2
+  add
+  store 2
+  jmp loop
+t2:
+  load 2
+  push 3
+  sub
+  store 2
+  jmp loop
+t3:
+  load 2
+  push 2
+  mul
+  store 2
+  jmp loop
+t4:
+  load 2
+  push 7
+  add
+  store 2
+  jmp loop
+t5:
+  load 2
+  push 1000003
+  mod
+  store 2
+  jmp loop
+t6:
+  load 2
+  push 5
+  sub
+  store 2
+  jmp loop
+t7:
+  load 2
+  neg
+  store 2
+  jmp loop
+done:
+  load 2
+  ret
+table tok = t0,t1,t2,t3,t4,t5,t6,t7
+`
+
+const srcShapes = `
+# Polymorphic virtual dispatch: a cyclic mix of three classes, each with its
+# own area method reached through the vtable (the C++ suite's profile).
+class Circle fields=1 vtable=Circle.area
+class Square fields=1 vtable=Square.area
+class Tri    fields=2 vtable=Tri.area
+
+func Circle.area params=1
+  load 0
+  getf 0
+  dup
+  mul
+  push 3
+  mul
+  ret
+
+func Square.area params=1
+  load 0
+  getf 0
+  dup
+  mul
+  ret
+
+func Tri.area params=1
+  load 0
+  getf 0
+  load 0
+  getf 1
+  mul
+  push 2
+  mod
+  ret
+
+func main locals=4
+  push 2000
+  store 0          # iterations
+  push 0
+  store 1          # class selector
+  push 0
+  store 2          # accumulator
+loop:
+  load 0
+  jz done
+  load 0
+  push 1
+  sub
+  store 0
+  load 1
+  push 1
+  add
+  store 1
+  load 1
+  switch mk
+mkc:
+  new Circle
+  store 3
+  load 3
+  push 4
+  setf 0
+  jmp callit
+mks:
+  new Square
+  store 3
+  load 3
+  push 6
+  setf 0
+  jmp callit
+mkt:
+  new Tri
+  store 3
+  load 3
+  push 3
+  setf 0
+  load 3
+  push 5
+  setf 1
+  jmp callit
+callit:
+  load 3
+  vcall 0
+  load 2
+  add
+  store 2
+  jmp loop
+done:
+  load 2
+  ret
+table mk = mkc,mks,mkt
+`
+
+const srcDispatch = `
+# Indirect calls through first-class function values: a strategy function is
+# selected by data and invoked via callfn (function-pointer dispatch).
+func lt2 params=2
+  load 0
+  load 1
+  lt
+  ret
+
+func gt2 params=2
+  load 1
+  load 0
+  lt
+  ret
+
+func sum2 params=2
+  load 0
+  load 1
+  add
+  ret
+
+func main locals=4
+  push 3000
+  store 0
+  push 0
+  store 2
+loop:
+  load 0
+  jz done
+  load 0
+  push 1
+  sub
+  store 0
+  load 0
+  push 3
+  mod
+  store 1
+  load 0          # first argument
+  push 17
+  mod
+  load 0          # second argument
+  push 5
+  mod
+  load 1
+  switch pick
+pa:
+  push lt2
+  jmp invoke
+pb:
+  push gt2
+  jmp invoke
+pc2:
+  push sum2
+  jmp invoke
+invoke:
+  callfn
+  load 2
+  add
+  store 2
+  jmp loop
+done:
+  load 2
+  ret
+table pick = pa,pb,pc2
+`

@@ -1,0 +1,446 @@
+// Package vm implements a small stack-based bytecode virtual machine whose
+// execution produces genuine indirect-branch traces: a threaded-code
+// dispatch loop (one indirect jump per executed instruction, like the
+// interpreters that dominate xlisp's and perl's branch profiles), virtual
+// method calls through per-class vtables, switch jump tables, indirect calls
+// through function values, and call/return pairs. It complements the
+// statistical workload generator with a substrate whose branch correlations
+// come from an actual program.
+package vm
+
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// The instruction set: a conventional expression-stack machine with locals,
+// control flow, first-class function indices, and class-based objects.
+const (
+	OpHalt   Op = iota
+	OpPush      // push immediate Arg
+	OpPop       // discard TOS
+	OpDup       // duplicate TOS
+	OpAdd       // a b -- a+b
+	OpSub       // a b -- a-b
+	OpMul       // a b -- a*b
+	OpMod       // a b -- a%b (b != 0)
+	OpNeg       // a -- -a
+	OpLt        // a b -- a<b
+	OpEq        // a b -- a==b
+	OpNot       // a -- !a
+	OpLoad      // push locals[Arg]
+	OpStore     // locals[Arg] = pop
+	OpJmp       // jump to Arg
+	OpJz        // pop; jump to Arg if zero    (conditional branch)
+	OpJnz       // pop; jump to Arg if nonzero (conditional branch)
+	OpCall      // call function Arg
+	OpCallFn    // pop function index; call it (indirect call)
+	OpRet       // return TOS to caller
+	OpSwitch    // pop v; jump via table Arg, entry v mod len (switch jump)
+	OpNew       // push new object of class Arg
+	OpGetF      // pop obj; push obj.fields[Arg]
+	OpSetF      // pop value, obj; obj.fields[Arg] = value
+	OpVCall     // pop obj; virtual call via vtable slot Arg (virtual call)
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"halt", "push", "pop", "dup", "add", "sub", "mul", "mod", "neg",
+	"lt", "eq", "not", "load", "store", "jmp", "jz", "jnz",
+	"call", "callfn", "ret", "switch", "new", "getf", "setf", "vcall",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Arg int32
+}
+
+// Func is a callable unit.
+type Func struct {
+	Name   string
+	Entry  int // index into Program.Code
+	Params int // number of arguments popped into locals[0..Params)
+	Locals int // total locals (>= Params)
+}
+
+// Class describes an object layout and its virtual dispatch table.
+type Class struct {
+	Name   string
+	Fields int
+	// VTable maps method slots to function indices.
+	VTable []int
+}
+
+// Program is an executable bytecode image.
+type Program struct {
+	Code    []Instr
+	Funcs   []Func
+	Classes []Class
+	Tables  [][]int // switch jump tables (code indices)
+	// Main is the index of the entry function.
+	Main int
+}
+
+// Address-space layout of the simulated machine: bytecode instruction i
+// lives at CodeBase+4i, the threaded handler of opcode k at
+// HandlerBase+0x40k (its dispatch branch at the end of the handler).
+const (
+	CodeBase    = 0x0200_0000
+	HandlerBase = 0x0300_0000
+	handlerSize = 0x40
+	ObjBase     = 0x0400_0000
+)
+
+// codeAddr returns the simulated address of instruction i.
+func codeAddr(i int) uint32 { return CodeBase + uint32(i)*4 }
+
+// handlerAddr returns the entry address of opcode k's handler.
+func handlerAddr(op Op) uint32 { return HandlerBase + uint32(op)*handlerSize }
+
+// dispatchSite returns the address of the indirect dispatch branch at the
+// end of opcode k's handler (threaded code).
+func dispatchSite(op Op) uint32 { return handlerAddr(op) + handlerSize - 4 }
+
+// Options configures a VM run.
+type Options struct {
+	// MaxSteps bounds execution (0 = DefaultMaxSteps).
+	MaxSteps int
+	// TraceDispatch records the threaded-code dispatch indirect jump for
+	// every executed instruction (interpreter-style traces). Explicit
+	// control transfers (calls, switches, returns) are always recorded.
+	TraceDispatch bool
+	// TraceCond records conditional branches.
+	TraceCond bool
+}
+
+// DefaultMaxSteps bounds runaway programs.
+const DefaultMaxSteps = 2_000_000
+
+type object struct {
+	class  int
+	fields []int64
+}
+
+type frame struct {
+	retPC  int
+	locals []int64
+	fnIdx  int
+}
+
+// VM executes a Program and collects a branch trace.
+type VM struct {
+	prog  *Program
+	opts  Options
+	stack []int64
+	heap  []object
+	out   trace.Trace
+	gap   uint32 // instructions since the last emitted record
+}
+
+// New returns a VM for the program.
+func New(p *Program, opts Options) *VM {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	return &VM{prog: p, opts: opts}
+}
+
+// Trace returns the branch trace collected so far.
+func (m *VM) Trace() trace.Trace { return m.out }
+
+func (m *VM) emit(kind trace.Kind, pc, target uint32) {
+	m.out = append(m.out, trace.Record{PC: pc, Target: target, Kind: kind, Gap: m.gap + 1})
+	m.gap = 0
+}
+
+func (m *VM) push(v int64) { m.stack = append(m.stack, v) }
+
+func (m *VM) pop() (int64, error) {
+	if len(m.stack) == 0 {
+		return 0, fmt.Errorf("vm: stack underflow")
+	}
+	v := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	return v, nil
+}
+
+// Run executes the program's main function and returns its result value.
+func (m *VM) Run() (int64, error) {
+	p := m.prog
+	if p.Main < 0 || p.Main >= len(p.Funcs) {
+		return 0, fmt.Errorf("vm: invalid main function %d", p.Main)
+	}
+	main := p.Funcs[p.Main]
+	frames := []frame{{retPC: -1, locals: make([]int64, main.Locals), fnIdx: p.Main}}
+	pc := main.Entry
+	steps := 0
+	for {
+		if steps++; steps > m.opts.MaxSteps {
+			return 0, fmt.Errorf("vm: exceeded %d steps", m.opts.MaxSteps)
+		}
+		if pc < 0 || pc >= len(p.Code) {
+			return 0, fmt.Errorf("vm: pc %d out of range", pc)
+		}
+		in := p.Code[pc]
+		next := pc + 1
+		fr := &frames[len(frames)-1]
+		switch in.Op {
+		case OpHalt:
+			var v int64
+			if len(m.stack) > 0 {
+				v, _ = m.pop()
+			}
+			return v, nil
+		case OpPush:
+			m.push(int64(in.Arg))
+		case OpPop:
+			if _, err := m.pop(); err != nil {
+				return 0, err
+			}
+		case OpDup:
+			if len(m.stack) == 0 {
+				return 0, fmt.Errorf("vm: dup on empty stack")
+			}
+			m.push(m.stack[len(m.stack)-1])
+		case OpAdd, OpSub, OpMul, OpMod, OpLt, OpEq:
+			b, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			a, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			switch in.Op {
+			case OpAdd:
+				m.push(a + b)
+			case OpSub:
+				m.push(a - b)
+			case OpMul:
+				m.push(a * b)
+			case OpMod:
+				if b == 0 {
+					return 0, fmt.Errorf("vm: modulo by zero at pc %d", pc)
+				}
+				m.push(a % b)
+			case OpLt:
+				m.push(b2i(a < b))
+			case OpEq:
+				m.push(b2i(a == b))
+			}
+		case OpNeg:
+			v, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			m.push(-v)
+		case OpNot:
+			v, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			m.push(b2i(v == 0))
+		case OpLoad:
+			if int(in.Arg) >= len(fr.locals) {
+				return 0, fmt.Errorf("vm: load of local %d (have %d)", in.Arg, len(fr.locals))
+			}
+			m.push(fr.locals[in.Arg])
+		case OpStore:
+			v, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			if int(in.Arg) >= len(fr.locals) {
+				return 0, fmt.Errorf("vm: store to local %d (have %d)", in.Arg, len(fr.locals))
+			}
+			fr.locals[in.Arg] = v
+		case OpJmp:
+			next = int(in.Arg)
+		case OpJz, OpJnz:
+			v, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			taken := (v == 0) == (in.Op == OpJz)
+			if taken {
+				next = int(in.Arg)
+			}
+			if m.opts.TraceCond {
+				var tgt uint32
+				if taken {
+					tgt = codeAddr(int(in.Arg))
+				}
+				m.emit(trace.Cond, codeAddr(pc), tgt)
+			}
+		case OpCall:
+			if int(in.Arg) < 0 || int(in.Arg) >= len(p.Funcs) {
+				return 0, fmt.Errorf("vm: call to invalid function %d", in.Arg)
+			}
+			m.emit(trace.DirectCall, codeAddr(pc), codeAddr(p.Funcs[in.Arg].Entry))
+			n, err := m.enter(&frames, int(in.Arg), next)
+			if err != nil {
+				return 0, err
+			}
+			next = n
+		case OpCallFn:
+			fv, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			fi := int(fv)
+			if fi < 0 || fi >= len(p.Funcs) {
+				return 0, fmt.Errorf("vm: indirect call to invalid function %d", fi)
+			}
+			m.emit(trace.IndirectCall, codeAddr(pc), codeAddr(p.Funcs[fi].Entry))
+			n, err := m.enter(&frames, fi, next)
+			if err != nil {
+				return 0, err
+			}
+			next = n
+		case OpRet:
+			if len(frames) == 1 {
+				var v int64
+				if len(m.stack) > 0 {
+					v, _ = m.pop()
+				}
+				return v, nil
+			}
+			ret := frames[len(frames)-1].retPC
+			frames = frames[:len(frames)-1]
+			m.emit(trace.Return, codeAddr(pc), codeAddr(ret))
+			next = ret
+		case OpSwitch:
+			if int(in.Arg) >= len(p.Tables) {
+				return 0, fmt.Errorf("vm: switch table %d missing", in.Arg)
+			}
+			tbl := p.Tables[in.Arg]
+			if len(tbl) == 0 {
+				return 0, fmt.Errorf("vm: empty switch table %d", in.Arg)
+			}
+			v, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			idx := int(((v % int64(len(tbl))) + int64(len(tbl))) % int64(len(tbl)))
+			next = tbl[idx]
+			m.emit(trace.SwitchJump, codeAddr(pc), codeAddr(next))
+		case OpNew:
+			if int(in.Arg) >= len(p.Classes) {
+				return 0, fmt.Errorf("vm: new of unknown class %d", in.Arg)
+			}
+			m.heap = append(m.heap, object{
+				class:  int(in.Arg),
+				fields: make([]int64, p.Classes[in.Arg].Fields),
+			})
+			m.push(int64(len(m.heap) - 1))
+		case OpGetF:
+			obj, err := m.object()
+			if err != nil {
+				return 0, err
+			}
+			if int(in.Arg) >= len(obj.fields) {
+				return 0, fmt.Errorf("vm: getf %d out of range", in.Arg)
+			}
+			m.push(obj.fields[in.Arg])
+		case OpSetF:
+			v, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			obj, err := m.object()
+			if err != nil {
+				return 0, err
+			}
+			if int(in.Arg) >= len(obj.fields) {
+				return 0, fmt.Errorf("vm: setf %d out of range", in.Arg)
+			}
+			obj.fields[in.Arg] = v
+		case OpVCall:
+			ref, err := m.pop()
+			if err != nil {
+				return 0, err
+			}
+			if ref < 0 || int(ref) >= len(m.heap) {
+				return 0, fmt.Errorf("vm: vcall on invalid object %d", ref)
+			}
+			cls := p.Classes[m.heap[ref].class]
+			slot := int(in.Arg)
+			if slot >= len(cls.VTable) {
+				return 0, fmt.Errorf("vm: class %s has no method slot %d", cls.Name, slot)
+			}
+			fi := cls.VTable[slot]
+			m.emit(trace.VirtualCall, codeAddr(pc), codeAddr(p.Funcs[fi].Entry))
+			// The receiver becomes argument 0 of the method.
+			m.push(ref)
+			n, err := m.enter(&frames, fi, next)
+			if err != nil {
+				return 0, err
+			}
+			next = n
+		default:
+			return 0, fmt.Errorf("vm: unknown opcode %d at pc %d", in.Op, pc)
+		}
+		if m.opts.TraceDispatch && next >= 0 && next < len(p.Code) {
+			// Threaded-code dispatch: the handler of the current
+			// opcode jumps indirectly to the next opcode's handler.
+			m.emit(trace.IndirectJump, dispatchSite(in.Op), handlerAddr(p.Code[next].Op))
+		} else {
+			m.gap++
+		}
+		pc = next
+	}
+}
+
+// enter pushes a call frame for function fi, popping its parameters from the
+// stack into locals, and returns the function's entry pc.
+func (m *VM) enter(frames *[]frame, fi, retPC int) (int, error) {
+	if fi < 0 || fi >= len(m.prog.Funcs) {
+		return 0, fmt.Errorf("vm: call to invalid function %d", fi)
+	}
+	if len(*frames) >= 10_000 {
+		return 0, fmt.Errorf("vm: call stack overflow")
+	}
+	fn := m.prog.Funcs[fi]
+	locals := make([]int64, fn.Locals)
+	for i := fn.Params - 1; i >= 0; i-- {
+		v, err := m.pop()
+		if err != nil {
+			return 0, fmt.Errorf("vm: missing argument %d for %s", i, fn.Name)
+		}
+		locals[i] = v
+	}
+	*frames = append(*frames, frame{retPC: retPC, locals: locals, fnIdx: fi})
+	return fn.Entry, nil
+}
+
+// object pops an object reference and resolves it.
+func (m *VM) object() (*object, error) {
+	ref, err := m.pop()
+	if err != nil {
+		return nil, err
+	}
+	if ref < 0 || int(ref) >= len(m.heap) {
+		return nil, fmt.Errorf("vm: invalid object reference %d", ref)
+	}
+	return &m.heap[ref], nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,312 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/ras"
+	"github.com/oocsb/ibp/internal/sim"
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+func runSrc(t *testing.T, src string, opts Options) (int64, trace.Trace) {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(p, opts)
+	v, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v, m.Trace()
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		body string
+		want int64
+	}{
+		{"push 2\npush 3\nadd\nret", 5},
+		{"push 7\npush 3\nsub\nret", 4},
+		{"push 6\npush 7\nmul\nret", 42},
+		{"push 17\npush 5\nmod\nret", 2},
+		{"push 9\nneg\nret", -9},
+		{"push 2\npush 3\nlt\nret", 1},
+		{"push 3\npush 3\nlt\nret", 0},
+		{"push 3\npush 3\neq\nret", 1},
+		{"push 0\nnot\nret", 1},
+		{"push 5\ndup\nadd\nret", 10},
+		{"push 1\npush 2\npop\nret", 1},
+	}
+	for _, c := range cases {
+		v, _ := runSrc(t, "func main\n"+c.body, Options{})
+		if v != c.want {
+			t.Errorf("%q = %d, want %d", c.body, v, c.want)
+		}
+	}
+}
+
+func TestLocalsAndControl(t *testing.T) {
+	src := `
+func main locals=2
+  push 0
+  store 1
+  push 5
+  store 0
+loop:
+  load 0
+  jz done
+  load 1
+  load 0
+  add
+  store 1
+  load 0
+  push 1
+  sub
+  store 0
+  jmp loop
+done:
+  load 1
+  ret
+`
+	v, _ := runSrc(t, src, Options{})
+	if v != 15 { // 5+4+3+2+1
+		t.Errorf("sum = %d, want 15", v)
+	}
+}
+
+func TestFibSample(t *testing.T) {
+	v, tr, err := RunSample("fib", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1597 { // fib(17)
+		t.Errorf("fib(17) = %d, want 1597", v)
+	}
+	calls := tr.CountKind(trace.DirectCall)
+	rets := tr.CountKind(trace.Return)
+	if calls == 0 || rets == 0 {
+		t.Fatalf("fib trace: %d calls, %d returns", calls, rets)
+	}
+	// Every traced return must be perfectly predicted by a deep RAS: the
+	// §2 premise on a real program.
+	res := ras.Simulate(tr, 64)
+	if res.Misses != 0 {
+		t.Errorf("RAS missed %d/%d returns on fib", res.Misses, res.Returns)
+	}
+}
+
+func TestTokensSampleIsSwitchWorkload(t *testing.T) {
+	_, tr, err := RunSample("tokens", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switches := tr.CountKind(trace.SwitchJump)
+	if switches < 3000 {
+		t.Fatalf("tokens trace has only %d switch records", switches)
+	}
+	targets := map[uint32]bool{}
+	site := uint32(0)
+	for _, r := range tr {
+		if r.Kind == trace.SwitchJump {
+			targets[r.Target] = true
+			if site == 0 {
+				site = r.PC
+			} else if r.PC != site {
+				t.Fatal("tokens should have a single switch site")
+			}
+		}
+	}
+	if len(targets) != 8 {
+		t.Errorf("switch reaches %d targets, want 8", len(targets))
+	}
+}
+
+func TestShapesSampleIsVCallWorkload(t *testing.T) {
+	_, tr, err := RunSample("shapes", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcalls := tr.CountKind(trace.VirtualCall)
+	if vcalls != 2000 {
+		t.Fatalf("shapes trace has %d vcalls, want 2000", vcalls)
+	}
+	// The class mix cycles with period 3: a BTB suffers, a p>=1 two-level
+	// predictor learns it (the paper's whole point, on a real program).
+	ind := tr.Indirect()
+	btb := sim.MissRate(core.NewBTB(nil, core.UpdateTwoMiss), ind)
+	two := sim.MissRate(core.MustTwoLevel(core.Config{PathLength: 2, Precision: core.AutoPrecision}), ind)
+	if two >= btb/2 {
+		t.Errorf("two-level (%.1f%%) should be far below BTB (%.1f%%) on the cyclic vcall mix", two, btb)
+	}
+}
+
+func TestDispatchSampleUsesIndirectCalls(t *testing.T) {
+	_, tr, err := RunSample("dispatch", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	icalls := tr.CountKind(trace.IndirectCall)
+	if icalls != 3000 {
+		t.Fatalf("dispatch trace has %d indirect calls, want 3000", icalls)
+	}
+	targets := map[uint32]bool{}
+	for _, r := range tr {
+		if r.Kind == trace.IndirectCall {
+			targets[r.Target] = true
+		}
+	}
+	if len(targets) != 3 {
+		t.Errorf("indirect calls reach %d targets, want 3", len(targets))
+	}
+}
+
+func TestTraceDispatchMode(t *testing.T) {
+	_, tr, err := RunSample("tokens", Options{TraceDispatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jumps := 0
+	for _, r := range tr {
+		if r.Kind == trace.IndirectJump {
+			jumps++
+			if r.PC < HandlerBase || r.Target < HandlerBase {
+				t.Fatalf("dispatch record outside handler space: %+v", r)
+			}
+		}
+	}
+	if jumps < 10000 {
+		t.Errorf("dispatch tracing produced only %d records", jumps)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("invalid dispatch trace: %v", err)
+	}
+	// Threaded dispatch is the hardest single-site-style workload for a
+	// BTB; a path-based predictor does far better (the paper's
+	// interpreter story).
+	ind := tr.Indirect()
+	btb := sim.MissRate(core.NewBTB(nil, core.UpdateTwoMiss), ind)
+	two := sim.MissRate(core.MustTwoLevel(core.Config{PathLength: 6, Precision: core.AutoPrecision}), ind)
+	if two >= btb {
+		t.Errorf("two-level (%.1f%%) should beat BTB (%.1f%%) on dispatch trace", two, btb)
+	}
+}
+
+func TestTraceCondMode(t *testing.T) {
+	_, tr, err := RunSample("fib", Options{TraceCond: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CountKind(trace.Cond) == 0 {
+		t.Error("TraceCond produced no conditional records")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, a, err := RunSample("shapes", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := RunSample("shapes", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestRunSampleUnknown(t *testing.T) {
+	if _, _, err := RunSample("nonesuch", Options{}); err == nil {
+		t.Error("unknown sample accepted")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"underflow", "func main\nadd\nret", "underflow"},
+		{"divzero", "func main\npush 1\npush 0\nmod\nret", "modulo"},
+		{"badlocal", "func main\nload 3\nret", "local"},
+		{"badstore", "func main\npush 1\nstore 9\nret", "local"},
+		{"dupempty", "func main\ndup\nret", "dup"},
+		{"badfn", "func main\npush 99\ncallfn\nret", "invalid function"},
+		{"badobj", "func main\npush 42\ngetf 0\nret", "object"},
+		{"vcallbad", "func main\npush 7\nvcall 0\nret", "invalid object"},
+		{"steps", "func main\nloop:\njmp loop", "steps"},
+	}
+	for _, c := range cases {
+		p, err := Assemble(c.src)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", c.name, err)
+		}
+		m := New(p, Options{MaxSteps: 10000})
+		if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error = %v, want containing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestObjects(t *testing.T) {
+	src := `
+class Pair fields=2 vtable=Pair.sum
+func Pair.sum params=1
+  load 0
+  getf 0
+  load 0
+  getf 1
+  add
+  ret
+func main locals=1
+  new Pair
+  store 0
+  load 0
+  push 11
+  setf 0
+  load 0
+  push 31
+  setf 1
+  load 0
+  vcall 0
+  ret
+`
+	v, tr := runSrc(t, src, Options{})
+	if v != 42 {
+		t.Errorf("Pair.sum = %d, want 42", v)
+	}
+	if tr.CountKind(trace.VirtualCall) != 1 {
+		t.Errorf("vcall count = %d", tr.CountKind(trace.VirtualCall))
+	}
+}
+
+func TestCallStackOverflow(t *testing.T) {
+	src := "func main\ncall main\nret"
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, Options{MaxSteps: 1_000_000})
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("infinite recursion error = %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpVCall.String() != "vcall" || OpPush.String() != "push" {
+		t.Error("op names")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Error("unknown op stringer")
+	}
+}

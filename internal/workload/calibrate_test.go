@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/sim"
+)
+
+// TestCalibrationBTB pins each benchmark's unconstrained BTB-2bc
+// misprediction rate to the paper's Table A-1 anchor within a tolerance
+// band. The bands are wide (the substrate is synthetic) but tight enough
+// that the benchmarks keep their relative difficulty ordering.
+func TestCalibrationBTB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs full traces")
+	}
+	const tolerance = 10.0 // percentage points
+	for _, cfg := range Suite() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := cfg.MustGenerate(DefaultBranches)
+			got := sim.MissRate(core.NewBTB(nil, core.UpdateTwoMiss), tr)
+			want := cfg.Meta.PaperBTB
+			t.Logf("%-8s btb-2bc: got %6.2f%%  paper %6.2f%%", cfg.Name, got, want)
+			if math.Abs(got-want) > tolerance {
+				t.Errorf("%s: BTB-2bc %.2f%%, paper %.2f%% (tolerance %.0f)", cfg.Name, got, want, tolerance)
+			}
+		})
+	}
+}
+
+// TestCalibrationShape pins the headline shape results on the AVG group
+// (Figure 9): an unconstrained BTB around 25%, a two-level minimum in the
+// single digits at a small path length, better than a threefold improvement
+// over the BTB, and a rising tail at long path lengths.
+func TestCalibrationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs full traces")
+	}
+	var avg []Config
+	for _, c := range Suite() {
+		if c.Meta.InstrPerIndirect <= 200 {
+			avg = append(avg, c)
+		}
+	}
+	if len(avg) != 13 {
+		t.Fatalf("AVG group has %d benchmarks, want 13", len(avg))
+	}
+	paths := []int{0, 1, 2, 3, 6, 12, 18}
+	rates := make(map[int]float64)
+	for _, c := range avg {
+		tr := c.MustGenerate(DefaultBranches)
+		for _, p := range paths {
+			kind := "exact"
+			if p == 0 {
+				kind = "unbounded"
+			}
+			pred := core.MustTwoLevel(core.Config{PathLength: p, Precision: 0, TableKind: kind})
+			rates[p] += sim.MissRate(pred, tr) / float64(len(avg))
+		}
+	}
+	for _, p := range paths {
+		t.Logf("p=%-2d AVG %.2f%%", p, rates[p])
+	}
+	if rates[0] < 18 || rates[0] > 32 {
+		t.Errorf("AVG BTB (p=0) = %.2f%%, paper 24.9%%", rates[0])
+	}
+	best := math.Inf(1)
+	for _, p := range []int{2, 3, 6} {
+		best = math.Min(best, rates[p])
+	}
+	if best > 9.5 {
+		t.Errorf("best two-level AVG = %.2f%%, want single digits (paper 5.8%%)", best)
+	}
+	if rates[0]/best < 2.5 {
+		t.Errorf("two-level improvement only %.1fx over BTB, paper reports >3x", rates[0]/best)
+	}
+	if rates[2] >= rates[0]/2 {
+		t.Errorf("p=2 (%.2f%%) should be far below BTB (%.2f%%)", rates[2], rates[0])
+	}
+	if rates[18] <= rates[6] {
+		t.Errorf("long paths should pay a warm-up cost: p=18 %.2f%% vs p=6 %.2f%%", rates[18], rates[6])
+	}
+}
+
+// TestCalibrationGlobalHistory pins the Figure 5 headline: a global history
+// beats per-branch histories on the AVG group at p=8.
+func TestCalibrationGlobalHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs full traces")
+	}
+	var global, perBranch float64
+	n := 0
+	for _, c := range Suite() {
+		if c.Meta.InstrPerIndirect > 200 {
+			continue
+		}
+		tr := c.MustGenerate(DefaultBranches / 2)
+		g := core.MustTwoLevel(core.Config{PathLength: 8, HistShare: 32, Precision: 0, TableKind: "exact"})
+		pb := core.MustTwoLevel(core.Config{PathLength: 8, HistShare: 2, Precision: 0, TableKind: "exact"})
+		global += sim.MissRate(g, tr)
+		perBranch += sim.MissRate(pb, tr)
+		n++
+	}
+	global /= float64(n)
+	perBranch /= float64(n)
+	t.Logf("p=8: global %.2f%%, per-branch %.2f%% (paper: 6.0%% vs 9.4%%)", global, perBranch)
+	if global >= perBranch {
+		t.Errorf("global history (%.2f%%) must beat per-branch (%.2f%%)", global, perBranch)
+	}
+}

@@ -1,0 +1,789 @@
+// Package workload generates synthetic indirect-branch traces with the
+// statistical structure the paper's predictors exploit. The paper traced
+// real SPECint95 and C++ binaries under the shade simulator; this package
+// replaces those traces with a "loop corpus" program model:
+//
+//   - A program is a set of indirect branch *sites*, clustered in the
+//     address space like functions in modules, each with a small set of
+//     possible targets (virtual function implementations, switch cases,
+//     function pointees).
+//   - Control flow consists of *loops*: short cyclic sequences of
+//     (site, target) steps, as produced by iterating over homogeneous or
+//     patterned data structures. A loop executes for a geometrically
+//     distributed number of iterations, then control transfers to another
+//     loop.
+//   - Loops belong to *phases*; the active phase changes periodically,
+//     modelling program phase behaviour (parse, analyse, emit, …).
+//   - Some sites are *data-dependent*: their target is drawn per visit from
+//     a biased distribution, independent of history (input-driven
+//     dispatch).
+//   - A small *noise* rate perturbs otherwise deterministic steps.
+//
+// These five ingredients produce exactly the phenomena the paper measures:
+// per-site dominant targets (BTB-2bc beats BTB), short-period path
+// regularities (two-level predictors win, with diminishing returns in p),
+// longer-period regularities (long paths win given table capacity), warm-up
+// and phase-change costs (long paths lose on small tables; hybrids win), and
+// inter-branch correlation that only a global history can see.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// Config describes one synthetic benchmark. See Suite for the 17
+// paper-calibrated instances.
+type Config struct {
+	// Name identifies the benchmark (paper benchmark names).
+	Name string
+	// Meta carries the paper's Tables 1–2 characteristics for reporting.
+	Meta Meta
+	// Seed makes the benchmark bit-reproducible.
+	Seed uint64
+
+	// Sites is the number of static indirect branch sites.
+	Sites int
+	// Clusters is the number of address-space clusters the sites are
+	// spread over (module/function locality; drives the history-sharing
+	// sweep of Figure 5).
+	Clusters int
+	// TargetsPerSite is the mean number of distinct targets per site
+	// (minimum 1; distribution is 1 + geometric).
+	TargetsPerSite float64
+	// Loops is the number of distinct loops in the corpus.
+	Loops int
+	// LoopLenMax bounds loop lengths; lengths are drawn 1..LoopLenMax,
+	// biased short (the paper finds most regularities have period < 6).
+	LoopLenMax int
+	// LoopLenMean is the mean of the (geometric) loop length
+	// distribution; 0 selects the default of 3.2 steps.
+	LoopLenMean float64
+	// MeanRepeats is the mean number of consecutive iterations a loop
+	// runs per activation.
+	MeanRepeats float64
+	// Phases is the number of program phases (1 = no phase behaviour).
+	Phases int
+	// PhaseLen is the number of indirect branches per phase segment.
+	PhaseLen int
+	// Polymorphism is the probability that a loop's use of a site picks a
+	// non-dominant target (sites shared across loops with different
+	// targets are what defeats a BTB).
+	Polymorphism float64
+	// SharedMotifs is the fraction of loop content drawn from a shared
+	// pool of short fixed (site, target) sequences — common helper-call
+	// idioms. Steps following a shared motif are ambiguous for short
+	// path lengths (the motif hides which loop is running) and resolve
+	// under longer paths, producing the paper's path-length curve.
+	SharedMotifs float64
+	// SiteReuse is the probability that a loop step revisits a site
+	// already used earlier in the same loop with a different target, so
+	// the site cycles through targets within one iteration: near-worst
+	// case for a BTB, trivially learnable for a path-based predictor
+	// (the m88ksim pattern).
+	SiteReuse float64
+	// RandomSiteFrac is the fraction of sites that are data-dependent.
+	RandomSiteFrac float64
+	// Dominance is the probability a data-dependent site takes its
+	// dominant target on a visit.
+	Dominance float64
+	// Noise is the probability a deterministic step is perturbed to a
+	// random alternative target.
+	Noise float64
+
+	// InstrPerIndirect is the mean instruction distance between indirect
+	// branches (Tables 1–2).
+	InstrPerIndirect int
+	// CondPerIndirect is the mean number of conditional branches per
+	// indirect branch. Emission is capped at MaxCondRecords per indirect;
+	// the instruction counts remain exact.
+	CondPerIndirect float64
+	// VCallFrac is the fraction of sites that are virtual calls; the
+	// remainder split between switch jumps, indirect calls and jumps.
+	VCallFrac float64
+	// EmitReturns interleaves properly nested call/return records so the
+	// return address stack premise (§2) can be exercised.
+	EmitReturns bool
+}
+
+// MaxCondRecords caps how many conditional-branch records are emitted per
+// indirect branch (the AVG-infreq benchmarks execute hundreds to thousands;
+// emitting them all would dwarf the trace without affecting indirect
+// prediction).
+const MaxCondRecords = 32
+
+// DefaultBranches is the default trace length in indirect branches; the
+// paper uses up to 6M, which remains available by passing a larger n.
+const DefaultBranches = 80_000
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Sites <= 0:
+		return fmt.Errorf("workload %s: Sites must be positive", c.Name)
+	case c.Clusters <= 0 || c.Clusters > c.Sites:
+		return fmt.Errorf("workload %s: Clusters %d out of range [1,%d]", c.Name, c.Clusters, c.Sites)
+	case c.TargetsPerSite < 1:
+		return fmt.Errorf("workload %s: TargetsPerSite %v < 1", c.Name, c.TargetsPerSite)
+	case c.Loops <= 0:
+		return fmt.Errorf("workload %s: Loops must be positive", c.Name)
+	case c.LoopLenMax <= 0:
+		return fmt.Errorf("workload %s: LoopLenMax must be positive", c.Name)
+	case c.MeanRepeats < 1:
+		return fmt.Errorf("workload %s: MeanRepeats %v < 1", c.Name, c.MeanRepeats)
+	case c.Phases <= 0:
+		return fmt.Errorf("workload %s: Phases must be positive", c.Name)
+	case c.Phases > 1 && c.PhaseLen <= 0:
+		return fmt.Errorf("workload %s: PhaseLen must be positive with %d phases", c.Name, c.Phases)
+	case c.Polymorphism < 0 || c.Polymorphism > 1:
+		return fmt.Errorf("workload %s: Polymorphism %v out of [0,1]", c.Name, c.Polymorphism)
+	case c.SharedMotifs < 0 || c.SharedMotifs > 1:
+		return fmt.Errorf("workload %s: SharedMotifs %v out of [0,1]", c.Name, c.SharedMotifs)
+	case c.SiteReuse < 0 || c.SiteReuse > 1:
+		return fmt.Errorf("workload %s: SiteReuse %v out of [0,1]", c.Name, c.SiteReuse)
+	case c.RandomSiteFrac < 0 || c.RandomSiteFrac > 1:
+		return fmt.Errorf("workload %s: RandomSiteFrac %v out of [0,1]", c.Name, c.RandomSiteFrac)
+	case c.Dominance < 0 || c.Dominance > 1:
+		return fmt.Errorf("workload %s: Dominance %v out of [0,1]", c.Name, c.Dominance)
+	case c.Noise < 0 || c.Noise > 1:
+		return fmt.Errorf("workload %s: Noise %v out of [0,1]", c.Name, c.Noise)
+	case c.InstrPerIndirect < 1:
+		return fmt.Errorf("workload %s: InstrPerIndirect must be positive", c.Name)
+	case c.CondPerIndirect < 0:
+		return fmt.Errorf("workload %s: CondPerIndirect negative", c.Name)
+	case c.VCallFrac < 0 || c.VCallFrac > 1:
+		return fmt.Errorf("workload %s: VCallFrac %v out of [0,1]", c.Name, c.VCallFrac)
+	}
+	return nil
+}
+
+// site is one static indirect branch.
+type site struct {
+	pc      uint32
+	kind    trace.Kind
+	targets []uint32
+	random  bool // data-dependent: target drawn per visit
+	// state is the current target index of a data-dependent site. The
+	// target evolves as a sticky Markov chain over the site's small
+	// target set: unpredictable from history (the data decides), but the
+	// values it injects into histories recur, as real data-driven
+	// dispatch does.
+	state int
+}
+
+// step is one position in a loop body.
+type step struct {
+	site int
+	// tgt indexes the site's target set; -1 means draw per visit
+	// (data-dependent site).
+	tgt int
+}
+
+type loop struct {
+	steps []step
+	home  int // home cluster (call locality)
+	// succ are the loops control can transfer to after this one. Real
+	// programs transfer between loops along a sparse static structure
+	// (the caller's loop), which is what lets long-path predictors learn
+	// boundary patterns.
+	succ []int
+}
+
+// program is a fully materialized benchmark: sites, loops and phases, ready
+// to emit a trace of any length.
+type program struct {
+	cfg    Config
+	rng    *rand.Rand
+	sites  []site
+	motifs []motif
+	loops  []loop
+	phases [][]int // loop indices per phase
+}
+
+// motif is a shared fixed (site, target) idiom plus its continuation site: a
+// branch site that many loops execute right after the motif, each with its
+// own target. Predicting the continuation requires seeing past the motif —
+// the paper's short-path ambiguity in its purest form.
+type motif struct {
+	steps  []step
+	csites [2]int
+}
+
+// Address space layout (word-aligned, well under 2^31 so s=31 is global):
+// clusters of branch sites from 0x0010_0000, target code from 0x0080_0000.
+const (
+	siteBase    = 0x0010_0000
+	clusterSize = 0x4000 // 16 KiB between cluster bases
+	targetBase  = 0x0080_0000
+	targetSpan  = 0x0040_0000 // 4 MiB of callee code
+)
+
+// build materializes the program structure from the seed.
+func build(cfg Config) (*program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &program{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9E3779B97F4A7C15)),
+	}
+	p.buildSites()
+	p.buildMotifs()
+	p.buildLoops()
+	p.buildPhases()
+	p.buildSuccessors()
+	return p, nil
+}
+
+func (p *program) buildSites() {
+	cfg := p.cfg
+	p.sites = make([]site, cfg.Sites)
+	perCluster := (cfg.Sites + cfg.Clusters - 1) / cfg.Clusters
+	used := make(map[uint32]bool)
+	// Targets are drawn from per-cluster pools, so different sites often
+	// share targets (common handlers, shared methods). Target sharing is
+	// what makes one-deep histories ambiguous in real programs: seeing
+	// "the last branch went to F" rarely identifies the calling context.
+	pools := make([][]uint32, cfg.Clusters)
+	for c := range pools {
+		n := int(float64(perCluster)*cfg.TargetsPerSite/2.5) + 3
+		pool := make([]uint32, n)
+		for j := range pool {
+			// Random word-aligned callee addresses: low-order
+			// bits carry entropy, as real function entry points
+			// do. This is what makes the paper's low-order bit
+			// selection (§4.1) work.
+			pool[j] = uint32(targetBase + p.rng.IntN(targetSpan/4)*4)
+		}
+		pools[c] = pool
+	}
+	// Data-dependent sites are clustered (the input-driven parts of a
+	// program are whole modules, not scattered branches), so their
+	// history pollution stays confined to the loops that visit them.
+	nRandom := int(cfg.RandomSiteFrac*float64(cfg.Sites) + 0.5)
+	for i := range p.sites {
+		cluster := i / perCluster
+		// Spread sites pseudo-randomly within their cluster.
+		pc := uint32(siteBase + cluster*clusterSize + p.rng.IntN(clusterSize/4)*4)
+		for used[pc] {
+			pc += 4
+		}
+		used[pc] = true
+		random := i < nRandom
+		nt := 1 + sampleGeometric(p.rng, cfg.TargetsPerSite-1)
+		if random {
+			// Data-dependent sites dispatch between two targets
+			// (think: leaf vs. interior node). Two values maximize
+			// the unpredictability-per-pattern-dilution ratio, so
+			// the floor they create stays nearly flat in path
+			// length, as the paper's floors do.
+			nt = 2
+		}
+		pool := pools[cluster]
+		if nt > len(pool) {
+			nt = len(pool)
+		}
+		targets := make([]uint32, 0, nt)
+		for len(targets) < nt {
+			cand := pool[p.rng.IntN(len(pool))]
+			dup := false
+			for _, t := range targets {
+				if t == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				targets = append(targets, cand)
+			}
+		}
+		p.sites[i] = site{
+			pc:      pc,
+			kind:    p.siteKind(i),
+			targets: targets,
+			random:  random,
+		}
+	}
+}
+
+// siteKind assigns branch kinds per the configured virtual-call fraction,
+// splitting the remainder among switches, indirect calls and jumps.
+func (p *program) siteKind(i int) trace.Kind {
+	if p.rng.Float64() < p.cfg.VCallFrac {
+		return trace.VirtualCall
+	}
+	switch p.rng.IntN(3) {
+	case 0:
+		return trace.SwitchJump
+	case 1:
+		return trace.IndirectCall
+	default:
+		return trace.IndirectJump
+	}
+}
+
+// buildMotifs creates the shared pool of fixed short idioms, a few per
+// cluster (think: the call sequence of a common helper).
+func (p *program) buildMotifs() {
+	cfg := p.cfg
+	// Each cluster has a couple of hot dispatch sites every motif of the
+	// cluster continues through (like an interpreter's loop head): the
+	// same site is reached from many contexts, each wanting a different
+	// target, which concentrates exactly the ambiguity path-based
+	// prediction resolves.
+	dispatch := make([][2]int, cfg.Clusters)
+	for c := range dispatch {
+		dispatch[c] = [2]int{p.pickSite(c, 1.0), p.pickSite(c, 1.0)}
+	}
+	nMotifs := cfg.Loops/2 + 1
+	p.motifs = make([]motif, nMotifs)
+	for mi := range p.motifs {
+		cluster := mi % cfg.Clusters
+		length := 2 + p.rng.IntN(5) // 2–6 steps: continuations resolve at p = len+1
+		m := make([]step, 0, length)
+		for j := 0; j < length; j++ {
+			si := p.pickSite(cluster, 1.0)
+			s := &p.sites[si]
+			st := step{site: si}
+			if s.random {
+				st.tgt = -1
+			} else {
+				st.tgt = p.rng.IntN(len(s.targets))
+			}
+			m = append(m, st)
+		}
+		p.motifs[mi] = motif{steps: m, csites: dispatch[cluster]}
+	}
+}
+
+// pickSite chooses a site, from the given cluster with probability affinity,
+// otherwise from anywhere.
+func (p *program) pickSite(cluster int, affinity float64) int {
+	cfg := p.cfg
+	perCluster := (cfg.Sites + cfg.Clusters - 1) / cfg.Clusters
+	if p.rng.Float64() >= affinity {
+		cluster = p.rng.IntN(cfg.Clusters)
+	}
+	lo := cluster * perCluster
+	hi := lo + perCluster
+	if hi > cfg.Sites {
+		hi = cfg.Sites
+	}
+	if lo >= hi {
+		return p.rng.IntN(cfg.Sites)
+	}
+	return lo + p.rng.IntN(hi-lo)
+}
+
+func (p *program) buildLoops() {
+	cfg := p.cfg
+	p.loops = make([]loop, cfg.Loops)
+	for li := range p.loops {
+		length := 1 + p.sampleLoopLen()
+		steps := make([]step, 0, length)
+		// Loops are cluster-affine: most steps use sites from a home
+		// cluster (call locality), occasionally crossing clusters.
+		home := p.rng.IntN(cfg.Clusters)
+		for len(steps) < length {
+			// Shared motif block: a fixed idiom common to many
+			// loops, followed by its continuation site with a
+			// loop-specific target — only predictable from history
+			// deeper than the motif.
+			if cfg.SharedMotifs > 0 && p.rng.Float64() < cfg.SharedMotifs {
+				m := p.motifs[p.pickMotif(home)]
+				steps = append(steps, m.steps...)
+				for _, csite := range m.csites {
+					cs := &p.sites[csite]
+					st := step{site: csite}
+					if cs.random {
+						st.tgt = -1
+					} else {
+						st.tgt = p.rng.IntN(len(cs.targets))
+					}
+					steps = append(steps, st)
+				}
+				continue
+			}
+			// Within-loop site reuse: revisit an earlier site with
+			// a different target so it cycles within one iteration.
+			if cfg.SiteReuse > 0 && len(steps) > 0 && p.rng.Float64() < cfg.SiteReuse {
+				prev := steps[p.rng.IntN(len(steps))]
+				if prev.tgt >= 0 {
+					s := &p.sites[prev.site]
+					if nt, ok := p.unusedTarget(steps, prev.site, len(s.targets)); ok {
+						// The site now cycles through one
+						// more distinct target per
+						// iteration: each extra target
+						// defeats the BTB's hysteresis a
+						// little more.
+						steps = append(steps, step{site: prev.site, tgt: nt})
+						continue
+					}
+				}
+			}
+			si := p.pickSite(home, 0.8)
+			st := step{site: si}
+			s := &p.sites[si]
+			switch {
+			case s.random:
+				st.tgt = -1
+			case p.rng.Float64() < cfg.Polymorphism:
+				st.tgt = p.rng.IntN(len(s.targets))
+			default:
+				st.tgt = 0 // the site's dominant target
+			}
+			steps = append(steps, st)
+		}
+		p.loops[li] = loop{steps: steps, home: home}
+	}
+}
+
+// unusedTarget returns a target index of site not yet used by any step in
+// steps, or (if all are used) one differing from the site's last appearance.
+func (p *program) unusedTarget(steps []step, site, nTargets int) (int, bool) {
+	if nTargets <= 1 {
+		return 0, false
+	}
+	used := make([]bool, nTargets)
+	last := -1
+	for _, st := range steps {
+		if st.site == site && st.tgt >= 0 {
+			used[st.tgt] = true
+			last = st.tgt
+		}
+	}
+	free := make([]int, 0, nTargets)
+	for i, u := range used {
+		if !u {
+			free = append(free, i)
+		}
+	}
+	if len(free) > 0 {
+		return free[p.rng.IntN(len(free))], true
+	}
+	nt := p.rng.IntN(nTargets - 1)
+	if nt >= last {
+		nt++
+	}
+	return nt, true
+}
+
+// pickMotif selects a motif, preferring those of the loop's home cluster.
+func (p *program) pickMotif(home int) int {
+	n := len(p.motifs)
+	for tries := 0; tries < 4; tries++ {
+		mi := p.rng.IntN(n)
+		if mi%p.cfg.Clusters == home {
+			return mi
+		}
+	}
+	return p.rng.IntN(n)
+}
+
+// buildSuccessors wires the sparse loop-transition graph: each loop gets a
+// few successor loops within its phase, biased toward its home cluster
+// (call locality). Sparse, static successors make boundary-spanning history
+// patterns recur, which is what real call structure does.
+func (p *program) buildSuccessors() {
+	for ph := range p.phases {
+		members := p.phases[ph]
+		if len(members) == 0 {
+			continue
+		}
+		for _, li := range members {
+			n := 2 + p.rng.IntN(2) // 2–3 successors
+			if n > len(members) {
+				n = len(members)
+			}
+			succ := make([]int, 0, n)
+			for len(succ) < n {
+				cand := members[p.rng.IntN(len(members))]
+				// Prefer same-cluster successors: shared sites
+				// across temporally adjacent loops are what
+				// defeats a BTB.
+				if p.loops[cand].home != p.loops[li].home && p.rng.Float64() < 0.6 {
+					continue
+				}
+				dup := false
+				for _, s := range succ {
+					if s == cand {
+						dup = true
+						break
+					}
+				}
+				if !dup || len(members) <= n {
+					succ = append(succ, cand)
+				}
+			}
+			p.loops[li].succ = succ
+		}
+	}
+}
+
+// sampleLoopLen draws a loop length in [0, LoopLenMax), biased short: most
+// regularities in real traces have a period below six (§3.2.3).
+func (p *program) sampleLoopLen() int {
+	max := p.cfg.LoopLenMax
+	mean := p.cfg.LoopLenMean
+	if mean <= 0 {
+		mean = 2.2
+	} else if mean > 1 {
+		mean-- // account for the +1 applied by the caller
+	}
+	n := sampleGeometric(p.rng, mean)
+	if n >= max {
+		n = p.rng.IntN(max)
+	}
+	return n
+}
+
+func (p *program) buildPhases() {
+	cfg := p.cfg
+	p.phases = make([][]int, cfg.Phases)
+	for li := range p.loops {
+		// Phases are cluster-aligned: a phase works within a group of
+		// modules, so the loops interleaving at any moment share
+		// clusters — and hence sites and motifs. That interleaving is
+		// what turns static target ambiguity into dynamic
+		// mispredictions.
+		ph := p.loops[li].home % cfg.Phases
+		p.phases[ph] = append(p.phases[ph], li)
+	}
+	// Guard against empty phases (fewer clusters than phases): fold them
+	// away by borrowing from the next non-empty phase.
+	for ph := range p.phases {
+		if len(p.phases[ph]) == 0 {
+			src := p.phases[(ph+1)%cfg.Phases]
+			for len(src) == 0 {
+				src = p.phases[p.rng.IntN(cfg.Phases)]
+			}
+			p.phases[ph] = src
+		}
+	}
+}
+
+// sampleGeometric draws a geometric variate with the given mean (>= 0).
+func sampleGeometric(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// P(stop) per trial q = 1/(mean+1) gives E[X] = mean.
+	q := 1 / (mean + 1)
+	n := 0
+	for rng.Float64() >= q {
+		n++
+		if n > 1<<16 {
+			break
+		}
+	}
+	return n
+}
+
+// zipfPick picks an index in [0,n) with weight 1/(i+1) (hot loops dominate,
+// matching the skewed site-coverage of Tables 1–2).
+func zipfPick(rng *rand.Rand, n int) int {
+	if n == 1 {
+		return 0
+	}
+	// Inverse-CDF over harmonic weights via rejection-free cumulative
+	// scan; n is small (loops per phase), so a linear scan is fine.
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+	}
+	x := rng.Float64() * total
+	for i := 0; i < n; i++ {
+		x -= 1 / float64(i+1)
+		if x <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// Generate produces a trace containing n indirect branches (plus conditional
+// and return records as configured). The same Config and n always produce
+// the same trace.
+func (c Config) Generate(n int) (trace.Trace, error) {
+	p, err := build(c)
+	if err != nil {
+		return nil, err
+	}
+	return p.emit(n), nil
+}
+
+// MustGenerate is Generate for statically-known configurations.
+func (c Config) MustGenerate(n int) trace.Trace {
+	tr, err := c.Generate(n)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// emitter state for call/return pairing.
+type callFrame struct {
+	callee uint32 // target of the call (the callee entry point)
+	ret    uint32 // fall-through return address
+}
+
+func (p *program) emit(n int) trace.Trace {
+	cfg := p.cfg
+	est := n
+	if cfg.CondPerIndirect > 0 {
+		extra := cfg.CondPerIndirect
+		if extra > MaxCondRecords {
+			extra = MaxCondRecords
+		}
+		est += int(float64(n) * extra)
+	}
+	out := make(trace.Trace, 0, est)
+	var stack []callFrame
+
+	emitted := 0
+	phase := 0
+	inPhase := 0
+	li := -1
+	for emitted < n {
+		loops := p.phases[phase%len(p.phases)]
+		if len(loops) == 0 {
+			phase++
+			continue
+		}
+		if li < 0 {
+			// Phase entry: start from a hot loop of the phase.
+			li = loops[zipfPick(p.rng, len(loops))]
+		}
+		repeats := 1 + sampleGeometric(p.rng, cfg.MeanRepeats-1)
+		for r := 0; r < repeats && emitted < n; r++ {
+			for _, st := range p.loops[li].steps {
+				if emitted >= n {
+					break
+				}
+				out = p.emitStep(out, st, &stack)
+				emitted++
+				inPhase++
+				if cfg.Phases > 1 && inPhase >= cfg.PhaseLen {
+					inPhase = 0
+					phase++
+					li = -1
+					r = repeats // leave the loop activation too
+				}
+			}
+			if li < 0 {
+				break
+			}
+		}
+		if li >= 0 {
+			// Transfer along the sparse successor graph.
+			succ := p.loops[li].succ
+			li = succ[p.rng.IntN(len(succ))]
+		}
+	}
+	// Unwind any remaining call frames so call/return records pair up.
+	if cfg.EmitReturns {
+		for len(stack) > 0 {
+			out = p.emitReturn(out, &stack)
+		}
+	}
+	return out
+}
+
+// emitStep appends the conditional, gap and indirect records for one loop
+// step, plus call/return bookkeeping.
+func (p *program) emitStep(out trace.Trace, st step, stack *[]callFrame) trace.Trace {
+	cfg := p.cfg
+	s := &p.sites[st.site]
+
+	// Resolve the target.
+	ti := st.tgt
+	switch {
+	case ti < 0: // data-dependent site: sticky Markov walk
+		if len(s.targets) > 1 && p.rng.Float64() >= cfg.Dominance {
+			next := p.rng.IntN(len(s.targets) - 1)
+			if next >= s.state {
+				next++
+			}
+			s.state = next
+		}
+		ti = s.state
+	case cfg.Noise > 0 && len(s.targets) > 1 && p.rng.Float64() < cfg.Noise:
+		ti = p.rng.IntN(len(s.targets))
+	}
+	target := s.targets[ti]
+
+	// Instruction budget for this step, split across the conditional
+	// records and the indirect branch itself.
+	total := 1 + p.rng.IntN(2*cfg.InstrPerIndirect-1) // mean ≈ InstrPerIndirect
+	conds := sampleConds(p.rng, cfg.CondPerIndirect)
+	if conds > MaxCondRecords {
+		conds = MaxCondRecords
+	}
+	condGap := 0
+	if conds > 0 {
+		condGap = total / (conds + 1)
+		if condGap == 0 {
+			condGap = 1
+		}
+	}
+	spent := 0
+	for i := 0; i < conds; i++ {
+		cpc := s.pc - uint32(4*(conds-i)) // conditionals precede the branch
+		var ct uint32
+		if p.rng.Float64() < 0.6 { // taken
+			// A conditional branch has one static taken target;
+			// derive it from the branch address so replays of the
+			// same site repeat the same target.
+			ct = cpc + 8 + (cpc>>2)&0x3C
+		}
+		out = append(out, trace.Record{PC: cpc, Target: ct, Kind: trace.Cond, Gap: uint32(condGap)})
+		spent += condGap
+	}
+	gap := total - spent
+	if gap < 1 {
+		gap = 1
+	}
+
+	// Pop pending returns before the new branch. The pop probability
+	// grows with stack depth, so the call depth mean-reverts to a
+	// shallow equilibrium and a modest hardware return stack suffices.
+	if cfg.EmitReturns {
+		for len(*stack) > 0 && p.rng.Float64() < float64(len(*stack))/float64(len(*stack)+8) {
+			out = p.emitReturn(out, stack)
+		}
+	}
+	out = append(out, trace.Record{PC: s.pc, Target: target, Kind: s.kind, Gap: uint32(gap)})
+	if cfg.EmitReturns && (s.kind == trace.VirtualCall || s.kind == trace.IndirectCall) {
+		*stack = append(*stack, callFrame{callee: target, ret: s.pc + 4})
+	}
+	return out
+}
+
+// emitReturn pops the innermost call frame and appends its return record.
+// The return instruction lives in the callee, at a fixed offset past its
+// entry point.
+func (p *program) emitReturn(out trace.Trace, stack *[]callFrame) trace.Trace {
+	fr := (*stack)[len(*stack)-1]
+	*stack = (*stack)[:len(*stack)-1]
+	return append(out, trace.Record{
+		PC:     fr.callee + 0x1C,
+		Target: fr.ret,
+		Kind:   trace.Return,
+		Gap:    uint32(1 + p.rng.IntN(8)),
+	})
+}
+
+// sampleConds draws the number of conditional records for one step with the
+// given mean rate.
+func sampleConds(rng *rand.Rand, rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	n := int(rate)
+	if rng.Float64() < rate-float64(n) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/ras"
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// small returns a fast-to-generate config for structural tests.
+func small() Config {
+	return Config{
+		Name: "test", Seed: 42,
+		Sites: 40, Clusters: 4, TargetsPerSite: 3,
+		Loops: 20, LoopLenMax: 10, MeanRepeats: 3,
+		Phases: 2, PhaseLen: 1000,
+		Polymorphism: 0.5, SharedMotifs: 0.3, SiteReuse: 0.3,
+		RandomSiteFrac: 0.1, Dominance: 0.5, Noise: 0.01,
+		InstrPerIndirect: 50, CondPerIndirect: 5, VCallFrac: 0.6,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := small()
+	a := cfg.MustGenerate(5000)
+	b := cfg.MustGenerate(5000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c := cfg2.MustGenerate(5000)
+	same := len(a) == len(c)
+	if same {
+		same = false
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	tr := small().MustGenerate(5000)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	ind := tr.Indirect()
+	if len(ind) != 5000 {
+		t.Errorf("requested 5000 indirect branches, got %d", len(ind))
+	}
+}
+
+func TestGenerateStatsMatchConfig(t *testing.T) {
+	cfg := small()
+	s := trace.Summarize(cfg.MustGenerate(20000))
+	if math.Abs(s.InstrPerIndirect-float64(cfg.InstrPerIndirect)) > float64(cfg.InstrPerIndirect)/4 {
+		t.Errorf("instr/indirect = %.1f, configured %d", s.InstrPerIndirect, cfg.InstrPerIndirect)
+	}
+	if math.Abs(s.CondPerIndirect-cfg.CondPerIndirect) > 1 {
+		t.Errorf("cond/indirect = %.2f, configured %.2f", s.CondPerIndirect, cfg.CondPerIndirect)
+	}
+	if math.Abs(s.VCallFraction-cfg.VCallFrac) > 0.2 {
+		t.Errorf("vcall fraction = %.2f, configured %.2f", s.VCallFraction, cfg.VCallFrac)
+	}
+	if s.Sites > cfg.Sites {
+		t.Errorf("trace has %d sites, config allows %d", s.Sites, cfg.Sites)
+	}
+	if s.Sites < cfg.Sites/4 {
+		t.Errorf("trace uses only %d of %d sites", s.Sites, cfg.Sites)
+	}
+}
+
+func TestGenerateCondCap(t *testing.T) {
+	cfg := small()
+	cfg.CondPerIndirect = 500 // m88ksim-like; must be capped
+	tr := cfg.MustGenerate(2000)
+	s := trace.Summarize(tr)
+	if s.CondPerIndirect > MaxCondRecords+1 {
+		t.Errorf("cond/indirect = %.1f exceeds cap %d", s.CondPerIndirect, MaxCondRecords)
+	}
+	// Instruction density must still be honoured.
+	if s.InstrPerIndirect < float64(cfg.InstrPerIndirect)/2 {
+		t.Errorf("instr/indirect %.1f collapsed under cond cap", s.InstrPerIndirect)
+	}
+}
+
+func TestGenerateReturnsPairWithCalls(t *testing.T) {
+	cfg := small()
+	cfg.EmitReturns = true
+	tr := cfg.MustGenerate(20000)
+	if tr.CountKind(trace.Return) == 0 {
+		t.Fatal("EmitReturns produced no return records")
+	}
+	// A deep-enough return address stack must predict essentially all
+	// returns (§2: returns are excluded because a RAS handles them).
+	res := ras.Simulate(tr, 64)
+	if res.Returns == 0 {
+		t.Fatal("RAS simulation saw no returns")
+	}
+	if rate := res.MissRate(); rate > 1.0 {
+		t.Errorf("RAS misprediction %.2f%% on properly nested trace, want ~0", rate)
+	}
+}
+
+func TestGenerateNoReturnsByDefault(t *testing.T) {
+	tr := small().MustGenerate(2000)
+	if n := tr.CountKind(trace.Return); n != 0 {
+		t.Errorf("default config emitted %d returns", n)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Sites = 0 },
+		func(c *Config) { c.Clusters = 0 },
+		func(c *Config) { c.Clusters = c.Sites + 1 },
+		func(c *Config) { c.TargetsPerSite = 0.5 },
+		func(c *Config) { c.Loops = 0 },
+		func(c *Config) { c.LoopLenMax = 0 },
+		func(c *Config) { c.MeanRepeats = 0.5 },
+		func(c *Config) { c.Phases = 0 },
+		func(c *Config) { c.Phases = 3; c.PhaseLen = 0 },
+		func(c *Config) { c.Polymorphism = 1.5 },
+		func(c *Config) { c.SharedMotifs = -0.1 },
+		func(c *Config) { c.SiteReuse = 2 },
+		func(c *Config) { c.RandomSiteFrac = -1 },
+		func(c *Config) { c.Dominance = 1.1 },
+		func(c *Config) { c.Noise = -0.2 },
+		func(c *Config) { c.InstrPerIndirect = 0 },
+		func(c *Config) { c.CondPerIndirect = -1 },
+		func(c *Config) { c.VCallFrac = 1.2 },
+	}
+	for i, mod := range mods {
+		cfg := small()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, err := cfg.Generate(100); err == nil {
+			t.Errorf("Generate accepted bad config %d", i)
+		}
+	}
+	if err := small().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate did not panic on bad config")
+		}
+	}()
+	cfg := small()
+	cfg.Sites = -1
+	cfg.MustGenerate(10)
+}
+
+func TestSiteAddressesClustered(t *testing.T) {
+	cfg := small()
+	tr := cfg.MustGenerate(5000)
+	clusters := make(map[uint32]bool)
+	for _, r := range tr.Indirect() {
+		if r.PC < siteBase || r.PC >= siteBase+uint32(cfg.Clusters)*clusterSize {
+			t.Fatalf("site %#x outside cluster region", r.PC)
+		}
+		clusters[(r.PC-siteBase)/clusterSize] = true
+	}
+	if len(clusters) < 2 {
+		t.Errorf("trace exercises only %d clusters", len(clusters))
+	}
+	for _, r := range tr {
+		if r.Kind.Indirect() && (r.Target < targetBase || r.Target >= targetBase+targetSpan) {
+			t.Fatalf("target %#x outside callee region", r.Target)
+		}
+	}
+}
+
+func TestTargetLowBitEntropy(t *testing.T) {
+	// The paper's bit selection (§4.1) relies on target addresses varying
+	// in their low-order bits: check that bits [2..10) are well spread.
+	tr := small().MustGenerate(10000)
+	seen := make(map[uint32]bool)
+	for _, r := range tr.Indirect() {
+		seen[(r.Target>>2)&0xFF] = true
+	}
+	if len(seen) < 16 {
+		t.Errorf("targets use only %d distinct low-byte values", len(seen))
+	}
+}
+
+func TestGeometricSampler(t *testing.T) {
+	p, err := build(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += sampleGeometric(p.rng, 4)
+	}
+	mean := float64(sum) / n
+	if mean < 3.5 || mean > 4.5 {
+		t.Errorf("geometric mean %.2f, want ~4", mean)
+	}
+	if sampleGeometric(p.rng, 0) != 0 || sampleGeometric(p.rng, -1) != 0 {
+		t.Error("non-positive mean must yield 0")
+	}
+}
+
+func TestZipfPick(t *testing.T) {
+	p, err := build(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	for i := 0; i < 20000; i++ {
+		counts[zipfPick(p.rng, 8)]++
+	}
+	if counts[0] <= counts[7] {
+		t.Errorf("zipf not skewed: first=%d last=%d", counts[0], counts[7])
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("rank %d never picked", i)
+		}
+	}
+	if zipfPick(p.rng, 1) != 0 {
+		t.Error("zipfPick(1) != 0")
+	}
+}

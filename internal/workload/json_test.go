@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := small()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("round trip changed config:\n%+v\n%+v", orig, back)
+	}
+	// Round-tripped configs generate identical traces.
+	a := orig.MustGenerate(500)
+	b := back.MustGenerate(500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace record %d differs", i)
+		}
+	}
+}
+
+func TestReadJSONRejects(t *testing.T) {
+	cases := []string{
+		"",
+		"{",
+		`{"Sites": -1, "Clusters": 1}`,
+		`{"NoSuchField": 3}`,
+	}
+	for _, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadJSON(%q) accepted", src)
+		}
+	}
+}
+
+func TestReadJSONDefaultsName(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := small()
+	cfg.Name = ""
+	if err := cfg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "custom" {
+		t.Errorf("Name = %q", back.Name)
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sites != small().Sites {
+		t.Errorf("loaded %+v", cfg)
+	}
+	if _, err := LoadConfig("/nonexistent.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import "fmt"
+
+// Meta carries the paper's published benchmark characteristics (Tables 1–2)
+// for reporting and grouping. Dynamic statistics of the generated traces are
+// computed by trace.Summarize; Meta records what the paper measured.
+type Meta struct {
+	// Description matches the paper's table entry.
+	Description string
+	// Language is "C++", "C" or "Beta".
+	Language string
+	// LinesOfCode is the static source size reported by the paper.
+	LinesOfCode int
+	// InstrPerIndirect and CondPerIndirect are the paper's dynamic
+	// densities; the generator reproduces them (conditionals capped at
+	// MaxCondRecords per indirect).
+	InstrPerIndirect int
+	CondPerIndirect  int
+	// VCallPct is the percentage of indirect branches that are virtual
+	// calls; -1 where the paper reports N/A.
+	VCallPct int
+	// Sites100 is the paper's count of sites covering 100% of dynamic
+	// indirect branches.
+	Sites100 int
+	// PaperBTB is the misprediction rate (percent) of the unconstrained
+	// BTB-2bc from Table A-1, the calibration anchor for the generator.
+	PaperBTB float64
+}
+
+// OO reports whether the benchmark belongs to the paper's object-oriented
+// suite (Table 1).
+func (m Meta) OO() bool { return m.Language != "C" }
+
+// Suite returns the 17 benchmark configurations mirroring the paper's
+// Tables 1–2. Generator knobs are calibrated so each benchmark's
+// unconstrained BTB-2bc misprediction rate lands near the paper's Table A-1
+// value at the default trace length (see workload calibration tests).
+func Suite() []Config {
+	type knobs struct {
+		sites, clusters, loops int
+		targets, repeats       float64
+		reuse, motifs, poly    float64
+		randFrac, dom, noise   float64
+		loopLen                float64
+	}
+	mk := func(name string, meta Meta, seed uint64, k knobs) Config {
+		return Config{
+			Name:             name,
+			Meta:             meta,
+			Seed:             seed,
+			Sites:            k.sites,
+			Clusters:         k.clusters,
+			TargetsPerSite:   k.targets,
+			Loops:            k.loops,
+			LoopLenMax:       12,
+			LoopLenMean:      k.loopLen,
+			MeanRepeats:      k.repeats,
+			Phases:           6,
+			PhaseLen:         8000,
+			Polymorphism:     k.poly,
+			SharedMotifs:     k.motifs,
+			SiteReuse:        k.reuse,
+			RandomSiteFrac:   k.randFrac,
+			Dominance:        k.dom,
+			Noise:            k.noise,
+			InstrPerIndirect: meta.InstrPerIndirect,
+			CondPerIndirect:  float64(meta.CondPerIndirect),
+			VCallFrac:        vcallFrac(meta.VCallPct),
+		}
+	}
+	return []Config{
+		// --- OO suite (Table 1) ---
+		mk("idl", Meta{"SunSoft's IDL compiler (version 1.3)", "C++", 13_900, 47, 6, 93, 543, 2.40},
+			101, knobs{543, 24, 160, 3, 25, 0.02, 0.05, 0.03, 0.008, 0.5, 0.001, 0}),
+		mk("jhm", Meta{"Java High-level Class Modifier", "C++", 15_000, 47, 5, 94, 155, 11.13},
+			102, knobs{155, 10, 60, 4, 9, 0.02, 0.06, 0.06, 0.17, 0.5, 0.002, 0}),
+		mk("self", Meta{"Self-93 VM", "C++", 76_900, 56, 7, 76, 1855, 15.68},
+			103, knobs{1855, 64, 300, 4, 5, 0.15, 0.30, 0.30, 0.19, 0.5, 0.003, 0}),
+		mk("troff", Meta{"GNU groff version 1.09", "C++", 19_200, 90, 13, 74, 161, 13.70},
+			104, knobs{161, 10, 70, 4, 4, 0.25, 0.25, 0.30, 0.12, 0.5, 0.0025, 0}),
+		mk("lcom", Meta{"compiler for hardware description language", "C++", 14_100, 97, 10, 60, 328, 4.25},
+			105, knobs{328, 16, 60, 3, 14, 0.03, 0.20, 0.05, 0.02, 0.5, 0.0015, 0}),
+		mk("porky", Meta{"SUIF 1.0 scalar optimizer", "C++", 22_900, 138, 19, 71, 285, 20.80},
+			106, knobs{285, 14, 110, 4, 1.8, 0.80, 0.40, 0.45, 0.08, 0.5, 0.0025, 0}),
+		mk("ixx", Meta{"IDL parser, part of the Fresco X11R6 library", "C++", 11_600, 139, 18, 47, 203, 45.70},
+			107, knobs{203, 10, 90, 8, 1.05, 1.00, 0.15, 0.95, 0.09, 0.5, 0.003, 5}),
+		mk("eqn", Meta{"typesetting program for equations", "C++", 8_300, 159, 25, 34, 114, 34.78},
+			108, knobs{114, 8, 60, 6, 1.2, 1.00, 0.30, 0.70, 0.21, 0.5, 0.004, 0}),
+		mk("beta", Meta{"BETA compiler", "Beta", 72_500, 188, 23, -1, 376, 28.57},
+			109, knobs{376, 18, 130, 5, 1.3, 1.00, 0.35, 0.70, 0.04, 0.5, 0.0025, 0}),
+		// --- C suite (Table 2) ---
+		mk("xlisp", Meta{"SPEC95", "C", 4_700, 69, 11, -1, 13, 13.51},
+			201, knobs{13, 2, 10, 5, 4, 0.25, 0.30, 0.35, 0.00, 0.5, 0.004, 0}),
+		mk("perl", Meta{"SPEC95", "C", 21_400, 113, 17, -1, 24, 31.80},
+			202, knobs{24, 3, 14, 6, 2.6, 0.75, 0.35, 0.45, 0.00, 0.5, 0.001, 0}),
+		mk("edg", Meta{"EDG C++ front end", "C", 114_300, 149, 23, -1, 350, 35.91},
+			203, knobs{350, 16, 130, 5, 1.05, 1.00, 0.30, 0.80, 0.18, 0.5, 0.004, 0}),
+		mk("gcc", Meta{"SPEC95", "C", 130_800, 176, 31, -1, 166, 65.70},
+			204, knobs{166, 10, 100, 10, 1.05, 1.00, 0.10, 1.00, 0.25, 0.5, 0.005, 6}),
+		// --- infrequent-indirect C suite (AVG-infreq) ---
+		mk("m88ksim", Meta{"SPEC95", "C", 12_200, 1827, 233, -1, 17, 76.41},
+			205, knobs{17, 2, 12, 14, 1.6, 1.00, 0.00, 1.00, 0.06, 0.5, 0.002, 10}),
+		mk("vortex", Meta{"SPEC95", "C", 45_200, 3480, 525, -1, 37, 20.19},
+			206, knobs{37, 4, 18, 4, 5, 0.12, 0.30, 0.30, 0.13, 0.5, 0.0025, 0}),
+		mk("ijpeg", Meta{"SPEC95", "C", 16_800, 5770, 441, -1, 60, 1.26},
+			207, knobs{60, 6, 24, 2.5, 30, 0.01, 0.03, 0.02, 0.00, 0.5, 0.0015, 0}),
+		mk("go", Meta{"SPEC95", "C", 29_200, 56355, 7123, -1, 14, 29.25},
+			208, knobs{14, 1, 10, 6, 6, 0.00, 0.12, 0.10, 0.41, 0.5, 0.004, 0}),
+	}
+}
+
+// vcallFrac converts the paper's virtual-call percentage to a fraction,
+// treating N/A (-1, the C programs and beta) as zero.
+func vcallFrac(pct int) float64 {
+	if pct < 0 {
+		return 0
+	}
+	return float64(pct) / 100
+}
+
+// ByName returns the suite configuration with the given name.
+func ByName(name string) (Config, error) {
+	for _, c := range Suite() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in suite order.
+func Names() []string {
+	s := Suite()
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}

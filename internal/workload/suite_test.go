@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+func TestSuiteStructure(t *testing.T) {
+	s := Suite()
+	if len(s) != 17 {
+		t.Fatalf("suite has %d benchmarks, want 17", len(s))
+	}
+	names := map[string]bool{}
+	var oo, c, infreq int
+	for _, cfg := range s {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", cfg.Name, err)
+		}
+		if names[cfg.Name] {
+			t.Errorf("duplicate benchmark %q", cfg.Name)
+		}
+		names[cfg.Name] = true
+		if cfg.Meta.OO() {
+			oo++
+		} else {
+			c++
+		}
+		if cfg.Meta.InstrPerIndirect > 1000 {
+			infreq++
+		}
+		if cfg.Meta.PaperBTB <= 0 || cfg.Meta.PaperBTB >= 100 {
+			t.Errorf("%s: implausible paper BTB %v", cfg.Name, cfg.Meta.PaperBTB)
+		}
+		if cfg.Meta.Sites100 <= 0 {
+			t.Errorf("%s: missing site count", cfg.Name)
+		}
+	}
+	// Paper groups: 9 OO-suite programs (Table 1: 8 C++ plus beta), 8 C
+	// programs (Table 2), 4 of them indirect-infrequent.
+	if oo != 9 || c != 8 {
+		t.Errorf("language split: %d OO-suite, %d C (want 9/8)", oo, c)
+	}
+	if infreq != 4 {
+		t.Errorf("%d infrequent benchmarks, want 4 (AVG-infreq)", infreq)
+	}
+}
+
+func TestByName(t *testing.T) {
+	cfg, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "gcc" || cfg.Meta.LinesOfCode != 130_800 {
+		t.Errorf("unexpected gcc config: %+v", cfg.Meta)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if n := Names(); len(n) != 17 || n[0] != "idl" {
+		t.Errorf("Names() = %v", n)
+	}
+}
+
+// TestSuiteCharacteristics checks that the generated traces reproduce the
+// Tables 1–2 benchmark characteristics: instruction density and (capped)
+// conditional density per benchmark, and skewed site coverage.
+func TestSuiteCharacteristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full traces")
+	}
+	for _, cfg := range Suite() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			s := trace.Summarize(cfg.MustGenerate(20000))
+			wantInstr := float64(cfg.Meta.InstrPerIndirect)
+			if s.InstrPerIndirect < wantInstr*0.6 || s.InstrPerIndirect > wantInstr*1.4 {
+				t.Errorf("instr/indirect %.0f, paper %d", s.InstrPerIndirect, cfg.Meta.InstrPerIndirect)
+			}
+			wantCond := float64(cfg.Meta.CondPerIndirect)
+			if wantCond > MaxCondRecords {
+				wantCond = MaxCondRecords
+			}
+			if s.CondPerIndirect < wantCond*0.5-1 || s.CondPerIndirect > wantCond*1.5+1 {
+				t.Errorf("cond/indirect %.1f, want ~%.0f", s.CondPerIndirect, wantCond)
+			}
+			if pct := cfg.Meta.VCallPct; pct >= 0 {
+				got := int(100*s.VCallFraction + 0.5)
+				if got < pct-25 || got > pct+25 {
+					t.Errorf("vcall%% = %d, paper %d", got, pct)
+				}
+			}
+			// Site coverage must be skewed: 90% of branches from
+			// fewer sites than 100%.
+			if s.Coverage[90] > s.Coverage[100] {
+				t.Errorf("coverage not monotone: %v", s.Coverage)
+			}
+			if s.Sites > cfg.Sites {
+				t.Errorf("%d sites exceed configured %d", s.Sites, cfg.Sites)
+			}
+		})
+	}
+}
