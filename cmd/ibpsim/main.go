@@ -79,9 +79,17 @@ func main() {
 func buildPredictor(o options) (core.Predictor, error) {
 	switch o.pred {
 	case "btb":
-		return core.NewBTB(boundedTable(o), core.UpdateAlways), nil
+		tb, err := boundedTable(o)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBTB(tb, core.UpdateAlways), nil
 	case "btb-2bc":
-		return core.NewBTB(boundedTable(o), core.UpdateTwoMiss), nil
+		tb, err := boundedTable(o)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBTB(tb, core.UpdateTwoMiss), nil
 	case "tcache":
 		entries := o.entries
 		if entries == 0 {
@@ -153,17 +161,29 @@ func twoLevelConfig(o options) (core.Config, error) {
 	}, nil
 }
 
-// boundedTable builds the BTB's table, or nil for an unbounded one.
-func boundedTable(o options) table.Bounded {
-	if o.table == "" || o.table == "unbounded" || o.table == "exact" {
-		return nil
-	}
-	tb, err := table.New(o.table, o.entries)
+// readTraceFile decodes a trace file, wrapping every failure — including
+// corruption detected by the checksummed v2 format — with the offending
+// path.
+func readTraceFile(path string) (trace.Trace, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ibpsim:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	return tb
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// boundedTable builds the BTB's table, or nil for an unbounded one. Errors
+// propagate so main exits non-zero through the single failure path.
+func boundedTable(o options) (table.Bounded, error) {
+	if o.table == "" || o.table == "unbounded" || o.table == "exact" {
+		return nil, nil
+	}
+	return table.New(o.table, o.entries)
 }
 
 func realMain(o options) error {
@@ -173,12 +193,7 @@ func realMain(o options) error {
 	}
 	switch {
 	case o.traceFile != "":
-		f, err := os.Open(o.traceFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		tr, err := trace.Read(f)
+		tr, err := readTraceFile(o.traceFile)
 		if err != nil {
 			return err
 		}

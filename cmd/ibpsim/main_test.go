@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/oocsb/ibp/internal/trace"
@@ -96,5 +98,62 @@ func TestBadOptions(t *testing.T) {
 		if err := realMain(o); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
+	}
+}
+
+// TestCorruptTraceFile is the table-driven failure-path contract: corrupt
+// or truncated inputs are rejected with errors naming the offending file.
+func TestCorruptTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := workload.ByName("xlisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cfg.MustGenerate(3000)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	flipped := bytes.Clone(clean)
+	flipped[len(flipped)/2] ^= 0x08
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"bitflip.trace", flipped},
+		{"truncated.trace", clean[:len(clean)/3]},
+		{"badmagic.trace", []byte("NOPE\x01\x00")},
+		{"empty.trace", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name)
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			o := baseOpts()
+			o.bench = ""
+			o.traceFile = path
+			err := realMain(o)
+			if err == nil {
+				t.Fatal("corrupt trace accepted")
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error does not name the file: %v", err)
+			}
+		})
+	}
+}
+
+// TestBadTableConfig: an invalid BTB table is a returned error, not an
+// os.Exit from a helper.
+func TestBadTableConfig(t *testing.T) {
+	o := baseOpts()
+	o.pred = "btb"
+	o.table = "nonesuch"
+	o.entries = 64
+	if err := realMain(o); err == nil {
+		t.Fatal("unknown table kind accepted")
 	}
 }

@@ -2,23 +2,108 @@
 // registered experiments over the 17-benchmark suite and prints paper-style
 // result tables.
 //
+// The sweep is fault tolerant: Ctrl-C stops it cleanly after flushing every
+// completed experiment, CSVs are written atomically (a killed run never
+// leaves a half-written file), each completed experiment is journaled to
+// <csvdir>/.sweep-manifest.json, and -resume skips experiments the manifest
+// already records — so an interrupted "-run all" picks up where it left off.
+//
 // Usage:
 //
 //	ibpsweep -list
 //	ibpsweep -run fig9,table5 [-n 80000] [-csv results/]
-//	ibpsweep -run all
+//	ibpsweep -run all -csv results/
+//	ibpsweep -run all -csv results/ -resume
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/oocsb/ibp/internal/experiment"
+	"github.com/oocsb/ibp/internal/stats"
 )
+
+// manifestName is the sweep journal, stored next to the CSVs.
+const manifestName = ".sweep-manifest.json"
+
+// manifest journals which experiments of a sweep have completed, so an
+// interrupted run can resume without recomputing them.
+type manifest struct {
+	// Version is the manifest schema version.
+	Version int `json:"version"`
+	// TraceLen is the -n the results were computed with; resuming with a
+	// different length is refused.
+	TraceLen int `json:"trace_len"`
+	// Done maps experiment id to its completion record.
+	Done map[string]manifestEntry `json:"done"`
+}
+
+type manifestEntry struct {
+	CompletedAt time.Time `json:"completed_at"`
+	// Files are the CSV files the experiment produced.
+	Files []string `json:"files,omitempty"`
+	// DegradedCells lists benchmark cells that failed and were recorded
+	// as error rows instead of aborting (format "bench: error").
+	DegradedCells []string `json:"degraded_cells,omitempty"`
+}
+
+// loadManifest reads the journal; a missing file yields an empty manifest.
+func loadManifest(dir string) (*manifest, error) {
+	m := &manifest{Version: 1, Done: make(map[string]manifestEntry)}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return m, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("%s: corrupt manifest: %w", filepath.Join(dir, manifestName), err)
+	}
+	if m.Done == nil {
+		m.Done = make(map[string]manifestEntry)
+	}
+	return m, nil
+}
+
+// save writes the journal atomically (temp file + rename), so a crash
+// mid-write can never corrupt the previous journal.
+func (m *manifest) save(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, manifestName), data)
+}
+
+// atomicWrite writes data to path via a temp file in the same directory and
+// an atomic rename; readers never observe a partial file.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
 
 func main() {
 	var (
@@ -26,15 +111,25 @@ func main() {
 		run      = flag.String("run", "", "comma-separated experiment ids, or \"all\"")
 		traceLen = flag.Int("n", 0, "indirect branches per benchmark (default 80000)")
 		csvDir   = flag.String("csv", "", "directory to write one CSV per result table")
+		resume   = flag.Bool("resume", false, "skip experiments already journaled in the -csv dir's manifest")
 	)
 	flag.Parse()
-	if err := realMain(*list, *run, *traceLen, *csvDir); err != nil {
-		fmt.Fprintln(os.Stderr, "ibpsweep:", err)
+	// SIGINT/SIGTERM cancel the run cooperatively: the current experiment
+	// stops at the next cancellation point, completed experiments keep
+	// their flushed CSVs and manifest entries.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := realMain(ctx, *list, *run, *traceLen, *csvDir, *resume); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ibpsweep: interrupted; completed experiments are preserved (rerun with -resume)")
+		} else {
+			fmt.Fprintln(os.Stderr, "ibpsweep:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func realMain(list bool, run string, traceLen int, csvDir string) error {
+func realMain(ctx context.Context, list bool, run string, traceLen int, csvDir string, resume bool) error {
 	if list {
 		for _, e := range experiment.All() {
 			fmt.Printf("%-12s %-28s %s\n", e.ID, e.Artifact, e.Desc)
@@ -43,6 +138,9 @@ func realMain(list bool, run string, traceLen int, csvDir string) error {
 	}
 	if run == "" {
 		return fmt.Errorf("nothing to do: pass -run <ids> or -list")
+	}
+	if resume && csvDir == "" {
+		return fmt.Errorf("-resume needs -csv: the manifest lives next to the CSVs")
 	}
 	var selected []experiment.Experiment
 	if run == "all" {
@@ -63,40 +161,103 @@ func realMain(list bool, run string, traceLen int, csvDir string) error {
 			selected = append(selected, e)
 		}
 	}
+
+	var man *manifest
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
 		}
+		var err error
+		man, err = loadManifest(csvDir)
+		if err != nil {
+			return err
+		}
+		effLen := traceLen
+		if effLen <= 0 {
+			effLen = experiment.NewContext(0).TraceLen
+		}
+		if resume {
+			if len(man.Done) > 0 && man.TraceLen != effLen {
+				return fmt.Errorf("manifest in %s was written with -n %d, current run uses -n %d; rerun with the matching -n or remove %s",
+					csvDir, man.TraceLen, effLen, manifestName)
+			}
+		} else if len(man.Done) > 0 {
+			// A fresh (non-resume) run invalidates the old journal.
+			man.Done = make(map[string]manifestEntry)
+		}
+		man.TraceLen = effLen
 	}
-	ctx := experiment.NewContext(traceLen)
+
+	ectx := experiment.NewContext(traceLen).WithContext(ctx)
+	var failedExperiments []string
 	for _, e := range selected {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if man != nil && resume {
+			if _, done := man.Done[e.ID]; done {
+				fmt.Printf("=== %s (%s): already complete, skipping (resume)\n", e.ID, e.Artifact)
+				continue
+			}
+		}
 		start := time.Now()
 		fmt.Printf("=== %s (%s): %s\n", e.ID, e.Artifact, e.Desc)
-		tables, err := e.Run(ctx)
+		tables, err := e.Run(ectx)
+		degraded := ectx.TakeFailures()
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		for i, tb := range tables {
-			fmt.Println()
-			if err := tb.Render(os.Stdout); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return err
 			}
-			if csvDir != "" {
-				name := fmt.Sprintf("%s-%d.csv", e.ID, i)
-				f, err := os.Create(filepath.Join(csvDir, name))
-				if err != nil {
-					return err
-				}
-				if err := tb.WriteCSV(f); err != nil {
-					f.Close()
-					return err
-				}
-				if err := f.Close(); err != nil {
-					return err
-				}
+			// A broken experiment must not kill the rest of the sweep:
+			// record it, keep going, fail at the end.
+			fmt.Fprintf(os.Stderr, "ibpsweep: %s failed: %v\n", e.ID, err)
+			failedExperiments = append(failedExperiments, fmt.Sprintf("%s: %v", e.ID, err))
+			continue
+		}
+		entry := manifestEntry{CompletedAt: time.Now().UTC()}
+		for _, d := range degraded {
+			fmt.Fprintf(os.Stderr, "ibpsweep: %s: degraded cell %v\n", e.ID, d)
+			entry.DegradedCells = append(entry.DegradedCells, d.Error())
+		}
+		if err := emitTables(e.ID, tables, csvDir, &entry); err != nil {
+			return err
+		}
+		if man != nil {
+			man.Done[e.ID] = entry
+			if err := man.save(csvDir); err != nil {
+				return fmt.Errorf("journaling %s: %w", e.ID, err)
 			}
 		}
 		fmt.Printf("\n--- %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if len(failedExperiments) > 0 {
+		return fmt.Errorf("%d experiment(s) failed: %s",
+			len(failedExperiments), strings.Join(failedExperiments, "; "))
+	}
+	return nil
+}
+
+// emitTables renders an experiment's tables to stdout and, when csvDir is
+// set, writes each as an atomically-created CSV, recording the file names
+// in the manifest entry.
+func emitTables(id string, tables []*stats.Table, csvDir string, entry *manifestEntry) error {
+	for i, tb := range tables {
+		fmt.Println()
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+		if csvDir == "" {
+			continue
+		}
+		name := fmt.Sprintf("%s-%d.csv", id, i)
+		var buf strings.Builder
+		if err := tb.WriteCSV(&buf); err != nil {
+			return err
+		}
+		if err := atomicWrite(filepath.Join(csvDir, name), []byte(buf.String())); err != nil {
+			return err
+		}
+		entry.Files = append(entry.Files, name)
 	}
 	return nil
 }

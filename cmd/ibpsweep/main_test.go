@@ -1,25 +1,31 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
+func bg() context.Context { return context.Background() }
+
 func TestRealMainList(t *testing.T) {
-	if err := realMain(true, "", 0, ""); err != nil {
+	if err := realMain(bg(), true, "", 0, "", false); err != nil {
 		t.Fatalf("-list: %v", err)
 	}
 }
 
 func TestRealMainNoArgs(t *testing.T) {
-	if err := realMain(false, "", 0, ""); err == nil {
+	if err := realMain(bg(), false, "", 0, "", false); err == nil {
 		t.Fatal("no -run accepted")
 	}
 }
 
 func TestRealMainUnknownExperiment(t *testing.T) {
-	if err := realMain(false, "nonesuch", 0, ""); err == nil {
+	if err := realMain(bg(), false, "nonesuch", 0, "", false); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -27,7 +33,7 @@ func TestRealMainUnknownExperiment(t *testing.T) {
 func TestRealMainRunsAndWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	// table1 is cheap even at a moderate trace length.
-	if err := realMain(false, "table1", 2000, dir); err != nil {
+	if err := realMain(bg(), false, "table1", 2000, dir, false); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "table1-*.csv"))
@@ -41,10 +47,191 @@ func TestRealMainRunsAndWritesCSV(t *testing.T) {
 	if len(data) == 0 {
 		t.Fatal("empty CSV")
 	}
+	// No temp files may survive the atomic writes.
+	if leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
 }
 
 func TestRealMainCommaSeparated(t *testing.T) {
-	if err := realMain(false, "table1, sites", 1500, ""); err != nil {
+	if err := realMain(bg(), false, "table1, sites", 1500, "", false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRealMainCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := realMain(ctx, false, "table1", 2000, "", false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRealMainResumeNeedsCSV(t *testing.T) {
+	if err := realMain(bg(), false, "table1", 2000, "", true); err == nil {
+		t.Fatal("-resume without -csv accepted")
+	}
+}
+
+func readManifest(t *testing.T, dir string) *manifest {
+	t.Helper()
+	m, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestManifestJournalsCompletion(t *testing.T) {
+	dir := t.TempDir()
+	if err := realMain(bg(), false, "table1,sites", 1500, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	m := readManifest(t, dir)
+	if m.TraceLen != 1500 {
+		t.Errorf("manifest trace_len = %d, want 1500", m.TraceLen)
+	}
+	for _, id := range []string{"table1", "sites"} {
+		e, ok := m.Done[id]
+		if !ok {
+			t.Fatalf("experiment %s not journaled: %+v", id, m.Done)
+		}
+		if len(e.Files) == 0 || e.CompletedAt.IsZero() {
+			t.Errorf("incomplete journal entry for %s: %+v", id, e)
+		}
+		for _, f := range e.Files {
+			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+				t.Errorf("journaled file missing: %v", err)
+			}
+		}
+	}
+}
+
+func TestResumeSkipsCompleted(t *testing.T) {
+	dir := t.TempDir()
+	if err := realMain(bg(), false, "table1", 1500, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	first := readManifest(t, dir)
+	stamp := first.Done["table1"].CompletedAt
+
+	// Resume with one more experiment: table1 must be skipped (its
+	// timestamp survives), sites must run.
+	if err := realMain(bg(), false, "table1,sites", 1500, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	m := readManifest(t, dir)
+	if got := m.Done["table1"].CompletedAt; !got.Equal(stamp) {
+		t.Errorf("table1 was recomputed: %v != %v", got, stamp)
+	}
+	if _, ok := m.Done["sites"]; !ok {
+		t.Error("sites not journaled after resume")
+	}
+}
+
+func TestResumeRejectsTraceLenMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := realMain(bg(), false, "table1", 1500, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	err := realMain(bg(), false, "table1", 3000, dir, true)
+	if err == nil || !strings.Contains(err.Error(), "-n") {
+		t.Fatalf("trace-length mismatch accepted on resume: %v", err)
+	}
+}
+
+func TestFreshRunInvalidatesManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := realMain(bg(), false, "table1,sites", 1500, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	// A non-resume run clears previous completions and journals only its
+	// own experiments.
+	if err := realMain(bg(), false, "table1", 1500, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	m := readManifest(t, dir)
+	if _, ok := m.Done["sites"]; ok {
+		t.Error("stale manifest entry survived a fresh run")
+	}
+	if _, ok := m.Done["table1"]; !ok {
+		t.Error("fresh run not journaled")
+	}
+}
+
+func TestLoadManifestCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := atomicWrite(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWrite(path, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "world" {
+		t.Fatalf("read %q, %v", data, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("stray files: %v", entries)
+	}
+}
+
+// TestInterruptMidSweep simulates the SIGINT acceptance flow in-process: a
+// context cancelled partway through "-run" of two experiments must leave
+// the completed experiment's CSVs + manifest intact, and -resume must
+// finish only the remainder.
+func TestInterruptMidSweep(t *testing.T) {
+	dir := t.TempDir()
+	// Cancel shortly after the run starts: table1 (cheap, first) usually
+	// completes; the second experiment observes cancellation. Whatever the
+	// timing, invariants must hold.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	err := realMain(ctx, false, "table1,fig9", 60000, dir, false)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	m := readManifest(t, dir)
+	// Every journaled experiment's files must exist and parse as CSV.
+	for id, e := range m.Done {
+		for _, f := range e.Files {
+			data, err := os.ReadFile(filepath.Join(dir, f))
+			if err != nil || len(data) == 0 {
+				t.Errorf("journaled %s file %s: %v", id, f, err)
+			}
+		}
+	}
+	// No partial temp files.
+	if leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+	// Resume must finish the sweep.
+	if err := realMain(bg(), false, "table1,fig9", 60000, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	m = readManifest(t, dir)
+	for _, id := range []string{"table1", "fig9"} {
+		if _, ok := m.Done[id]; !ok {
+			t.Errorf("%s missing after resume", id)
+		}
 	}
 }

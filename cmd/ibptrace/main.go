@@ -46,8 +46,35 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ibptrace gen   (-bench <name> | -config <file.json>) [-n branches] [-returns] -o <file>
-  ibptrace stats [-bench <name> [-n branches]] [file]
-  ibptrace dump  [-count N] <file>`)
+  ibptrace stats [-lenient] [-bench <name> [-n branches]] [file]
+  ibptrace dump  [-lenient] [-count N] <file>`)
+}
+
+// readTraceFile decodes a trace file, wrapping every failure with the
+// offending path. In lenient mode a corrupt file is salvaged to its valid
+// prefix: the damage is reported on stderr and the recovered records are
+// returned.
+func readTraceFile(path string, lenient bool) (trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if !lenient {
+		tr, err := trace.Read(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return tr, nil
+	}
+	tr, err := trace.ReadLenient(f)
+	if err != nil {
+		if len(tr) == 0 {
+			return nil, fmt.Errorf("%s: nothing salvageable: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "ibptrace: %s: %v (continuing with %d salvaged records)\n", path, err, len(tr))
+	}
+	return tr, nil
 }
 
 func cmdGen(args []string) error {
@@ -84,16 +111,16 @@ func cmdGen(args []string) error {
 	}
 	if err := trace.Write(f, tr); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("%s: %w", *out, err)
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return fmt.Errorf("%s: %w", *out, err)
 	}
 	fmt.Printf("wrote %d records (%d indirect) to %s\n", len(tr), *n, *out)
 	return nil
 }
 
-func loadOrGenerate(fs *flag.FlagSet, bench *string, n *int) (trace.Trace, string, error) {
+func loadOrGenerate(fs *flag.FlagSet, bench *string, n *int, lenient bool) (trace.Trace, string, error) {
 	if *bench != "" {
 		cfg, err := workload.ByName(*bench)
 		if err != nil {
@@ -106,12 +133,7 @@ func loadOrGenerate(fs *flag.FlagSet, bench *string, n *int) (trace.Trace, strin
 		return nil, "", fmt.Errorf("need a trace file or -bench")
 	}
 	path := fs.Arg(0)
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, "", err
-	}
-	defer f.Close()
-	tr, err := trace.Read(f)
+	tr, err := readTraceFile(path, lenient)
 	return tr, path, err
 }
 
@@ -119,10 +141,11 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	bench := fs.String("bench", "", "generate this benchmark instead of reading a file")
 	n := fs.Int("n", workload.DefaultBranches, "indirect branches when generating")
+	lenient := fs.Bool("lenient", false, "salvage the valid prefix of a corrupt trace file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tr, name, err := loadOrGenerate(fs, bench, n)
+	tr, name, err := loadOrGenerate(fs, bench, n, *lenient)
 	if err != nil {
 		return err
 	}
@@ -142,18 +165,14 @@ func cmdStats(args []string) error {
 func cmdDump(args []string) error {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
 	count := fs.Int("count", 20, "records to print (0 = all)")
+	lenient := fs.Bool("lenient", false, "salvage the valid prefix of a corrupt trace file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("dump needs a trace file")
 	}
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	tr, err := trace.Read(f)
+	tr, err := readTraceFile(fs.Arg(0), *lenient)
 	if err != nil {
 		return err
 	}

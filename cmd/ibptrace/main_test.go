@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"github.com/oocsb/ibp/internal/trace"
 	"github.com/oocsb/ibp/internal/workload"
 )
 
@@ -74,5 +78,79 @@ func TestErrors(t *testing.T) {
 	}
 	if err := cmdDump([]string{}); err == nil {
 		t.Error("dump without file accepted")
+	}
+}
+
+// corruptTraceFile writes a valid trace, then flips one bit in the back
+// half of the file so the leading chunk stays salvageable.
+func corruptTraceFile(t *testing.T, dir string) string {
+	t.Helper()
+	cfg, err := workload.ByName("xlisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cfg.MustGenerate(5000)
+	path := filepath.Join(dir, "corrupt.trace")
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[3*len(data)/4] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCorruptInputPaths is the table-driven contract for failure paths: a
+// corrupt trace is rejected with an error naming the offending file and
+// matching trace.ErrCorrupt; -lenient salvages it instead.
+func TestCorruptInputPaths(t *testing.T) {
+	dir := t.TempDir()
+	path := corruptTraceFile(t, dir)
+	cases := []struct {
+		name    string
+		run     func() error
+		wantErr bool
+	}{
+		{"stats strict", func() error { return cmdStats([]string{path}) }, true},
+		{"dump strict", func() error { return cmdDump([]string{path}) }, true},
+		{"stats lenient", func() error { return cmdStats([]string{"-lenient", path}) }, false},
+		{"dump lenient", func() error { return cmdDump([]string{"-lenient", "-count", "5", path}) }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if !tc.wantErr {
+				if err != nil {
+					t.Fatalf("lenient mode failed: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("corrupt trace accepted")
+			}
+			if !errors.Is(err, trace.ErrCorrupt) {
+				t.Errorf("error does not match trace.ErrCorrupt: %v", err)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error does not name the file: %v", err)
+			}
+		})
+	}
+}
+
+func TestLenientNothingSalvageable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.trace")
+	if err := os.WriteFile(path, []byte("IBPT\x02\xff\xff\xff"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdStats([]string{"-lenient", path})
+	if err == nil {
+		t.Fatal("unsalvageable file accepted")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the file: %v", err)
 	}
 }

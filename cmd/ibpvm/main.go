@@ -109,10 +109,10 @@ func cmdRun(args []string) error {
 		}
 		if err := trace.Write(f, tr); err != nil {
 			f.Close()
-			return err
+			return fmt.Errorf("%s: %w", *out, err)
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return fmt.Errorf("%s: %w", *out, err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}

@@ -26,6 +26,8 @@
 package ibp
 
 import (
+	"context"
+
 	"github.com/oocsb/ibp/internal/analysis"
 	"github.com/oocsb/ibp/internal/bits"
 	"github.com/oocsb/ibp/internal/core"
@@ -130,9 +132,15 @@ const (
 
 // Trace and workload helpers.
 var (
-	// ReadTrace and WriteTrace handle the IBPT binary format.
-	ReadTrace  = trace.Read
-	WriteTrace = trace.Write
+	// ReadTrace and WriteTrace handle the IBPT binary format (v2,
+	// length-framed CRC32-checksummed sections; ReadTrace also accepts
+	// legacy v1 streams). ReadTraceLenient salvages the valid prefix of a
+	// damaged stream, returning the records recovered together with a
+	// *trace.CorruptError (matching ErrCorruptTrace) describing where
+	// decoding stopped.
+	ReadTrace        = trace.Read
+	ReadTraceLenient = trace.ReadLenient
+	WriteTrace       = trace.Write
 	// Summarize computes benchmark characteristics of a trace.
 	Summarize = trace.Summarize
 	// ConcatTraces joins traces back to back; InterleaveTraces merges
@@ -184,9 +192,19 @@ type (
 	SimResult = sim.Result
 )
 
+// ErrCorruptTrace is the sentinel matched (via errors.Is) by every
+// corruption error the trace readers produce.
+var ErrCorruptTrace = trace.ErrCorrupt
+
 // Simulate drives a predictor over a trace.
 func Simulate(p Predictor, tr Trace, opts SimOptions) SimResult {
 	return sim.Run(p, tr, opts)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: once ctx is
+// done the partial result accumulated so far is returned with ctx.Err().
+func SimulateContext(ctx context.Context, p Predictor, tr Trace, opts SimOptions) (SimResult, error) {
+	return sim.RunContext(ctx, p, tr, opts)
 }
 
 // MissRate simulates with default options and returns the misprediction

@@ -65,7 +65,7 @@ func (c *Context) avgWithShadow(cfg core.Config) (float64, float64, error) {
 	miss := make(map[string]float64, len(c.Suite))
 	capac := make(map[string]float64, len(c.Suite))
 	var mu sync.Mutex
-	err := forEach(len(c.Suite), func(i int) error {
+	err := forEach(c.ctx, len(c.Suite), func(i int) error {
 		bench := c.Suite[i]
 		subject, err := core.NewTwoLevel(cfg)
 		if err != nil {

@@ -5,10 +5,14 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/oocsb/ibp/internal/core"
 	"github.com/oocsb/ibp/internal/sim"
@@ -26,10 +30,13 @@ type Context struct {
 	// Suite is the benchmark set (default: the paper's 17 benchmarks).
 	Suite []workload.Config
 
+	ctx context.Context // cancellation for the whole run; never nil
+
 	mu        sync.Mutex
 	indirect  map[string]trace.Trace   // cached indirect-only traces
 	summaries map[string]trace.Summary // cached full-trace summaries
 	appx      appendix                 // memoized Table A-1 computation
+	failures  []CellError              // degraded per-cell failures since the last Take
 }
 
 // NewContext returns a context over the full suite. traceLen <= 0 selects
@@ -41,9 +48,58 @@ func NewContext(traceLen int) *Context {
 	return &Context{
 		TraceLen:  traceLen,
 		Suite:     workload.Suite(),
+		ctx:       context.Background(),
 		indirect:  make(map[string]trace.Trace),
 		summaries: make(map[string]trace.Summary),
 	}
+}
+
+// WithContext attaches a cancellation context to the run and returns c.
+// Sweeps and cancellation-aware experiments stop early (returning ctx's
+// error) once it is done.
+func (c *Context) WithContext(ctx context.Context) *Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+	return c
+}
+
+// Ctx returns the run's cancellation context (never nil).
+func (c *Context) Ctx() context.Context { return c.ctx }
+
+// Err returns the cancellation error once the run's context is done, nil
+// before that. Experiments with hand-rolled benchmark loops call this at
+// iteration boundaries.
+func (c *Context) Err() error { return c.ctx.Err() }
+
+// CellError records one benchmark cell that failed after retries and was
+// degraded to an error row instead of aborting the sweep.
+type CellError struct {
+	// Bench is the benchmark (suite cell) that failed.
+	Bench string
+	// Err is the failure, with panics converted to errors.
+	Err error
+}
+
+func (e CellError) Error() string { return fmt.Sprintf("%s: %v", e.Bench, e.Err) }
+
+// recordFailure remembers a degraded cell.
+func (c *Context) recordFailure(bench string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failures = append(c.failures, CellError{Bench: bench, Err: err})
+}
+
+// TakeFailures returns the degraded cell failures accumulated since the
+// previous call and clears the list; the front end reports them alongside
+// the (partial) result tables.
+func (c *Context) TakeFailures() []CellError {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.failures
+	c.failures = nil
+	return out
 }
 
 // Trace returns the cached indirect-branch-only trace for a benchmark
@@ -80,9 +136,79 @@ func (c *Context) Summary(cfg workload.Config) trace.Summary {
 	return c.summaries[cfg.Name]
 }
 
+// transientError marks a failure worth retrying (flaky I/O, resource
+// pressure) as opposed to a deterministic one (bad configuration, panic).
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so forEach's workers retry the cell with capped
+// backoff before giving up. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// Retry policy for transient cell failures.
+const (
+	maxCellAttempts = 3
+	baseBackoff     = 10 * time.Millisecond
+	maxBackoff      = 250 * time.Millisecond
+)
+
+// protect runs fn(i), converting a panic into an error carrying the stack,
+// so one misbehaving cell cannot take down the whole sweep process.
+func protect(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}
+
+// runCell executes one cell with panic isolation, retrying failures marked
+// Transient with capped exponential backoff. Cancellation cuts the backoff
+// short.
+func runCell(ctx context.Context, i int, fn func(i int) error) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = protect(i, fn)
+		if err == nil || !IsTransient(err) || attempt >= maxCellAttempts {
+			return err
+		}
+		delay := baseBackoff << (attempt - 1)
+		if delay > maxBackoff {
+			delay = maxBackoff
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
 // forEach runs fn(i) for every i in [0, n) on up to GOMAXPROCS goroutines
-// and returns the first error.
-func forEach(n int, fn func(i int) error) error {
+// and returns the first error. Panics in fn are recovered into errors,
+// errors marked Transient are retried with capped backoff, and dispatch
+// stops at the first recorded failure (or context cancellation) — cells
+// already in flight finish, no new ones start.
+func forEach(ctx context.Context, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -91,32 +217,57 @@ func forEach(n int, fn func(i int) error) error {
 		workers = 1
 	}
 	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-		mu   sync.Mutex
-		err  error
+		wg       sync.WaitGroup
+		next     = make(chan int)
+		done     = make(chan struct{})
+		stopOnce sync.Once
+		mu       sync.Mutex
+		firstErr error
 	)
+	fail := func(e error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		mu.Unlock()
+		stopOnce.Do(func() { close(done) })
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if e := fn(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
+				if e := runCell(ctx, i, fn); e != nil {
+					fail(e)
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		// Non-blocking check first: a recorded failure must win over an
+		// available worker, otherwise the select below could keep picking
+		// the send case at random after the failure.
+		select {
+		case <-done:
+			break dispatch
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break dispatch
+		default:
+		}
+		select {
+		case <-done:
+			break dispatch
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break dispatch
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()
-	return err
+	return firstErr
 }
 
 // Sweep simulates one predictor per benchmark (constructed by mk, which must
@@ -135,22 +286,41 @@ func (c *Context) SweepFull(mk func() (core.Predictor, error)) (map[string]float
 func (c *Context) sweepOpts(mk func() (core.Predictor, error), opts sim.Options, full bool) (map[string]float64, error) {
 	out := make(map[string]float64, len(c.Suite))
 	var mu sync.Mutex
-	err := forEach(len(c.Suite), func(i int) error {
+	err := forEach(c.ctx, len(c.Suite), func(i int) error {
 		cfg := c.Suite[i]
-		var tr trace.Trace
-		if full {
-			tr = c.FullTrace(cfg)
-		} else {
-			tr = c.Trace(cfg)
-		}
+		// Predictor construction errors are deterministic configuration
+		// mistakes: every cell would fail identically, so they abort the
+		// sweep rather than degrade.
 		p, err := mk()
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.Name, err)
 		}
-		rate := sim.Run(p, tr, opts).MissRate()
-		mu.Lock()
-		out[cfg.Name] = rate
-		mu.Unlock()
+		// The per-cell work (trace generation + simulation) is isolated:
+		// a panic or error here degrades to a recorded error row so the
+		// other benchmarks still produce results. Cancellation stays
+		// fatal — it must stop the whole sweep.
+		cellErr := protect(i, func(int) error {
+			var tr trace.Trace
+			if full {
+				tr = c.FullTrace(cfg)
+			} else {
+				tr = c.Trace(cfg)
+			}
+			res, err := sim.RunContext(c.ctx, p, tr, opts)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			out[cfg.Name] = res.MissRate()
+			mu.Unlock()
+			return nil
+		})
+		if cellErr != nil {
+			if errors.Is(cellErr, context.Canceled) || errors.Is(cellErr, context.DeadlineExceeded) {
+				return cellErr
+			}
+			c.recordFailure(cfg.Name, cellErr)
+		}
 		return nil
 	})
 	return out, err

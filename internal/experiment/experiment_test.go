@@ -2,10 +2,14 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/oocsb/ibp/internal/core"
 	"github.com/oocsb/ibp/internal/stats"
@@ -100,7 +104,7 @@ func TestSweepConstructorErrors(t *testing.T) {
 
 func TestForEachCoversAll(t *testing.T) {
 	seen := make([]bool, 100)
-	err := forEach(len(seen), func(i int) error {
+	err := forEach(context.Background(), len(seen), func(i int) error {
 		seen[i] = true
 		return nil
 	})
@@ -112,8 +116,154 @@ func TestForEachCoversAll(t *testing.T) {
 			t.Fatalf("index %d not visited", i)
 		}
 	}
-	if err := forEach(0, func(int) error { return nil }); err != nil {
+	if err := forEach(context.Background(), 0, func(int) error { return nil }); err != nil {
 		t.Errorf("forEach(0): %v", err)
+	}
+}
+
+// TestForEachStopsDispatchAfterError: once a cell fails, no fresh cells may
+// start (in-flight ones finish). With a single worker the schedule is
+// deterministic: only the failing cell runs.
+func TestForEachStopsDispatchAfterError(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := forEach(context.Background(), 50, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Cell 0 fails; the dispatcher may have handed at most one more cell
+	// to the worker before observing the failure.
+	if n := ran.Load(); n > 2 {
+		t.Errorf("%d cells ran after the first failure", n)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	err := forEach(context.Background(), 4, func(i int) error {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "cell 2") {
+		t.Errorf("error does not name the failing cell: %v", err)
+	}
+}
+
+func TestForEachRetriesTransient(t *testing.T) {
+	var attempts atomic.Int32
+	err := forEach(context.Background(), 1, func(i int) error {
+		if attempts.Add(1) < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("transient failure not retried away: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+func TestForEachTransientGivesUp(t *testing.T) {
+	var attempts atomic.Int32
+	err := forEach(context.Background(), 1, func(i int) error {
+		attempts.Add(1)
+		return Transient(errors.New("always down"))
+	})
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want the transient failure", err)
+	}
+	if got := attempts.Load(); got != maxCellAttempts {
+		t.Errorf("attempts = %d, want %d", got, maxCellAttempts)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	started := make(chan struct{}, 1)
+	err := func() error {
+		go func() {
+			<-started
+			cancel()
+		}()
+		return forEach(cctx, 1000, func(i int) error {
+			ran.Add(1)
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	}()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); int(n) >= 1000 {
+		t.Errorf("cancellation did not stop dispatch (%d cells ran)", n)
+	}
+}
+
+// TestSweepDegradesPanickingCell: a panic while generating or simulating
+// one benchmark must not kill the sweep — the other cells still report, and
+// the failure is recorded as an error row.
+func TestSweepDegradesPanickingCell(t *testing.T) {
+	ctx := tinyContext(t)
+	// Poison one cell: an invalid workload config makes MustGenerate panic
+	// inside that cell only.
+	ctx.Suite[2].Sites = 0
+	victim := ctx.Suite[2].Name
+	rates, err := ctx.Sweep(func() (core.Predictor, error) {
+		return core.NewBTB(nil, core.UpdateTwoMiss), nil
+	})
+	if err != nil {
+		t.Fatalf("sweep aborted: %v", err)
+	}
+	if _, ok := rates[victim]; ok {
+		t.Errorf("panicking cell %s produced a rate", victim)
+	}
+	if len(rates) != len(ctx.Suite)-1 {
+		t.Errorf("got %d rates, want %d", len(rates), len(ctx.Suite)-1)
+	}
+	fails := ctx.TakeFailures()
+	if len(fails) != 1 || fails[0].Bench != victim {
+		t.Fatalf("failures = %v, want one for %s", fails, victim)
+	}
+	if !strings.Contains(fails[0].Err.Error(), "panicked") {
+		t.Errorf("failure does not mention the panic: %v", fails[0].Err)
+	}
+	// The list is drained.
+	if again := ctx.TakeFailures(); len(again) != 0 {
+		t.Errorf("TakeFailures not drained: %v", again)
+	}
+}
+
+func TestSweepCancelled(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx := tinyContext(t).WithContext(cctx)
+	_, err := ctx.Sweep(func() (core.Predictor, error) {
+		return core.NewBTB(nil, core.UpdateTwoMiss), nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(ctx.TakeFailures()) != 0 {
+		t.Error("cancellation recorded as a degraded cell failure")
 	}
 }
 

@@ -42,7 +42,7 @@ func (c *Context) nextRates(p, entries int) (map[string]float64, map[string]floa
 	target := make(map[string]float64, len(c.Suite))
 	next := make(map[string]float64, len(c.Suite))
 	var mu sync.Mutex
-	err := forEach(len(c.Suite), func(i int) error {
+	err := forEach(c.ctx, len(c.Suite), func(i int) error {
 		bench := c.Suite[i]
 		nb, err := core.NewNextBranch(p, "assoc4", entries)
 		if err != nil {

@@ -35,6 +35,9 @@ func runLimits(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("Predictability limits (misprediction %, per benchmark)", "benchmark",
 		"oracle-static", "oracle-1st", "btb-2bc", "2lev-p2", "hybrid-3.1")
 	for _, cfg := range ctx.Suite {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tr := ctx.Trace(cfg)
 		t.Set(cfg.Name, "oracle-static", sim.OracleStatic(tr))
 		t.Set(cfg.Name, "oracle-1st", sim.OracleFirstOrder(tr))
@@ -102,6 +105,9 @@ func runCtxSwitch(ctx *Context) ([]*stats.Table, error) {
 		} {
 			rates := make(map[string]float64, len(ctx.Suite))
 			for _, cfg := range ctx.Suite {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				p, err := pcfg.mk()
 				if err != nil {
 					return nil, err

@@ -28,6 +28,9 @@ func runRAS(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("§2: return address stack misprediction (%) by depth", "benchmark")
 	depths := []int{1, 2, 4, 8, 16, 64}
 	for _, cfg := range ctx.Suite {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := cfg
 		cfg.EmitReturns = true
 		tr := cfg.MustGenerate(ctx.TraceLen / 4)

@@ -18,6 +18,9 @@ func runSites(ctx *Context) ([]*stats.Table, error) {
 	shares := stats.NewTable("Branch-site classes: share of dynamic indirect branches (%)", "benchmark")
 	counts := stats.NewTable("Branch-site classes: static site counts", "benchmark")
 	for _, cfg := range ctx.Suite {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b := analysis.Summarize(analysis.Profile(ctx.Trace(cfg)))
 		for _, class := range analysis.Classes() {
 			shares.Set(cfg.Name, class, 100*b.Shares[class])

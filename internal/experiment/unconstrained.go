@@ -62,6 +62,9 @@ func runTable1(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("Tables 1–2: benchmark characteristics", "benchmark",
 		"branches", "instr/ind", "cond/ind", "vcall%", "sites90", "sites95", "sites99", "sites100")
 	for _, cfg := range ctx.Suite {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := ctx.Summary(cfg)
 		t.AddRow(cfg.Name,
 			float64(s.Indirect),

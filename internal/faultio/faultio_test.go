@@ -1,0 +1,100 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestErrAfter(t *testing.T) {
+	src := strings.NewReader("hello world")
+	r := ErrAfter(src, 5, nil)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q before fault, want %q", got, "hello")
+	}
+	// The failure is sticky.
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read err = %v", err)
+	}
+}
+
+func TestErrAfterCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	r := ErrAfter(strings.NewReader("abc"), 0, boom)
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	r := TruncateAfter(strings.NewReader("hello world"), 5)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	for _, readSize := range []int{1, 3, 64} {
+		src := bytes.Repeat([]byte{0x00}, 10)
+		r := FlipBit(bytes.NewReader(src), 7, 0x10)
+		var got []byte
+		buf := make([]byte, readSize)
+		for {
+			n, err := r.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		want := bytes.Repeat([]byte{0x00}, 10)
+		want[7] = 0x10
+		if !bytes.Equal(got, want) {
+			t.Fatalf("readSize %d: got % x, want % x", readSize, got, want)
+		}
+	}
+}
+
+func TestFlipBitPastEnd(t *testing.T) {
+	r := FlipBit(strings.NewReader("abc"), 100, 0xff)
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestErrAfterWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := ErrAfterWriter(&sink, 5, nil)
+	n, err := w.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = %d, %v; want 5, ErrInjected", n, err)
+	}
+	if sink.String() != "hello" {
+		t.Fatalf("sink %q", sink.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault write err = %v", err)
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := ShortWriter(&sink, 4)
+	n, err := w.Write([]byte("hello world"))
+	if err != nil || n != 4 {
+		t.Fatalf("Write = %d, %v; want 4, nil", n, err)
+	}
+	if sink.String() != "hell" {
+		t.Fatalf("sink %q", sink.String())
+	}
+}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/oocsb/ibp/internal/core"
@@ -88,6 +89,20 @@ func (r Result) String() string {
 // delivered to predictors implementing core.CondObserver; return records are
 // skipped (see the ras package).
 func Run(p core.Predictor, tr trace.Trace, opts Options) Result {
+	res, _ := RunContext(context.Background(), p, tr, opts)
+	return res
+}
+
+// cancelCheckStride is how many trace records RunContext processes between
+// context checks; a power of two keeps the hot-loop test to a mask.
+const cancelCheckStride = 1 << 13
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every few thousand records and, once it is done, the partial Result
+// accumulated so far is returned together with ctx.Err(). The partial result
+// is internally consistent (all counters describe the records actually
+// simulated) but must not be mistaken for a full-trace measurement.
+func RunContext(ctx context.Context, p core.Predictor, tr trace.Trace, opts Options) (Result, error) {
 	res := Result{Warmup: opts.Warmup}
 	if opts.Sites {
 		res.PerSite = make(map[uint32]*SiteStats)
@@ -102,8 +117,16 @@ func Run(p core.Predictor, tr trace.Trace, opts Options) Result {
 	if opts.Shadow != nil {
 		shadowResetter, _ = opts.Shadow.(core.Resetter)
 	}
+	done := ctx.Done()
 	seen := 0
-	for _, r := range tr {
+	for ri, r := range tr {
+		if done != nil && ri&(cancelCheckStride-1) == 0 {
+			select {
+			case <-done:
+				return res, ctx.Err()
+			default:
+			}
+		}
 		switch {
 		case r.Kind == trace.Cond:
 			if condObs != nil {
@@ -159,7 +182,7 @@ func Run(p core.Predictor, tr trace.Trace, opts Options) Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // MissRate is a convenience wrapper: simulate and return the misprediction

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -158,5 +160,31 @@ func TestMissRateHelper(t *testing.T) {
 	twobc := MissRate(core.NewBTB(nil, core.UpdateTwoMiss), tr)
 	if always <= twobc {
 		t.Errorf("update-always (%v) should trail 2bc (%v) on alternation", always, twobc)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	// Big enough to span several cancellation-check strides.
+	tr := cycleTrace(0x1000, []uint32{0x2000, 0x3000}, 3*cancelCheckStride)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, core.NewBTB(nil, core.UpdateTwoMiss), tr, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Executed >= len(tr) {
+		t.Errorf("cancelled run executed all %d branches", res.Executed)
+	}
+}
+
+func TestRunContextCleanMatchesRun(t *testing.T) {
+	tr := cycleTrace(0x1000, []uint32{0x2000, 0x3000}, 500)
+	want := Run(core.NewBTB(nil, core.UpdateTwoMiss), tr, Options{})
+	got, err := RunContext(context.Background(), core.NewBTB(nil, core.UpdateTwoMiss), tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Misses != want.Misses || got.Executed != want.Executed {
+		t.Errorf("RunContext %+v != Run %+v", got, want)
 	}
 }

@@ -2,43 +2,89 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
-// FuzzRead checks that the trace decoder never panics and that anything it
-// accepts re-encodes to a semantically identical trace.
-func FuzzRead(f *testing.F) {
-	var buf bytes.Buffer
-	if err := Write(&buf, Trace{
+// fuzzSeeds returns representative encodings of both format versions plus
+// hand-built malformed prefixes.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	sample := Trace{
 		{PC: 0x1000, Target: 0x2000, Kind: VirtualCall, Gap: 3},
 		{PC: 0x1004, Target: 0x3000, Kind: Return, Gap: 1},
-	}); err != nil {
+	}
+	var v1, v2, big bytes.Buffer
+	if err := WriteV1(&v1, sample); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
-	f.Add([]byte("IBPT"))
-	f.Add([]byte("IBPT\x01\x00"))
-	f.Add([]byte{})
+	if err := Write(&v2, sample); err != nil {
+		f.Fatal(err)
+	}
+	// A multi-chunk v2 stream so the fuzzer can explore chunk boundaries.
+	if err := Write(&big, genTrace(chunkRecords+5)); err != nil {
+		f.Fatal(err)
+	}
+	return [][]byte{
+		v1.Bytes(),
+		v2.Bytes(),
+		big.Bytes(),
+		[]byte("IBPT"),
+		[]byte("IBPT\x01\x00"),
+		[]byte("IBPT\x02"),
+		[]byte("IBPT\x02\x03\x00"), // bare end section, missing checksum
+		{},
+	}
+}
+
+// FuzzRead checks that the trace decoders never panic, that anything the
+// strict decoder accepts re-encodes to a semantically identical trace, and
+// that the lenient decoder's salvage obeys the same invariant.
+func FuzzRead(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	roundTrip := func(t *testing.T, tr Trace, what string) {
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("re-encode of %s failed: %v", what, err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode of %s failed: %v", what, err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("%s round trip length %d != %d", what, len(back), len(tr))
+		}
+		for i := range tr {
+			if back[i] != tr[i] {
+				t.Fatalf("%s record %d: %+v != %+v", what, i, back[i], tr[i])
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Lenient mode must never panic, and whatever it salvages must be
+		// a valid trace that re-encodes cleanly — even when it also
+		// reports corruption.
+		salvaged, lerr := ReadLenient(bytes.NewReader(data))
+		if lerr != nil && !errors.Is(lerr, ErrCorrupt) {
+			t.Fatalf("lenient error is not ErrCorrupt: %v", lerr)
+		}
+		if salvaged != nil {
+			roundTrip(t, salvaged, "salvaged trace")
+		}
+
 		tr, err := Read(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		var out bytes.Buffer
-		if err := Write(&out, tr); err != nil {
-			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		// Strict acceptance implies lenient agreement.
+		if lerr != nil {
+			t.Fatalf("strict accepted what lenient flagged: %v", lerr)
 		}
-		back, err := Read(&out)
-		if err != nil {
-			t.Fatalf("re-decode failed: %v", err)
+		if len(salvaged) != len(tr) {
+			t.Fatalf("lenient decoded %d records, strict %d", len(salvaged), len(tr))
 		}
-		if len(back) != len(tr) {
-			t.Fatalf("round trip length %d != %d", len(back), len(tr))
-		}
-		for i := range tr {
-			if back[i] != tr[i] {
-				t.Fatalf("record %d: %+v != %+v", i, back[i], tr[i])
-			}
-		}
+		roundTrip(t, tr, "accepted trace")
 	})
 }

@@ -8,31 +8,117 @@ import (
 	"io"
 )
 
-// Binary trace format
+// Binary trace formats
+//
+// Both versions open with the same preamble:
 //
 //	magic   "IBPT"            4 bytes
-//	version uvarint           currently 1
+//	version uvarint           1 or 2
+//
+// Version 1 (legacy, unchecksummed):
+//
 //	count   uvarint           number of records
-//	records count times:
-//	    pcDelta   varint     (pc - prevPC) / 4, zigzag
-//	    tgtDelta  varint     (target - prevTarget) / 4, zigzag
-//	    kind      uvarint
-//	    gap       uvarint
+//	records count times (see record codec below)
+//
+// Version 2 is the length-framed, CRC32-checksummed format documented in
+// io_v2.go; Write emits v2 and Read accepts both.
+//
+// Record codec (shared by both versions):
+//
+//	pcDelta   varint     (pc - prevPC) / 4, zigzag
+//	tgtDelta  varint     (target - prevTarget) / 4, zigzag
+//	kind      uvarint
+//	gap       uvarint
 //
 // PC and target deltas are word deltas from the previous record, which keeps
 // typical loop traces to a few bytes per record.
 
 const (
-	magic         = "IBPT"
-	formatVersion = 1
+	magic     = "IBPT"
+	version1  = 1
+	version2  = 2
+	maxRecord = 4 * binary.MaxVarintLen64 // encoded size upper bound
 )
+
+// maxReasonable bounds the record count any header may claim before the
+// stream is rejected outright.
+const maxReasonable = 1 << 28
+
+// maxPrealloc caps the capacity allocated up front from a header-declared
+// record count (64 KiB worth of in-memory records); a hostile header cannot
+// force a multi-GiB allocation, the slice simply grows as records decode.
+const maxPrealloc = 64 * 1024 / 16 // 16 bytes per in-memory Record
 
 // ErrBadFormat is returned when a trace stream does not start with the
 // expected magic or uses an unsupported version.
 var ErrBadFormat = errors.New("trace: bad format")
 
-// Write encodes the trace to w in the binary trace format.
+// preallocCount clamps a header-declared record count to a safe initial
+// slice capacity.
+func preallocCount(declared uint64) int {
+	if declared > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(declared)
+}
+
+// putRecord appends the delta-encoding of r (relative to the previous
+// record) to buf and returns the extended slice.
+func putRecord(buf []byte, r Record, prevPC, prevTgt uint32) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], int64(int32(r.PC-prevPC))/4)
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutVarint(tmp[:], int64(int32(r.Target-prevTgt))/4)
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(r.Kind))
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(r.Gap))
+	buf = append(buf, tmp[:n]...)
+	return buf
+}
+
+// readRecord decodes one record from br relative to the previous one. The
+// index i is only used in error messages.
+func readRecord(br io.ByteReader, prevPC, prevTgt uint32, i uint64) (Record, error) {
+	pcd, err := binary.ReadVarint(br)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d pc: %w", i, err)
+	}
+	tgd, err := binary.ReadVarint(br)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d target: %w", i, err)
+	}
+	kind, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d kind: %w", i, err)
+	}
+	if kind >= numKinds {
+		return Record{}, fmt.Errorf("%w: record %d kind %d", ErrBadFormat, i, kind)
+	}
+	gap, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d gap: %w", i, err)
+	}
+	if gap == 0 || gap > 1<<32-1 {
+		return Record{}, fmt.Errorf("%w: record %d gap %d", ErrBadFormat, i, gap)
+	}
+	return Record{
+		PC:     prevPC + uint32(pcd*4),
+		Target: prevTgt + uint32(tgd*4),
+		Kind:   Kind(kind),
+		Gap:    uint32(gap),
+	}, nil
+}
+
+// Write encodes the trace to w in the current (v2, checksummed) binary trace
+// format.
 func Write(w io.Writer, t Trace) error {
+	return writeV2(w, t)
+}
+
+// WriteV1 encodes the trace in the legacy unchecksummed v1 format, kept for
+// compatibility testing and for producing traces readable by old tools.
+func WriteV1(w io.Writer, t Trace) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
@@ -43,29 +129,17 @@ func Write(w io.Writer, t Trace) error {
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	putI := func(v int64) error {
-		n := binary.PutVarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := putU(formatVersion); err != nil {
+	if err := putU(version1); err != nil {
 		return err
 	}
 	if err := putU(uint64(len(t))); err != nil {
 		return err
 	}
 	var prevPC, prevTgt uint32
+	rec := make([]byte, 0, maxRecord)
 	for _, r := range t {
-		if err := putI(int64(int32(r.PC-prevPC)) / 4); err != nil {
-			return err
-		}
-		if err := putI(int64(int32(r.Target-prevTgt)) / 4); err != nil {
-			return err
-		}
-		if err := putU(uint64(r.Kind)); err != nil {
-			return err
-		}
-		if err := putU(uint64(r.Gap)); err != nil {
+		rec = putRecord(rec[:0], r, prevPC, prevTgt)
+		if _, err := bw.Write(rec); err != nil {
 			return err
 		}
 		prevPC, prevTgt = r.PC, r.Target
@@ -73,60 +147,108 @@ func Write(w io.Writer, t Trace) error {
 	return bw.Flush()
 }
 
-// Read decodes a trace previously encoded with Write.
-func Read(r io.Reader) (Trace, error) {
-	br := bufio.NewReader(r)
+// readPreamble consumes the magic and version from br.
+func readPreamble(br *bufio.Reader) (uint64, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return 0, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if string(m[:]) != magic {
-		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+		return 0, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
 	}
 	version, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading version: %w", err)
+		return 0, fmt.Errorf("trace: reading version: %w", err)
 	}
-	if version != formatVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	return version, nil
+}
+
+// Read decodes a trace in either format version. Version 2 streams are
+// verified strictly: any framing or checksum violation is reported as a
+// *CorruptError (matching ErrCorrupt) and no records are returned. Use
+// ReadLenient to salvage the valid prefix instead.
+func Read(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	version, err := readPreamble(br)
+	if err != nil {
+		return nil, err
 	}
+	switch version {
+	case version1:
+		return readV1(br)
+	case version2:
+		tr, err := readV2(br, true)
+		if err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+}
+
+// ReadLenient decodes as much of the stream as it can. On a clean stream it
+// behaves like Read. On a truncated or corrupted stream it returns the
+// records decoded before the damage together with a *CorruptError describing
+// where decoding stopped; the salvaged prefix is always a valid Trace that
+// re-encodes cleanly. The error matches both ErrCorrupt and, via Unwrap, the
+// underlying cause.
+func ReadLenient(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	version, err := readPreamble(br)
+	if err != nil {
+		return nil, corrupt(0, 0, "preamble", err)
+	}
+	switch version {
+	case version1:
+		return readV1Lenient(br)
+	case version2:
+		return readV2(br, false)
+	}
+	return nil, corrupt(0, 0, fmt.Sprintf("unsupported version %d", version), ErrBadFormat)
+}
+
+// readV1 decodes a v1 stream positioned after the preamble.
+func readV1(br *bufio.Reader) (Trace, error) {
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading count: %w", err)
 	}
-	const maxReasonable = 1 << 28
 	if count > maxReasonable {
 		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, count)
 	}
-	out := make(Trace, 0, count)
+	out := make(Trace, 0, preallocCount(count))
 	var prevPC, prevTgt uint32
 	for i := uint64(0); i < count; i++ {
-		pcd, err := binary.ReadVarint(br)
+		r, err := readRecord(br, prevPC, prevTgt, i)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
+			return nil, err
 		}
-		tgd, err := binary.ReadVarint(br)
+		out = append(out, r)
+		prevPC, prevTgt = r.PC, r.Target
+	}
+	return out, nil
+}
+
+// readV1Lenient decodes a v1 stream, keeping the records decoded before the
+// first error. v1 has no checksums, so only truncation and structural
+// violations are detectable.
+func readV1Lenient(br *bufio.Reader) (Trace, error) {
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, corrupt(0, 0, "record count", err)
+	}
+	if count > maxReasonable {
+		return nil, corrupt(0, 0, fmt.Sprintf("implausible record count %d", count), ErrBadFormat)
+	}
+	out := make(Trace, 0, preallocCount(count))
+	var prevPC, prevTgt uint32
+	for i := uint64(0); i < count; i++ {
+		r, err := readRecord(br, prevPC, prevTgt, i)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d target: %w", i, err)
+			return out, corrupt(len(out), 0, fmt.Sprintf("v1 record %d", i), err)
 		}
-		kind, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d kind: %w", i, err)
-		}
-		if kind >= numKinds {
-			return nil, fmt.Errorf("%w: record %d kind %d", ErrBadFormat, i, kind)
-		}
-		gap, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d gap: %w", i, err)
-		}
-		if gap == 0 || gap > 1<<32-1 {
-			return nil, fmt.Errorf("%w: record %d gap %d", ErrBadFormat, i, gap)
-		}
-		pc := prevPC + uint32(pcd*4)
-		tgt := prevTgt + uint32(tgd*4)
-		out = append(out, Record{PC: pc, Target: tgt, Kind: Kind(kind), Gap: uint32(gap)})
-		prevPC, prevTgt = pc, tgt
+		out = append(out, r)
+		prevPC, prevTgt = r.PC, r.Target
 	}
 	return out, nil
 }

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/faultio"
+)
+
+// genTrace builds a deterministic synthetic trace of n records.
+func genTrace(n int) Trace {
+	rng := rand.New(rand.NewSource(42))
+	out := make(Trace, 0, n)
+	pc, tgt := uint32(0x1000), uint32(0x8000)
+	for i := 0; i < n; i++ {
+		pc += uint32(rng.Intn(64)) * 4
+		tgt += uint32(rng.Intn(256)) * 4
+		out = append(out, Record{
+			PC:     pc,
+			Target: tgt,
+			Kind:   Kind(rng.Intn(int(numKinds))),
+			Gap:    uint32(1 + rng.Intn(100)),
+		})
+	}
+	return out
+}
+
+func encode(t *testing.T, tr Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func mustEqual(t *testing.T, got, want Trace) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, chunkRecords - 1, chunkRecords, chunkRecords + 1, 3*chunkRecords + 17} {
+		tr := genTrace(n)
+		data := encode(t, tr)
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("n=%d: Read: %v", n, err)
+		}
+		mustEqual(t, got, tr)
+		// Lenient mode must agree on clean streams.
+		got, err = ReadLenient(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("n=%d: ReadLenient: %v", n, err)
+		}
+		mustEqual(t, got, tr)
+	}
+}
+
+func TestReadV1Compatibility(t *testing.T) {
+	tr := genTrace(500)
+	var buf bytes.Buffer
+	if err := WriteV1(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read v1: %v", err)
+	}
+	mustEqual(t, got, tr)
+	got, err = ReadLenient(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadLenient v1: %v", err)
+	}
+	mustEqual(t, got, tr)
+}
+
+// TestV2BitFlipStrictVsLenient flips one bit at every offset of a small v2
+// stream: strict mode must reject the change or decode the identical trace
+// (flips in skippable regions cannot occur — every byte is covered by a
+// checksum, so any flip that still parses must parse to the same records
+// only if it was... it must simply never yield different records).
+func TestV2BitFlipStrict(t *testing.T) {
+	tr := genTrace(300)
+	data := encode(t, tr)
+	for off := 0; off < len(data); off++ {
+		flipped := bytes.Clone(data)
+		flipped[off] ^= 0x04
+		got, err := Read(bytes.NewReader(flipped))
+		if err == nil {
+			// The only acceptable silent outcome is a flip with no
+			// semantic effect; with CRC32 over every frame there is none,
+			// but guard against decoder bugs by requiring identity.
+			mustEqual(t, got, tr)
+		}
+	}
+}
+
+func TestV2BitFlipLenientSalvagesPrefix(t *testing.T) {
+	tr := genTrace(3*chunkRecords + 100)
+	data := encode(t, tr)
+	// Flip a bit roughly in the middle of the stream (inside chunk 2 of 4).
+	off := len(data) / 2
+	flipped := bytes.Clone(data)
+	flipped[off] ^= 0x40
+
+	if _, err := Read(bytes.NewReader(flipped)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict Read of flipped stream: err = %v, want ErrCorrupt", err)
+	}
+
+	got, err := ReadLenient(bytes.NewReader(flipped))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadLenient err = %v, want ErrCorrupt", err)
+	}
+	var cerr *CorruptError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err %T is not *CorruptError", err)
+	}
+	if cerr.Records != len(got) {
+		t.Errorf("CorruptError.Records = %d, salvaged %d", cerr.Records, len(got))
+	}
+	// The salvage must be a whole-chunk prefix of the original.
+	if len(got) == 0 || len(got)%chunkRecords != 0 || len(got) >= len(tr) {
+		t.Fatalf("salvaged %d records from %d (chunk %d)", len(got), len(tr), chunkRecords)
+	}
+	mustEqual(t, got, tr[:len(got)])
+}
+
+func TestV2TruncationSalvage(t *testing.T) {
+	tr := genTrace(2*chunkRecords + 50)
+	data := encode(t, tr)
+	for _, cut := range []int{len(data) - 1, len(data) / 2, len(data) / 4} {
+		r := faultio.TruncateAfter(bytes.NewReader(data), int64(cut))
+		got, err := ReadLenient(r)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: err = %v, want ErrCorrupt", cut, err)
+		}
+		mustEqual(t, got, tr[:len(got)])
+		// Strict mode must reject outright.
+		if _, err := Read(faultio.TruncateAfter(bytes.NewReader(data), int64(cut))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: strict err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestV2ReadErrorMidStream(t *testing.T) {
+	tr := genTrace(chunkRecords + 10)
+	data := encode(t, tr)
+	boom := errors.New("disk on fire")
+	got, err := ReadLenient(faultio.ErrAfter(bytes.NewReader(data), int64(len(data)/2), boom))
+	if !errors.Is(err, ErrCorrupt) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrCorrupt wrapping boom", err)
+	}
+	mustEqual(t, got, tr[:len(got)])
+}
+
+// TestV2SalvageReencodes: the lenient-mode invariant — whatever is salvaged
+// must itself round-trip through the encoder.
+func TestV2SalvageReencodes(t *testing.T) {
+	tr := genTrace(2 * chunkRecords)
+	data := encode(t, tr)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		flipped := bytes.Clone(data)
+		flipped[rng.Intn(len(flipped))] ^= 1 << rng.Intn(8)
+		got, err := ReadLenient(bytes.NewReader(flipped))
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trial %d: unexpected error type %v", trial, err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, got); err != nil {
+			t.Fatalf("trial %d: salvage does not re-encode: %v", trial, err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: salvage does not re-decode: %v", trial, err)
+		}
+		mustEqual(t, back, got)
+	}
+}
+
+func TestV2ShortWriteSurfaces(t *testing.T) {
+	// bufio must surface a destination that under-reports writes; Write
+	// must not silently succeed.
+	tr := genTrace(100)
+	err := Write(faultio.ShortWriter(io.Discard, 3), tr)
+	if err == nil {
+		t.Fatal("Write to a short writer succeeded")
+	}
+}
+
+func TestV2WriteErrorPropagates(t *testing.T) {
+	tr := genTrace(chunkRecords * 2)
+	err := Write(faultio.ErrAfterWriter(io.Discard, 1000, nil), tr)
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestV1LenientTruncation(t *testing.T) {
+	tr := genTrace(1000)
+	var buf bytes.Buffer
+	if err := WriteV1(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	got, err := ReadLenient(faultio.TruncateAfter(bytes.NewReader(data), int64(len(data)/2)))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if len(got) == 0 || len(got) >= len(tr) {
+		t.Fatalf("salvaged %d of %d", len(got), len(tr))
+	}
+	mustEqual(t, got, tr[:len(got)])
+}
+
+// TestHostileHeaderAllocation: a tiny stream claiming 2^28 records must not
+// pre-allocate gigabytes. The claim is structurally valid, so decoding fails
+// on truncation — the point is that it fails fast and small.
+func TestHostileHeaderAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.WriteByte(version1)
+	// uvarint 2^28 = 0x10000000.
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x01})
+	before := allocBytes()
+	_, err := Read(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("hostile header accepted")
+	}
+	if grew := allocBytes() - before; grew > 8<<20 {
+		t.Fatalf("hostile header allocated %d bytes", grew)
+	}
+}
+
+// allocBytes reports cumulative heap allocation, for coarse allocation caps.
+func allocBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+func TestCorruptErrorMessage(t *testing.T) {
+	err := corrupt(12, 345, "records section", errChecksum)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatal("corrupt() does not match ErrCorrupt")
+	}
+	var cerr *CorruptError
+	if !errors.As(err, &cerr) || cerr.Records != 12 || cerr.Offset != 345 {
+		t.Fatalf("bad CorruptError: %#v", err)
+	}
+	if msg := err.Error(); msg == "" {
+		t.Fatal("empty message")
+	}
+}
