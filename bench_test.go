@@ -97,13 +97,18 @@ func BenchmarkLimits(b *testing.B)                  { runExperiment(b, "limits",
 func BenchmarkVMWorkloads(b *testing.B)             { runExperiment(b, "vm", 1000) }
 func BenchmarkContextSwitch(b *testing.B)           { runExperiment(b, "ctxswitch", 1000) }
 
-// Raw predictor throughput: nanoseconds per predicted branch.
+// Raw predictor throughput: nanoseconds per predicted branch. Predictor
+// construction happens outside the timed sections so ns/branch and allocs/op
+// measure the steady-state predict/update loop, not table allocation.
 func benchPredictor(b *testing.B, mk func() ibp.Predictor) {
 	b.Helper()
 	tr := ibp.MustBenchmark("eqn", 50_000).Indirect()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		p := mk()
+		b.StartTimer()
 		for _, r := range tr {
 			p.Predict(r.PC)
 			p.Update(r.PC, r.Target)

@@ -1,0 +1,209 @@
+// Benchmark-regression harness: -benchjson records predictor throughput and
+// experiment wall-times as a BENCH_<date>.json snapshot so the performance
+// trajectory is tracked commit over commit (see scripts/bench.sh).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/oocsb/ibp/internal/bits"
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/experiment"
+	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+// benchReport is the BENCH_<date>.json schema. Fields are stable: downstream
+// tooling diffs these files across commits.
+type benchReport struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	TraceLen   int    `json:"trace_len"`
+	// Predictors are in-process steady-state throughput measurements.
+	Predictors []predictorBench `json:"predictors"`
+	// Experiments are end-to-end wall-times of registered experiments.
+	Experiments []experimentBench `json:"experiments,omitempty"`
+	// GoTest carries parsed `go test -bench` results when scripts/bench.sh
+	// passes the raw output via -benchraw.
+	GoTest []goTestBench `json:"go_test,omitempty"`
+}
+
+type predictorBench struct {
+	Name     string  `json:"name"`
+	NsBranch float64 `json:"ns_per_branch"`
+	Branches int     `json:"branches"`
+}
+
+type experimentBench struct {
+	ID       string `json:"id"`
+	WallMs   int64  `json:"wall_ms"`
+	Tables   int    `json:"tables"`
+	Degraded int    `json:"degraded_cells,omitempty"`
+}
+
+type goTestBench struct {
+	Name string  `json:"name"`
+	Iter int     `json:"iterations"`
+	NsOp float64 `json:"ns_per_op"`
+}
+
+// benchPredictors are the throughput subjects, mirroring the Predictor*
+// benchmarks in bench_test.go.
+func benchPredictors() []struct {
+	name string
+	mk   func() (core.Predictor, error)
+} {
+	return []struct {
+		name string
+		mk   func() (core.Predictor, error)
+	}{
+		{"btb-2bc", func() (core.Predictor, error) { return core.NewBTB(nil, core.UpdateTwoMiss), nil }},
+		{"2lev-p3-assoc4-4096", func() (core.Predictor, error) {
+			return core.NewTwoLevel(core.Config{
+				PathLength: 3, Precision: core.AutoPrecision,
+				Scheme: bits.Reverse, TableKind: "assoc4", Entries: 4096,
+			})
+		}},
+		{"2lev-p6-exact", func() (core.Predictor, error) {
+			return core.NewTwoLevel(core.Config{PathLength: 6, Precision: 0, TableKind: "exact"})
+		}},
+		{"hybrid-3.1-assoc4-2048", func() (core.Predictor, error) {
+			return core.NewDualPath(3, 1, "assoc4", 2048)
+		}},
+	}
+}
+
+// measurePredictor times steady-state predict/update over the trace: one
+// untimed warm pass, then timed passes until minTime accumulates.
+func measurePredictor(ctx context.Context, mk func() (core.Predictor, error), tr trace.Trace) (float64, error) {
+	p, err := mk()
+	if err != nil {
+		return 0, err
+	}
+	pass := func() {
+		for i := range tr {
+			p.Predict(tr[i].PC)
+			p.Update(tr[i].PC, tr[i].Target)
+		}
+	}
+	pass() // warm: tables populated, steady state from here
+	const minTime = 100 * time.Millisecond
+	var elapsed time.Duration
+	branches := 0
+	for elapsed < minTime {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		pass()
+		elapsed += time.Since(start)
+		branches += len(tr)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(branches), nil
+}
+
+// parseGoTestBench extracts "BenchmarkX  N  12345 ns/op" lines from raw
+// `go test -bench` output.
+func parseGoTestBench(path string) ([]goTestBench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []goTestBench
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iter, err1 := strconv.Atoi(fields[1])
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || fields[3] != "ns/op" {
+			continue
+		}
+		out = append(out, goTestBench{Name: fields[0], Iter: iter, NsOp: ns})
+	}
+	return out, sc.Err()
+}
+
+// runBenchJSON produces the benchmark snapshot: predictor throughput, wall
+// times for the selected experiments, and (optionally) embedded go-test
+// results, written atomically to outPath.
+func runBenchJSON(ctx context.Context, outPath, benchRaw string, selected []experiment.Experiment, traceLen int) error {
+	rep := benchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		TraceLen:   traceLen,
+	}
+	if rep.TraceLen <= 0 {
+		rep.TraceLen = experiment.NewContext(0).TraceLen
+	}
+
+	cfg, err := workload.ByName("eqn")
+	if err != nil {
+		return err
+	}
+	tr := cfg.MustGenerate(50_000).Indirect()
+	for _, pb := range benchPredictors() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ns, err := measurePredictor(ctx, pb.mk, tr)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", pb.name, err)
+		}
+		fmt.Printf("bench %-24s %8.1f ns/branch\n", pb.name, ns)
+		rep.Predictors = append(rep.Predictors, predictorBench{Name: pb.name, NsBranch: ns, Branches: len(tr)})
+	}
+
+	ectx := experiment.NewContext(traceLen).WithContext(ctx)
+	for _, e := range selected {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		start := time.Now()
+		tables, err := e.Run(ectx)
+		degraded := ectx.TakeFailures()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		wall := time.Since(start)
+		fmt.Printf("bench experiment %-12s %v (%d tables)\n", e.ID, wall.Round(time.Millisecond), len(tables))
+		rep.Experiments = append(rep.Experiments, experimentBench{
+			ID: e.ID, WallMs: wall.Milliseconds(), Tables: len(tables), Degraded: len(degraded),
+		})
+	}
+
+	if benchRaw != "" {
+		gt, err := parseGoTestBench(benchRaw)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", benchRaw, err)
+		}
+		rep.GoTest = gt
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(outPath, append(data, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

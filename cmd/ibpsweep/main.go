@@ -107,11 +107,13 @@ func atomicWrite(path string, data []byte) error {
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		run      = flag.String("run", "", "comma-separated experiment ids, or \"all\"")
-		traceLen = flag.Int("n", 0, "indirect branches per benchmark (default 80000)")
-		csvDir   = flag.String("csv", "", "directory to write one CSV per result table")
-		resume   = flag.Bool("resume", false, "skip experiments already journaled in the -csv dir's manifest")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		run       = flag.String("run", "", "comma-separated experiment ids, or \"all\"")
+		traceLen  = flag.Int("n", 0, "indirect branches per benchmark (default 80000)")
+		csvDir    = flag.String("csv", "", "directory to write one CSV per result table")
+		resume    = flag.Bool("resume", false, "skip experiments already journaled in the -csv dir's manifest")
+		benchJSON = flag.String("benchjson", "", "write a benchmark snapshot (predictor ns/branch + experiment wall-times) to this JSON file instead of printing tables")
+		benchRaw  = flag.String("benchraw", "", "with -benchjson: embed parsed `go test -bench` output from this file")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM cancel the run cooperatively: the current experiment
@@ -119,7 +121,7 @@ func main() {
 	// their flushed CSVs and manifest entries.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := realMain(ctx, *list, *run, *traceLen, *csvDir, *resume); err != nil {
+	if err := realMain(ctx, *list, *run, *traceLen, *csvDir, *resume, *benchJSON, *benchRaw); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "ibpsweep: interrupted; completed experiments are preserved (rerun with -resume)")
 		} else {
@@ -129,15 +131,15 @@ func main() {
 	}
 }
 
-func realMain(ctx context.Context, list bool, run string, traceLen int, csvDir string, resume bool) error {
+func realMain(ctx context.Context, list bool, run string, traceLen int, csvDir string, resume bool, benchJSON, benchRaw string) error {
 	if list {
 		for _, e := range experiment.All() {
 			fmt.Printf("%-12s %-28s %s\n", e.ID, e.Artifact, e.Desc)
 		}
 		return nil
 	}
-	if run == "" {
-		return fmt.Errorf("nothing to do: pass -run <ids> or -list")
+	if run == "" && benchJSON == "" {
+		return fmt.Errorf("nothing to do: pass -run <ids>, -benchjson <file>, or -list")
 	}
 	if resume && csvDir == "" {
 		return fmt.Errorf("-resume needs -csv: the manifest lives next to the CSVs")
@@ -152,7 +154,7 @@ func realMain(ctx context.Context, list bool, run string, traceLen int, csvDir s
 				selected = append(selected, e)
 			}
 		}
-	} else {
+	} else if run != "" {
 		for _, id := range strings.Split(run, ",") {
 			e, err := experiment.ByID(strings.TrimSpace(id))
 			if err != nil {
@@ -160,6 +162,9 @@ func realMain(ctx context.Context, list bool, run string, traceLen int, csvDir s
 			}
 			selected = append(selected, e)
 		}
+	}
+	if benchJSON != "" {
+		return runBenchJSON(ctx, benchJSON, benchRaw, selected, traceLen)
 	}
 
 	var man *manifest

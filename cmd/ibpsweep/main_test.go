@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -13,19 +14,19 @@ import (
 func bg() context.Context { return context.Background() }
 
 func TestRealMainList(t *testing.T) {
-	if err := realMain(bg(), true, "", 0, "", false); err != nil {
+	if err := realMain(bg(), true, "", 0, "", false, "", ""); err != nil {
 		t.Fatalf("-list: %v", err)
 	}
 }
 
 func TestRealMainNoArgs(t *testing.T) {
-	if err := realMain(bg(), false, "", 0, "", false); err == nil {
+	if err := realMain(bg(), false, "", 0, "", false, "", ""); err == nil {
 		t.Fatal("no -run accepted")
 	}
 }
 
 func TestRealMainUnknownExperiment(t *testing.T) {
-	if err := realMain(bg(), false, "nonesuch", 0, "", false); err == nil {
+	if err := realMain(bg(), false, "nonesuch", 0, "", false, "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -33,7 +34,7 @@ func TestRealMainUnknownExperiment(t *testing.T) {
 func TestRealMainRunsAndWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	// table1 is cheap even at a moderate trace length.
-	if err := realMain(bg(), false, "table1", 2000, dir, false); err != nil {
+	if err := realMain(bg(), false, "table1", 2000, dir, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "table1-*.csv"))
@@ -54,7 +55,7 @@ func TestRealMainRunsAndWritesCSV(t *testing.T) {
 }
 
 func TestRealMainCommaSeparated(t *testing.T) {
-	if err := realMain(bg(), false, "table1, sites", 1500, "", false); err != nil {
+	if err := realMain(bg(), false, "table1, sites", 1500, "", false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -62,15 +63,54 @@ func TestRealMainCommaSeparated(t *testing.T) {
 func TestRealMainCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := realMain(ctx, false, "table1", 2000, "", false)
+	err := realMain(ctx, false, "table1", 2000, "", false, "", "")
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
 func TestRealMainResumeNeedsCSV(t *testing.T) {
-	if err := realMain(bg(), false, "table1", 2000, "", true); err == nil {
+	if err := realMain(bg(), false, "table1", 2000, "", true, "", ""); err == nil {
 		t.Fatal("-resume without -csv accepted")
+	}
+}
+
+func TestBenchJSONSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "bench.txt")
+	rawText := "goos: linux\nBenchmarkFig17HybridMatrix \t       3\t  52365556 ns/op\nPASS\n"
+	if err := os.WriteFile(raw, []byte(rawText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_test.json")
+	if err := realMain(bg(), false, "table1", 1500, "", false, out, raw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if rep.Date == "" || rep.GoVersion == "" || rep.TraceLen != 1500 {
+		t.Errorf("missing metadata: %+v", rep)
+	}
+	if len(rep.Predictors) == 0 {
+		t.Fatal("no predictor measurements")
+	}
+	for _, p := range rep.Predictors {
+		if p.NsBranch <= 0 {
+			t.Errorf("%s: ns/branch = %v", p.Name, p.NsBranch)
+		}
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "table1" {
+		t.Errorf("experiments = %+v", rep.Experiments)
+	}
+	if len(rep.GoTest) != 1 || rep.GoTest[0].Name != "BenchmarkFig17HybridMatrix" ||
+		rep.GoTest[0].NsOp != 52365556 {
+		t.Errorf("go test results not embedded: %+v", rep.GoTest)
 	}
 }
 
@@ -85,7 +125,7 @@ func readManifest(t *testing.T, dir string) *manifest {
 
 func TestManifestJournalsCompletion(t *testing.T) {
 	dir := t.TempDir()
-	if err := realMain(bg(), false, "table1,sites", 1500, dir, false); err != nil {
+	if err := realMain(bg(), false, "table1,sites", 1500, dir, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	m := readManifest(t, dir)
@@ -110,7 +150,7 @@ func TestManifestJournalsCompletion(t *testing.T) {
 
 func TestResumeSkipsCompleted(t *testing.T) {
 	dir := t.TempDir()
-	if err := realMain(bg(), false, "table1", 1500, dir, false); err != nil {
+	if err := realMain(bg(), false, "table1", 1500, dir, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	first := readManifest(t, dir)
@@ -118,7 +158,7 @@ func TestResumeSkipsCompleted(t *testing.T) {
 
 	// Resume with one more experiment: table1 must be skipped (its
 	// timestamp survives), sites must run.
-	if err := realMain(bg(), false, "table1,sites", 1500, dir, true); err != nil {
+	if err := realMain(bg(), false, "table1,sites", 1500, dir, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	m := readManifest(t, dir)
@@ -132,10 +172,10 @@ func TestResumeSkipsCompleted(t *testing.T) {
 
 func TestResumeRejectsTraceLenMismatch(t *testing.T) {
 	dir := t.TempDir()
-	if err := realMain(bg(), false, "table1", 1500, dir, false); err != nil {
+	if err := realMain(bg(), false, "table1", 1500, dir, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	err := realMain(bg(), false, "table1", 3000, dir, true)
+	err := realMain(bg(), false, "table1", 3000, dir, true, "", "")
 	if err == nil || !strings.Contains(err.Error(), "-n") {
 		t.Fatalf("trace-length mismatch accepted on resume: %v", err)
 	}
@@ -143,12 +183,12 @@ func TestResumeRejectsTraceLenMismatch(t *testing.T) {
 
 func TestFreshRunInvalidatesManifest(t *testing.T) {
 	dir := t.TempDir()
-	if err := realMain(bg(), false, "table1,sites", 1500, dir, false); err != nil {
+	if err := realMain(bg(), false, "table1,sites", 1500, dir, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// A non-resume run clears previous completions and journals only its
 	// own experiments.
-	if err := realMain(bg(), false, "table1", 1500, dir, false); err != nil {
+	if err := realMain(bg(), false, "table1", 1500, dir, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	m := readManifest(t, dir)
@@ -206,7 +246,7 @@ func TestInterruptMidSweep(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 		cancel()
 	}()
-	err := realMain(ctx, false, "table1,fig9", 60000, dir, false)
+	err := realMain(ctx, false, "table1,fig9", 60000, dir, false, "", "")
 	if err != nil && !errors.Is(err, context.Canceled) {
 		t.Fatalf("unexpected error: %v", err)
 	}
@@ -225,7 +265,7 @@ func TestInterruptMidSweep(t *testing.T) {
 		t.Errorf("temp files left behind: %v", leftovers)
 	}
 	// Resume must finish the sweep.
-	if err := realMain(bg(), false, "table1,fig9", 60000, dir, true); err != nil {
+	if err := realMain(bg(), false, "table1,fig9", 60000, dir, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	m = readManifest(t, dir)

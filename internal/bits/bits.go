@@ -123,11 +123,16 @@ func Assemble(targets []uint32, b, start int, scheme Scheme) uint32 {
 		}
 		return pattern
 	}
-	for r := 0; r < b; r++ {
-		for j := 0; j < p; j++ {
-			t := targets[scheme.order(j, p)]
-			bit := Field(t, start+r, 1)
-			pattern |= bit << uint(r*p+j)
+	// Interleaved schemes: pattern bit r*p+j holds bit start+r of the j-th
+	// target in scheme order. Walking target-major (one order lookup and one
+	// field extraction per target, then b single-bit deposits with stride p)
+	// is equivalent to the bit-major definition but keeps this — the hottest
+	// loop of the whole simulator — free of per-bit function calls.
+	for j := 0; j < p; j++ {
+		t := Field(targets[scheme.order(j, p)], start, b)
+		for pos := j; t != 0; pos += p {
+			pattern |= (t & 1) << uint(pos)
+			t >>= 1
 		}
 	}
 	return pattern

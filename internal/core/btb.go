@@ -59,12 +59,12 @@ func (b *BTB) PredictConf(pc uint32) (uint32, uint8, bool) {
 	return e.Target, e.Conf, true
 }
 
-// Update implements Predictor.
+// Update implements Predictor: a single combined probe-or-insert walk trains
+// the entry (the paper's hot loop previously paid a Probe in Predict and a
+// second Probe here).
 func (b *BTB) Update(pc, target uint32) {
-	k := b.key(pc)
-	e := b.tab.Probe(k)
-	if e == nil {
-		e = b.tab.Insert(k)
+	e, found := b.tab.ProbeOrInsert(b.key(pc))
+	if !found {
 		e.Target = target
 		return
 	}

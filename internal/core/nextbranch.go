@@ -51,7 +51,7 @@ func NewNextBranch(p int, tableKind string, entries int) (*NextBranch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &NextBranch{
+	nb := &NextBranch{
 		spec: history.Spec{
 			PathLength: cfg.PathLength,
 			Bits:       cfg.Precision,
@@ -64,7 +64,9 @@ func NewNextBranch(p int, tableKind string, entries int) (*NextBranch, error) {
 		update:  cfg.Update,
 		scratch: make([]uint32, 0, cfg.PathLength+1),
 		name:    fmt.Sprintf("nextbranch[p=%d,%s/%d]", p, cfg.TableKind, cfg.Entries),
-	}, nil
+	}
+	nb.hist.Track(nb.spec)
+	return nb, nil
 }
 
 func (n *NextBranch) key(pc uint32) uint64 {

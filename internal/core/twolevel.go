@@ -170,6 +170,19 @@ type TwoLevel struct {
 	max     uint8
 	scratch []uint32
 	keyBuf  []byte
+
+	// Probe memo: the simulator calls Predict(pc) immediately followed by
+	// Update(pc, target), and nothing moves the history in between, so the
+	// key (and the entry it selects) computed by the prediction probe is
+	// still valid when the update arrives. Caching it halves the per-branch
+	// key-assembly and table-lookup work — the hot loop of every
+	// figure-class sweep. The memo is invalidated by anything that shifts
+	// the history or mutates the table (Update itself, ObserveCond, Reset).
+	memoPC    uint32
+	memoKey   uint64
+	memoReg   *history.Register
+	memoEntry *table.Entry
+	memoValid bool
 }
 
 // NewTwoLevel builds a predictor for the configuration.
@@ -201,6 +214,9 @@ func NewTwoLevel(cfg Config) (*TwoLevel, error) {
 		return nil, err
 	}
 	t.tab = tab
+	// Compressed-key mode reads the pattern on every probe; maintain it
+	// incrementally on push instead of reassembling it from all p targets.
+	t.hist.Track(t.spec)
 	return t, nil
 }
 
@@ -218,14 +234,20 @@ func MustTwoLevel(cfg Config) *TwoLevel {
 func (t *TwoLevel) Config() Config { return t.cfg }
 
 // probe locates the entry for the branch at pc under the current history,
-// without modifying prediction state beyond recency.
+// without modifying prediction state beyond recency, and memoizes the result
+// for the Update call that typically follows (see the memo fields).
 func (t *TwoLevel) probe(pc uint32) *table.Entry {
 	reg := t.hist.Get(pc)
+	var e *table.Entry
 	if t.exact != nil {
 		t.keyBuf = history.FullKey(t.keyBuf[:0], reg, pc, t.cfg.TableShare, t.cfg.StartBit, t.cfg.Precision)
-		return t.exact.Probe(t.keyBuf)
+		e = t.exact.Probe(t.keyBuf)
+	} else {
+		t.memoKey = t.spec.Key(reg, pc, t.scratch)
+		e = t.tab.Probe(t.memoKey)
 	}
-	return t.tab.Probe(t.spec.Key(reg, pc, t.scratch))
+	t.memoPC, t.memoReg, t.memoEntry, t.memoValid = pc, reg, e, true
+	return e
 }
 
 // Predict implements Predictor.
@@ -248,28 +270,41 @@ func (t *TwoLevel) PredictConf(pc uint32) (uint32, uint8, bool) {
 }
 
 // Update implements Predictor: it trains the table entry under the
-// pre-branch history, then shifts the history.
+// pre-branch history, then shifts the history. When the immediately
+// preceding Predict/PredictConf probed the same branch, its memoized key and
+// entry are reused instead of recomputed (the history cannot have moved in
+// between — only Update, ObserveCond, and Reset shift it, and each clears
+// the memo).
 func (t *TwoLevel) Update(pc, target uint32) {
-	reg := t.hist.Get(pc)
-	if t.exact != nil {
-		t.keyBuf = history.FullKey(t.keyBuf[:0], reg, pc, t.cfg.TableShare, t.cfg.StartBit, t.cfg.Precision)
-		e := t.exact.Probe(t.keyBuf)
-		if e == nil {
-			e = t.exact.Insert(t.keyBuf)
-			e.Target = target
-		} else {
-			bumpConf(e, applyTarget(e, target, t.cfg.Update), t.max)
+	var (
+		reg   *history.Register
+		e     *table.Entry
+		found bool
+	)
+	if t.memoValid && t.memoPC == pc {
+		reg, e, found = t.memoReg, t.memoEntry, t.memoEntry != nil
+		if !found {
+			if t.exact != nil {
+				e = t.exact.Insert(t.keyBuf) // keyBuf still holds pc's key
+			} else {
+				e = t.tab.Insert(t.memoKey)
+			}
 		}
 	} else {
-		key := t.spec.Key(reg, pc, t.scratch)
-		e := t.tab.Probe(key)
-		if e == nil {
-			e = t.tab.Insert(key)
-			e.Target = target
+		reg = t.hist.Get(pc)
+		if t.exact != nil {
+			t.keyBuf = history.FullKey(t.keyBuf[:0], reg, pc, t.cfg.TableShare, t.cfg.StartBit, t.cfg.Precision)
+			e, found = t.exact.ProbeOrInsert(t.keyBuf)
 		} else {
-			bumpConf(e, applyTarget(e, target, t.cfg.Update), t.max)
+			e, found = t.tab.ProbeOrInsert(t.spec.Key(reg, pc, t.scratch))
 		}
 	}
+	if !found {
+		e.Target = target
+	} else {
+		bumpConf(e, applyTarget(e, target, t.cfg.Update), t.max)
+	}
+	t.memoValid = false
 	if t.cfg.IncludeAddress {
 		reg.Push(pc)
 	}
@@ -282,6 +317,7 @@ func (t *TwoLevel) ObserveCond(pc, target uint32, taken bool) {
 	if !t.cfg.IncludeCond || !taken {
 		return
 	}
+	t.memoValid = false // the push below moves the history under any memoized key
 	reg := t.hist.Get(pc)
 	if t.cfg.IncludeAddress {
 		reg.Push(pc)
@@ -316,6 +352,7 @@ func (t *TwoLevel) Patterns() int {
 
 // Reset implements Resetter.
 func (t *TwoLevel) Reset() {
+	t.memoValid = false
 	t.hist.Reset()
 	if t.exact != nil {
 		t.exact.Reset()

@@ -3,11 +3,9 @@ package experiment
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"github.com/oocsb/ibp/internal/bits"
 	"github.com/oocsb/ibp/internal/core"
-	"github.com/oocsb/ibp/internal/sim"
 	"github.com/oocsb/ibp/internal/stats"
 )
 
@@ -59,70 +57,77 @@ func boundedConfig(p int, scheme bits.Scheme, kind string, entries int) core.Con
 	}
 }
 
-// avgWithShadow runs the configuration over the suite with an unbounded
-// shadow twin and returns (AVG misprediction %, AVG capacity-miss %).
-func (c *Context) avgWithShadow(cfg core.Config) (float64, float64, error) {
-	miss := make(map[string]float64, len(c.Suite))
-	capac := make(map[string]float64, len(c.Suite))
-	var mu sync.Mutex
-	err := forEach(c.ctx, len(c.Suite), func(i int) error {
-		bench := c.Suite[i]
-		subject, err := core.NewTwoLevel(cfg)
-		if err != nil {
-			return err
-		}
+// avgsWithShadow runs each configuration over the suite with an unbounded
+// shadow twin — all configurations batched through shared trace passes — and
+// returns per-configuration (AVG misprediction %, AVG capacity-miss %).
+func (c *Context) avgsWithShadow(cfgs []core.Config) (miss, capac []float64, err error) {
+	specs := make([]SweepSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg
 		shadowCfg := cfg
 		shadowCfg.TableKind = "unbounded"
 		shadowCfg.Entries = 0
-		shadow, err := core.NewTwoLevel(shadowCfg)
-		if err != nil {
-			return err
+		specs[i] = SweepSpec{
+			Mk:       func() (core.Predictor, error) { return core.NewTwoLevel(cfg) },
+			MkShadow: func() (core.Predictor, error) { return core.NewTwoLevel(shadowCfg) },
 		}
-		res := sim.Run(subject, c.Trace(bench), sim.Options{Shadow: shadow})
-		mu.Lock()
-		miss[bench.Name] = res.MissRate()
-		capac[bench.Name] = res.CapacityRate()
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
-		return 0, 0, err
 	}
-	m, _ := stats.GroupAverage(miss, stats.GroupAVG)
-	cp, _ := stats.GroupAverage(capac, stats.GroupAVG)
-	return m, cp, nil
+	res, err := c.SweepSpecs(specs, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	miss = make([]float64, len(res))
+	capac = make([]float64, len(res))
+	for i, m := range res {
+		mrates := make(map[string]float64, len(m))
+		crates := make(map[string]float64, len(m))
+		for bench, r := range m {
+			mrates[bench] = r.MissRate()
+			crates[bench] = r.CapacityRate()
+		}
+		miss[i], _ = stats.GroupAverage(mrates, stats.GroupAVG)
+		capac[i], _ = stats.GroupAverage(crates, stats.GroupAVG)
+	}
+	return miss, capac, nil
 }
 
 func runFig11(ctx *Context) ([]*stats.Table, error) {
 	miss := stats.NewTable("Figure 11: fully-associative LRU tables (AVG misprediction %)", "path")
 	capac := stats.NewTable("Figure 11: capacity misses (AVG %, miss the unbounded twin predicts)", "path")
 	paths := []int{0, 1, 2, 3, 4, 6, 8, 10, 12}
+	var cfgs []core.Config
 	for _, p := range paths {
 		for _, size := range fig11Sizes {
-			cfg := boundedConfig(p, bits.Concat, "fullassoc", size)
-			m, cp, err := ctx.avgWithShadow(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, boundedConfig(p, bits.Concat, "fullassoc", size))
+		}
+	}
+	m, cp, err := ctx.avgsWithShadow(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range paths {
+		for j, size := range fig11Sizes {
 			col := fmt.Sprintf("%d", size)
 			row := fmt.Sprintf("p=%d", p)
-			miss.Set(row, col, m)
-			capac.Set(row, col, cp)
+			miss.Set(row, col, m[i*len(fig11Sizes)+j])
+			capac.Set(row, col, cp[i*len(fig11Sizes)+j])
 		}
 	}
 	return []*stats.Table{miss, capac}, nil
 }
 
-// avgOver returns the AVG misprediction rate for a configuration.
-func (c *Context) avgOver(cfg core.Config) (float64, error) {
-	rates, err := c.Sweep(func() (core.Predictor, error) {
-		return core.NewTwoLevel(cfg)
-	})
+// avgsOver returns the AVG misprediction rate for each configuration,
+// simulated in one batched sweep.
+func (c *Context) avgsOver(cfgs []core.Config) ([]float64, error) {
+	rates, err := c.SweepConfigs(cfgs)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-	return avg, nil
+	out := make([]float64, len(rates))
+	for i, m := range rates {
+		out[i], _ = stats.GroupAverage(m, stats.GroupAVG)
+	}
+	return out, nil
 }
 
 // assocRows are the table organizations of Figures 12/14.
@@ -130,13 +135,19 @@ var assocRows = []string{"tagless", "assoc1", "assoc2", "assoc4"}
 
 func runAssocSweep(ctx *Context, title string, scheme bits.Scheme, entries int) (*stats.Table, error) {
 	t := stats.NewTable(title, "organization")
+	var cfgs []core.Config
 	for _, kind := range assocRows {
 		for p := 0; p <= 12; p++ {
-			avg, err := ctx.avgOver(boundedConfig(p, scheme, kind, entries))
-			if err != nil {
-				return nil, err
-			}
-			t.Set(kind, fmt.Sprintf("p=%d", p), avg)
+			cfgs = append(cfgs, boundedConfig(p, scheme, kind, entries))
+		}
+	}
+	avgs, err := ctx.avgsOver(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range assocRows {
+		for p := 0; p <= 12; p++ {
+			t.Set(kind, fmt.Sprintf("p=%d", p), avgs[i*13+p])
 		}
 	}
 	return t, nil
@@ -160,13 +171,20 @@ func runFig14(ctx *Context) ([]*stats.Table, error) {
 
 func runFig15(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 15: interleaving schemes, 1-way 4096 entries (AVG)", "scheme")
-	for _, scheme := range []bits.Scheme{bits.Concat, bits.Straight, bits.Reverse, bits.PingPong} {
+	schemes := []bits.Scheme{bits.Concat, bits.Straight, bits.Reverse, bits.PingPong}
+	var cfgs []core.Config
+	for _, scheme := range schemes {
 		for p := 1; p <= 12; p++ {
-			avg, err := ctx.avgOver(boundedConfig(p, scheme, "assoc1", 4096))
-			if err != nil {
-				return nil, err
-			}
-			t.Set(scheme.String(), fmt.Sprintf("p=%d", p), avg)
+			cfgs = append(cfgs, boundedConfig(p, scheme, "assoc1", 4096))
+		}
+	}
+	avgs, err := ctx.avgsOver(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, scheme := range schemes {
+		for p := 1; p <= 12; p++ {
+			t.Set(scheme.String(), fmt.Sprintf("p=%d", p), avgs[i*12+p-1])
 		}
 	}
 	return []*stats.Table{t}, nil
@@ -177,14 +195,26 @@ func runFig16(ctx *Context) ([]*stats.Table, error) {
 	best := stats.NewTable("Figure 16: best path length per size", "organization")
 	bestMiss := stats.NewTable("Figure 16: best misprediction per size (AVG)", "organization")
 	sizes := []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
-	for _, kind := range []string{"tagless", "assoc2", "assoc4"} {
+	kinds := []string{"tagless", "assoc2", "assoc4"}
+	var cfgs []core.Config
+	for _, kind := range kinds {
+		for _, size := range sizes {
+			for p := 0; p <= 12; p++ {
+				cfgs = append(cfgs, boundedConfig(p, bits.Reverse, kind, size))
+			}
+		}
+	}
+	avgs, err := ctx.avgsOver(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, kind := range kinds {
 		for _, size := range sizes {
 			bestP, bestV := -1, math.Inf(1)
 			for p := 0; p <= 12; p++ {
-				avg, err := ctx.avgOver(boundedConfig(p, bits.Reverse, kind, size))
-				if err != nil {
-					return nil, err
-				}
+				avg := avgs[i]
+				i++
 				full.Set(fmt.Sprintf("%s/%d", kind, size), fmt.Sprintf("p=%d", p), avg)
 				if avg < bestV {
 					bestP, bestV = p, avg

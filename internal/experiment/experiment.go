@@ -32,11 +32,11 @@ type Context struct {
 
 	ctx context.Context // cancellation for the whole run; never nil
 
-	mu        sync.Mutex
-	indirect  map[string]trace.Trace   // cached indirect-only traces
-	summaries map[string]trace.Summary // cached full-trace summaries
-	appx      appendix                 // memoized Table A-1 computation
-	failures  []CellError              // degraded per-cell failures since the last Take
+	mu       sync.Mutex
+	traces   map[string]*traceEntry // single-flight indirect traces + summaries
+	fulls    map[string]*traceEntry // single-flight full traces
+	appx     appendix               // memoized Table A-1 computation
+	failures []CellError            // degraded per-cell failures since the last Take
 }
 
 // NewContext returns a context over the full suite. traceLen <= 0 selects
@@ -46,11 +46,11 @@ func NewContext(traceLen int) *Context {
 		traceLen = workload.DefaultBranches
 	}
 	return &Context{
-		TraceLen:  traceLen,
-		Suite:     workload.Suite(),
-		ctx:       context.Background(),
-		indirect:  make(map[string]trace.Trace),
-		summaries: make(map[string]trace.Summary),
+		TraceLen: traceLen,
+		Suite:    workload.Suite(),
+		ctx:      context.Background(),
+		traces:   make(map[string]*traceEntry),
+		fulls:    make(map[string]*traceEntry),
 	}
 }
 
@@ -102,38 +102,67 @@ func (c *Context) TakeFailures() []CellError {
 	return out
 }
 
-// Trace returns the cached indirect-branch-only trace for a benchmark
-// (sufficient for every predictor except conditional-history consumers; use
-// FullTrace for those).
-func (c *Context) Trace(cfg workload.Config) trace.Trace {
-	c.mu.Lock()
-	tr, ok := c.indirect[cfg.Name]
-	c.mu.Unlock()
-	if ok {
-		return tr
-	}
-	full := cfg.MustGenerate(c.TraceLen)
-	sum := trace.Summarize(full)
-	tr = full.Indirect()
-	c.mu.Lock()
-	c.indirect[cfg.Name] = tr
-	c.summaries[cfg.Name] = sum
-	c.mu.Unlock()
-	return tr
+// traceEntry is one single-flight cache slot: the sync.Once guarantees a
+// benchmark's trace is generated exactly once even when many sweep cells
+// request it concurrently (the cache previously dropped its lock around the
+// expensive generation, so concurrent cells generated duplicate traces). A
+// panic during generation is captured and re-raised in every caller, so each
+// requesting cell degrades individually through its own panic isolation
+// instead of the once poisoning silently.
+type traceEntry struct {
+	once     sync.Once
+	tr       trace.Trace
+	sum      trace.Summary
+	panicVal any
 }
 
-// FullTrace regenerates the complete trace (conditionals, returns) for a
-// benchmark; it is not cached.
+// entry returns (creating on demand) the cache slot for a benchmark in m.
+func (c *Context) entry(m map[string]*traceEntry, name string) *traceEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := m[name]
+	if e == nil {
+		e = &traceEntry{}
+		m[name] = e
+	}
+	return e
+}
+
+// Trace returns the cached indirect-branch-only trace for a benchmark
+// (sufficient for every predictor except conditional-history consumers; use
+// FullTrace for those). Generation is single-flight across goroutines.
+func (c *Context) Trace(cfg workload.Config) trace.Trace {
+	e := c.entry(c.traces, cfg.Name)
+	e.once.Do(func() {
+		defer func() { e.panicVal = recover() }()
+		full := cfg.MustGenerate(c.TraceLen)
+		e.sum = trace.Summarize(full)
+		e.tr = full.Indirect()
+	})
+	if e.panicVal != nil {
+		panic(e.panicVal)
+	}
+	return e.tr
+}
+
+// FullTrace returns the cached complete trace (conditionals, returns) for a
+// benchmark, generating it single-flight on first use.
 func (c *Context) FullTrace(cfg workload.Config) trace.Trace {
-	return cfg.MustGenerate(c.TraceLen)
+	e := c.entry(c.fulls, cfg.Name)
+	e.once.Do(func() {
+		defer func() { e.panicVal = recover() }()
+		e.tr = cfg.MustGenerate(c.TraceLen)
+	})
+	if e.panicVal != nil {
+		panic(e.panicVal)
+	}
+	return e.tr
 }
 
 // Summary returns the Tables 1–2 statistics of the benchmark's full trace.
 func (c *Context) Summary(cfg workload.Config) trace.Summary {
-	c.Trace(cfg) // ensure cached
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.summaries[cfg.Name]
+	c.Trace(cfg) // ensure generated
+	return c.entry(c.traces, cfg.Name).sum
 }
 
 // transientError marks a failure worth retrying (flaky I/O, resource
@@ -270,60 +299,250 @@ dispatch:
 	return firstErr
 }
 
+// SweepSpec describes one predictor lane of a batched sweep.
+type SweepSpec struct {
+	// Mk constructs the lane's predictor; it must return a fresh instance
+	// per call (required).
+	Mk func() (core.Predictor, error)
+	// MkShadow, when non-nil, constructs the lane's unbounded shadow twin
+	// for capacity-miss attribution. A factory rather than an instance:
+	// every benchmark cell needs its own shadow, and a shadow must never
+	// be shared between lanes.
+	MkShadow func() (core.Predictor, error)
+	// Opts are the lane's simulation options. Opts.Shadow must be nil
+	// (shadows come from MkShadow).
+	Opts sim.Options
+}
+
+// sweepChunk is how many configuration lanes share one batched trace pass.
+// Each sweep cell is (benchmark × chunk): small enough to keep cell failures
+// contained and memory bounded, large enough to amortize the per-pass trace
+// walk across many configurations.
+const sweepChunk = 16
+
+// laneCache keeps one worker's predictors alive between cells of the same
+// chunk: consecutive cells differ only in the benchmark, so resetting the
+// predictors (bit-identical to fresh construction — tables reset by
+// generation bump, histories clear) avoids reallocating hundreds of
+// megabytes of tables across a grid sweep. The cache is dropped whenever a
+// lane misbehaves, since a panic can leave a predictor mid-mutation where
+// Reset's invariants no longer hold.
+type laneCache struct {
+	chunk      int
+	valid      bool
+	resettable bool
+	ps         []core.Predictor
+	shadows    []core.Predictor
+}
+
+// lanes returns predictors (and per-lane shadows) for the chunk's specs,
+// reusing the cached set via Reset when possible.
+func (lc *laneCache) lanes(chunk int, specs []SweepSpec) (ps, shadows []core.Predictor, err error) {
+	if lc.valid && lc.resettable && lc.chunk == chunk {
+		for _, p := range lc.ps {
+			p.(core.Resetter).Reset()
+		}
+		for _, s := range lc.shadows {
+			if s != nil {
+				s.(core.Resetter).Reset()
+			}
+		}
+		return lc.ps, lc.shadows, nil
+	}
+	lc.valid = false
+	ps = make([]core.Predictor, len(specs))
+	shadows = make([]core.Predictor, len(specs))
+	resettable := true
+	for i, s := range specs {
+		if s.Opts.Shadow != nil {
+			return nil, nil, errors.New("experiment: SweepSpec.Opts.Shadow must be nil; use MkShadow")
+		}
+		p, err := s.Mk()
+		if err != nil {
+			return nil, nil, err
+		}
+		ps[i] = p
+		if _, ok := p.(core.Resetter); !ok {
+			resettable = false
+		}
+		if s.MkShadow != nil {
+			sh, err := s.MkShadow()
+			if err != nil {
+				return nil, nil, err
+			}
+			shadows[i] = sh
+			if _, ok := sh.(core.Resetter); !ok {
+				resettable = false
+			}
+		}
+	}
+	lc.chunk, lc.ps, lc.shadows = chunk, ps, shadows
+	lc.resettable, lc.valid = resettable, true
+	return ps, shadows, nil
+}
+
+// SweepSpecs runs every spec over every benchmark and returns
+// res[spec][benchmark]. The specs are split into chunks of sweepChunk lanes;
+// each (benchmark × chunk) cell is one panic-isolated unit of the worker
+// pool, inside which sim.RunBatchEach drives the chunk's predictors over the
+// benchmark's trace in a single pass. full selects complete traces
+// (conditional records included) instead of indirect-only ones.
+//
+// Failure handling follows Sweep's contract: predictor construction errors
+// abort the sweep; a failing cell (trace generation, a panicking lane)
+// degrades to recorded CellErrors while the other cells and lanes still
+// produce results; cancellation aborts.
+func (c *Context) SweepSpecs(specs []SweepSpec, full bool) ([]map[string]sim.Result, error) {
+	out := make([]map[string]sim.Result, len(specs))
+	for i := range out {
+		out[i] = make(map[string]sim.Result, len(c.Suite))
+	}
+	if len(specs) == 0 {
+		return out, nil
+	}
+	nb := len(c.Suite)
+	chunks := (len(specs) + sweepChunk - 1) / sweepChunk
+	var mu sync.Mutex
+	pool := sync.Pool{New: func() any { return &laneCache{} }}
+	// Cells are ordered chunk-major so a worker's consecutive cells share a
+	// chunk and its laneCache keeps hitting.
+	err := forEach(c.ctx, nb*chunks, func(ci int) error {
+		chunk, bench := ci/nb, c.Suite[ci%nb]
+		lo := chunk * sweepChunk
+		hi := lo + sweepChunk
+		if hi > len(specs) {
+			hi = len(specs)
+		}
+		sub := specs[lo:hi]
+		cache := pool.Get().(*laneCache)
+		defer pool.Put(cache)
+		// Construction errors are deterministic configuration mistakes:
+		// every cell would fail identically, so they abort the sweep
+		// rather than degrade.
+		ps, shadows, err := cache.lanes(chunk, sub)
+		if err != nil {
+			return fmt.Errorf("%s: %w", bench.Name, err)
+		}
+		// The per-cell work (trace generation + simulation) is isolated:
+		// a panic or error here degrades to recorded error rows so the
+		// other cells still produce results. Within the cell, sim's own
+		// lane isolation keeps one misbehaving configuration from taking
+		// down the chunk. Cancellation stays fatal.
+		cellErr := protect(ci, func(int) error {
+			var tr trace.Trace
+			if full {
+				tr = c.FullTrace(bench)
+			} else {
+				tr = c.Trace(bench)
+			}
+			lopts := make([]sim.Options, len(sub))
+			for i, s := range sub {
+				lopts[i] = s.Opts
+				lopts[i].Shadow = shadows[i]
+			}
+			rs, err := sim.RunBatchEach(c.ctx, ps, tr, lopts)
+			var be *sim.BatchError
+			if err != nil && (!errors.As(err, &be) || c.ctx.Err() != nil) {
+				return err
+			}
+			dead := map[int]bool{}
+			if be != nil {
+				cache.valid = false // panicked lanes may violate Reset invariants
+				for _, le := range be.Lanes {
+					dead[le.Lane] = true
+					c.recordFailure(bench.Name, fmt.Errorf("config %d: %w", lo+le.Lane, le.Err))
+				}
+			}
+			mu.Lock()
+			for i, r := range rs {
+				if !dead[i] {
+					out[lo+i][bench.Name] = r
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+		if cellErr != nil {
+			cache.valid = false
+			if errors.Is(cellErr, context.Canceled) || errors.Is(cellErr, context.DeadlineExceeded) {
+				return cellErr
+			}
+			c.recordFailure(bench.Name, cellErr)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// rateMaps reduces SweepSpecs results to per-benchmark misprediction rates.
+func rateMaps(res []map[string]sim.Result) []map[string]float64 {
+	out := make([]map[string]float64, len(res))
+	for i, m := range res {
+		out[i] = make(map[string]float64, len(m))
+		for bench, r := range m {
+			out[i][bench] = r.MissRate()
+		}
+	}
+	return out
+}
+
+// SweepBatch simulates one predictor per (configuration, benchmark) pair —
+// mks[i] constructing fresh predictors for configuration i — in batched
+// single-pass trace walks, and returns per-benchmark misprediction rates in
+// percent for each configuration. It is the grid form of Sweep.
+func (c *Context) SweepBatch(mks []func() (core.Predictor, error)) ([]map[string]float64, error) {
+	specs := make([]SweepSpec, len(mks))
+	for i, mk := range mks {
+		specs[i] = SweepSpec{Mk: mk}
+	}
+	res, err := c.SweepSpecs(specs, false)
+	return rateMaps(res), err
+}
+
+// SweepBatchFull is SweepBatch over complete traces (conditional records
+// included), for predictors implementing core.CondObserver.
+func (c *Context) SweepBatchFull(mks []func() (core.Predictor, error)) ([]map[string]float64, error) {
+	specs := make([]SweepSpec, len(mks))
+	for i, mk := range mks {
+		specs[i] = SweepSpec{Mk: mk}
+	}
+	res, err := c.SweepSpecs(specs, true)
+	return rateMaps(res), err
+}
+
+func configMks(cfgs []core.Config) []func() (core.Predictor, error) {
+	mks := make([]func() (core.Predictor, error), len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg
+		mks[i] = func() (core.Predictor, error) { return core.NewTwoLevel(cfg) }
+	}
+	return mks
+}
+
+// SweepConfigs is SweepBatch over two-level predictor configurations.
+func (c *Context) SweepConfigs(cfgs []core.Config) ([]map[string]float64, error) {
+	return c.SweepBatch(configMks(cfgs))
+}
+
+// SweepConfigsFull is SweepConfigs over complete traces (conditional records
+// included).
+func (c *Context) SweepConfigsFull(cfgs []core.Config) ([]map[string]float64, error) {
+	return c.SweepBatchFull(configMks(cfgs))
+}
+
 // Sweep simulates one predictor per benchmark (constructed by mk, which must
 // return a fresh predictor per call) and returns per-benchmark misprediction
 // rates in percent.
 func (c *Context) Sweep(mk func() (core.Predictor, error)) (map[string]float64, error) {
-	return c.sweepOpts(mk, sim.Options{}, false)
+	rates, err := c.SweepBatch([]func() (core.Predictor, error){mk})
+	return rates[0], err
 }
 
 // SweepFull is Sweep over complete traces (conditional records included),
 // for predictors implementing core.CondObserver.
 func (c *Context) SweepFull(mk func() (core.Predictor, error)) (map[string]float64, error) {
-	return c.sweepOpts(mk, sim.Options{}, true)
-}
-
-func (c *Context) sweepOpts(mk func() (core.Predictor, error), opts sim.Options, full bool) (map[string]float64, error) {
-	out := make(map[string]float64, len(c.Suite))
-	var mu sync.Mutex
-	err := forEach(c.ctx, len(c.Suite), func(i int) error {
-		cfg := c.Suite[i]
-		// Predictor construction errors are deterministic configuration
-		// mistakes: every cell would fail identically, so they abort the
-		// sweep rather than degrade.
-		p, err := mk()
-		if err != nil {
-			return fmt.Errorf("%s: %w", cfg.Name, err)
-		}
-		// The per-cell work (trace generation + simulation) is isolated:
-		// a panic or error here degrades to a recorded error row so the
-		// other benchmarks still produce results. Cancellation stays
-		// fatal — it must stop the whole sweep.
-		cellErr := protect(i, func(int) error {
-			var tr trace.Trace
-			if full {
-				tr = c.FullTrace(cfg)
-			} else {
-				tr = c.Trace(cfg)
-			}
-			res, err := sim.RunContext(c.ctx, p, tr, opts)
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			out[cfg.Name] = res.MissRate()
-			mu.Unlock()
-			return nil
-		})
-		if cellErr != nil {
-			if errors.Is(cellErr, context.Canceled) || errors.Is(cellErr, context.DeadlineExceeded) {
-				return cellErr
-			}
-			c.recordFailure(cfg.Name, cellErr)
-		}
-		return nil
-	})
-	return out, err
+	rates, err := c.SweepBatchFull([]func() (core.Predictor, error){mk})
+	return rates[0], err
 }
 
 // GroupRow extends per-benchmark rates with the Table 3 group averages and

@@ -101,25 +101,33 @@ func runExtNext(ctx *Context) ([]*stats.Table, error) {
 
 func runExtUneven(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("§8.1 extension: unequal hybrid component sizes (AVG, p=3.1 assoc4)", "split")
-	for _, total := range []int{1024, 4096, 16384} {
-		col := fmt.Sprintf("%d", total)
-		splits := []struct {
-			row    string
-			e1, e2 int
-		}{
-			{"even(1/2+1/2)", total / 2, total / 2},
-			{"long-heavy(3/4+1/4)", total * 3 / 4, total / 4},
-			{"short-heavy(1/4+3/4)", total / 4, total * 3 / 4},
-		}
-		for _, s := range splits {
-			e1, e2 := roundPow2(s.e1), roundPow2(s.e2)
-			rates, err := ctx.Sweep(func() (core.Predictor, error) {
+	totals := []int{1024, 4096, 16384}
+	rows := []struct {
+		row      string
+		num, den int // component-1 share of the total
+	}{
+		{"even(1/2+1/2)", 1, 2},
+		{"long-heavy(3/4+1/4)", 3, 4},
+		{"short-heavy(1/4+3/4)", 1, 4},
+	}
+	var mks []func() (core.Predictor, error)
+	for _, total := range totals {
+		for _, s := range rows {
+			e1 := roundPow2(total * s.num / s.den)
+			e2 := roundPow2(total - total*s.num/s.den)
+			mks = append(mks, func() (core.Predictor, error) {
 				return core.NewDualPathSizes(3, e1, 1, e2, "assoc4")
 			})
-			if err != nil {
-				return nil, err
-			}
-			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
+		}
+	}
+	rates, err := ctx.SweepBatch(mks)
+	if err != nil {
+		return nil, err
+	}
+	for i, total := range totals {
+		col := fmt.Sprintf("%d", total)
+		for j, s := range rows {
+			avg, _ := stats.GroupAverage(rates[i*len(rows)+j], stats.GroupAVG)
 			t.Set(s.row, col, avg)
 		}
 	}
@@ -129,29 +137,28 @@ func runExtUneven(ctx *Context) ([]*stats.Table, error) {
 func runExtITTAGE(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("lineage: ITTAGE-style predictor vs the paper's designs (AVG)", "predictor")
 	// Budgets in total table entries (ittage: 5 banks + a 2x base).
-	for _, bankSize := range []int{128, 512, 2048} {
+	bankSizes := []int{128, 512, 2048}
+	rows := []string{"ittage", "hybrid-3.1-assoc4", "2lev-p2-assoc4"}
+	var mks []func() (core.Predictor, error)
+	for _, bankSize := range bankSizes {
 		total := 5*bankSize + 2*bankSize
-		col := fmt.Sprintf("~%d", total)
-		it, err := ctx.Sweep(func() (core.Predictor, error) {
-			return core.NewITTAGE(5, bankSize, 1)
-		})
-		if err != nil {
-			return nil, err
+		cfg := boundedConfig(2, 2, "assoc4", roundPow2(total))
+		mks = append(mks,
+			func() (core.Predictor, error) { return core.NewITTAGE(5, bankSize, 1) },
+			hybridMk(1, 3, "assoc4", roundPow2(total/2)),
+			func() (core.Predictor, error) { return core.NewTwoLevel(cfg) },
+		)
+	}
+	rates, err := ctx.SweepBatch(mks)
+	if err != nil {
+		return nil, err
+	}
+	for i, bankSize := range bankSizes {
+		col := fmt.Sprintf("~%d", 5*bankSize+2*bankSize)
+		for j, row := range rows {
+			avg, _ := stats.GroupAverage(rates[i*len(rows)+j], stats.GroupAVG)
+			t.Set(row, col, avg)
 		}
-		avgIT, _ := stats.GroupAverage(it, stats.GroupAVG)
-		t.Set("ittage", col, avgIT)
-		hybridComp := roundPow2(total / 2)
-		hyb, err := ctx.hybridRates(1, 3, "assoc4", hybridComp)
-		if err != nil {
-			return nil, err
-		}
-		avgHyb, _ := stats.GroupAverage(hyb, stats.GroupAVG)
-		t.Set("hybrid-3.1-assoc4", col, avgHyb)
-		single, err := ctx.avgOver(boundedConfig(2, 2, "assoc4", roundPow2(total)))
-		if err != nil {
-			return nil, err
-		}
-		t.Set("2lev-p2-assoc4", col, single)
 	}
 	return []*stats.Table{t}, nil
 }
@@ -159,16 +166,14 @@ func runExtITTAGE(ctx *Context) ([]*stats.Table, error) {
 func runCost(ctx *Context) ([]*stats.Table, error) {
 	model := cost.Default4Wide()
 	t := stats.NewTable("§1 motivation: execution-time impact (BTB → hybrid 3.1 assoc4/2048)", "benchmark")
-	btbRates, err := ctx.Sweep(func() (core.Predictor, error) {
-		return core.NewBTB(nil, core.UpdateTwoMiss), nil
+	pair, err := ctx.SweepBatch([]func() (core.Predictor, error){
+		func() (core.Predictor, error) { return core.NewBTB(nil, core.UpdateTwoMiss), nil },
+		hybridMk(1, 3, "assoc4", 1024),
 	})
 	if err != nil {
 		return nil, err
 	}
-	hybRates, err := ctx.hybridRates(1, 3, "assoc4", 1024)
-	if err != nil {
-		return nil, err
-	}
+	btbRates, hybRates := pair[0], pair[1]
 	for _, cfg := range ctx.Suite {
 		w := cost.Workload{
 			InstrPerIndirect: float64(cfg.Meta.InstrPerIndirect),

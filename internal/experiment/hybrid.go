@@ -67,12 +67,17 @@ func init() {
 	})
 }
 
-// hybridAVG runs a dual-path hybrid over the suite and returns per-benchmark
+// hybridMk constructs dual-path hybrids for batched sweeps.
+func hybridMk(p1, p2 int, kind string, componentEntries int) func() (core.Predictor, error) {
+	return func() (core.Predictor, error) {
+		return core.NewDualPath(p1, p2, kind, componentEntries)
+	}
+}
+
+// hybridRates runs a dual-path hybrid over the suite and returns per-benchmark
 // rates.
 func (c *Context) hybridRates(p1, p2 int, kind string, componentEntries int) (map[string]float64, error) {
-	return c.Sweep(func() (core.Predictor, error) {
-		return core.NewDualPath(p1, p2, kind, componentEntries)
-	})
+	return c.Sweep(hybridMk(p1, p2, kind, componentEntries))
 }
 
 func runFig17(ctx *Context) ([]*stats.Table, error) {
@@ -81,25 +86,32 @@ func runFig17(ctx *Context) ([]*stats.Table, error) {
 		t := stats.NewTable(
 			fmt.Sprintf("Figure 17: AVG prediction hit rates, hybrid assoc4, component size %d", compSize),
 			"p1")
+		// The whole path-length combination matrix runs as one batch.
+		type cell struct{ p1, p2 int }
+		var cells []cell
+		var mks []func() (core.Predictor, error)
 		for p1 := 0; p1 <= 12; p1++ {
 			for p2 := 0; p2 <= p1; p2++ {
-				var rates map[string]float64
-				var err error
+				cells = append(cells, cell{p1, p2})
 				if p1 == p2 {
 					// Diagonal: the paper shows the non-hybrid
 					// predictor of twice the component size.
-					rates, err = ctx.Sweep(func() (core.Predictor, error) {
-						return core.NewTwoLevel(boundedConfig(p1, bits.Reverse, "assoc4", 2*compSize))
+					cfg := boundedConfig(p1, bits.Reverse, "assoc4", 2*compSize)
+					mks = append(mks, func() (core.Predictor, error) {
+						return core.NewTwoLevel(cfg)
 					})
 				} else {
-					rates, err = ctx.hybridRates(p1, p2, "assoc4", compSize)
+					mks = append(mks, hybridMk(p1, p2, "assoc4", compSize))
 				}
-				if err != nil {
-					return nil, err
-				}
-				avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-				t.Set(fmt.Sprintf("p1=%d", p1), fmt.Sprintf("p2=%d", p2), 100-avg)
 			}
+		}
+		rates, err := ctx.SweepBatch(mks)
+		if err != nil {
+			return nil, err
+		}
+		for i, cl := range cells {
+			avg, _ := stats.GroupAverage(rates[i], stats.GroupAVG)
+			t.Set(fmt.Sprintf("p1=%d", cl.p1), fmt.Sprintf("p2=%d", cl.p2), 100-avg)
 		}
 		tables = append(tables, t)
 	}
@@ -175,6 +187,17 @@ func (c *Context) computeAppendix(a *appendix) error {
 			m[size] = cell
 		}
 	}
+	// The full grid — every (size, family, path length) candidate, hybrid
+	// and non-hybrid — runs as one batch. Candidates are recorded in the
+	// same order they are enumerated, so best-cell tie-breaking (first
+	// strict improvement wins) matches the sequential computation.
+	type candidate struct {
+		family string
+		size   int
+		p1, p2 int
+	}
+	var cands []candidate
+	var mks []func() (core.Predictor, error)
 	for _, size := range appendixSizes {
 		for _, fam := range nonHybridFamilies {
 			maxP := 8
@@ -182,14 +205,11 @@ func (c *Context) computeAppendix(a *appendix) error {
 				maxP = 0
 			}
 			for p := 0; p <= maxP; p++ {
-				rates, err := c.Sweep(func() (core.Predictor, error) {
-					return core.NewTwoLevel(boundedConfig(p, bits.Reverse, fam.kind, size))
+				cfg := boundedConfig(p, bits.Reverse, fam.kind, size)
+				cands = append(cands, candidate{fam.family, size, p, -1})
+				mks = append(mks, func() (core.Predictor, error) {
+					return core.NewTwoLevel(cfg)
 				})
-				if err != nil {
-					return err
-				}
-				avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-				record(fam.family, size, appendixCell{miss: avg, p1: p, p2: -1, perBench: rates})
 			}
 		}
 		for _, fam := range hybridFamilies {
@@ -198,14 +218,18 @@ func (c *Context) computeAppendix(a *appendix) error {
 				continue
 			}
 			for _, pair := range hybridPairs() {
-				rates, err := c.hybridRates(pair[0], pair[1], fam.kind, comp)
-				if err != nil {
-					return err
-				}
-				avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-				record(fam.family, size, appendixCell{miss: avg, p1: pair[0], p2: pair[1], perBench: rates})
+				cands = append(cands, candidate{fam.family, size, pair[0], pair[1]})
+				mks = append(mks, hybridMk(pair[0], pair[1], fam.kind, comp))
 			}
 		}
+	}
+	rates, err := c.SweepBatch(mks)
+	if err != nil {
+		return err
+	}
+	for i, cand := range cands {
+		avg, _ := stats.GroupAverage(rates[i], stats.GroupAVG)
+		record(cand.family, cand.size, appendixCell{miss: avg, p1: cand.p1, p2: cand.p2, perBench: rates[i]})
 	}
 	return nil
 }
@@ -277,115 +301,103 @@ func runAppendix(ctx *Context) ([]*stats.Table, error) {
 	return append(out, perBench...), nil
 }
 
-func runAblMeta(ctx *Context) ([]*stats.Table, error) {
-	t := stats.NewTable("§6.1 ablation: metaprediction (AVG, hybrid p=3.1 assoc4)", "selector")
-	for _, size := range []int{512, 2048, 8192} {
-		comp := size / 2
-		conf, err := ctx.hybridRates(1, 3, "assoc4", comp)
-		if err != nil {
-			return nil, err
+// pairSweep batches a (row × size-column) comparison grid — two predictor
+// variants per budget column, as used by the §6–§8 comparison experiments —
+// and fills the table with AVG rates.
+func pairSweep(ctx *Context, t *stats.Table, sizes []int,
+	rows [2]string, mk func(which, size int) func() (core.Predictor, error)) ([]*stats.Table, error) {
+	var mks []func() (core.Predictor, error)
+	for _, size := range sizes {
+		for which := 0; which < 2; which++ {
+			mks = append(mks, mk(which, size))
 		}
-		bpst, err := ctx.Sweep(func() (core.Predictor, error) {
-			mk := func(p int) (*core.TwoLevel, error) {
-				return core.NewTwoLevel(boundedConfig(p, bits.Reverse, "assoc4", comp))
-			}
-			a, err := mk(1)
-			if err != nil {
-				return nil, err
-			}
-			b, err := mk(3)
-			if err != nil {
-				return nil, err
-			}
-			return core.NewBPSTHybrid(a, b, 1024)
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	rates, err := ctx.SweepBatch(mks)
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
 		col := fmt.Sprintf("%d", size)
-		avgConf, _ := stats.GroupAverage(conf, stats.GroupAVG)
-		avgBPST, _ := stats.GroupAverage(bpst, stats.GroupAVG)
-		t.Set("confidence", col, avgConf)
-		t.Set("bpst", col, avgBPST)
+		for which := 0; which < 2; which++ {
+			avg, _ := stats.GroupAverage(rates[2*i+which], stats.GroupAVG)
+			t.Set(rows[which], col, avg)
+		}
 	}
 	return []*stats.Table{t}, nil
+}
+
+func runAblMeta(ctx *Context) ([]*stats.Table, error) {
+	t := stats.NewTable("§6.1 ablation: metaprediction (AVG, hybrid p=3.1 assoc4)", "selector")
+	return pairSweep(ctx, t, []int{512, 2048, 8192}, [2]string{"confidence", "bpst"},
+		func(which, size int) func() (core.Predictor, error) {
+			comp := size / 2
+			if which == 0 {
+				return hybridMk(1, 3, "assoc4", comp)
+			}
+			return func() (core.Predictor, error) {
+				mk := func(p int) (*core.TwoLevel, error) {
+					return core.NewTwoLevel(boundedConfig(p, bits.Reverse, "assoc4", comp))
+				}
+				a, err := mk(1)
+				if err != nil {
+					return nil, err
+				}
+				b, err := mk(3)
+				if err != nil {
+					return nil, err
+				}
+				return core.NewBPSTHybrid(a, b, 1024)
+			}
+		})
 }
 
 func runExtPPM(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("§7 extension: PPM cascade vs confidence hybrid (AVG, p=3&1)", "predictor")
-	for _, size := range []int{512, 2048, 8192} {
-		comp := size / 2
-		hyb, err := ctx.hybridRates(1, 3, "assoc4", comp)
-		if err != nil {
-			return nil, err
-		}
-		ppm, err := ctx.Sweep(func() (core.Predictor, error) {
-			return core.NewCascade([]int{3, 1}, "assoc4", comp)
+	return pairSweep(ctx, t, []int{512, 2048, 8192}, [2]string{"hybrid", "ppm-cascade"},
+		func(which, size int) func() (core.Predictor, error) {
+			comp := size / 2
+			if which == 0 {
+				return hybridMk(1, 3, "assoc4", comp)
+			}
+			return func() (core.Predictor, error) {
+				return core.NewCascade([]int{3, 1}, "assoc4", comp)
+			}
 		})
-		if err != nil {
-			return nil, err
-		}
-		col := fmt.Sprintf("%d", size)
-		avgHyb, _ := stats.GroupAverage(hyb, stats.GroupAVG)
-		avgPPM, _ := stats.GroupAverage(ppm, stats.GroupAVG)
-		t.Set("hybrid", col, avgHyb)
-		t.Set("ppm-cascade", col, avgPPM)
-	}
-	return []*stats.Table{t}, nil
 }
 
 func runExtShared(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("§8.1 extension: shared-table hybrid (AVG, p=3.1 assoc4)", "predictor")
-	for _, size := range []int{512, 2048, 8192} {
-		split, err := ctx.hybridRates(1, 3, "assoc4", size/2)
-		if err != nil {
-			return nil, err
-		}
-		shared, err := ctx.Sweep(func() (core.Predictor, error) {
-			return core.NewSharedHybrid(3, 1, "assoc4", size)
+	return pairSweep(ctx, t, []int{512, 2048, 8192}, [2]string{"split-tables", "shared-table"},
+		func(which, size int) func() (core.Predictor, error) {
+			if which == 0 {
+				return hybridMk(1, 3, "assoc4", size/2)
+			}
+			return func() (core.Predictor, error) {
+				return core.NewSharedHybrid(3, 1, "assoc4", size)
+			}
 		})
-		if err != nil {
-			return nil, err
-		}
-		col := fmt.Sprintf("%d", size)
-		avgSplit, _ := stats.GroupAverage(split, stats.GroupAVG)
-		avgShared, _ := stats.GroupAverage(shared, stats.GroupAVG)
-		t.Set("split-tables", col, avgSplit)
-		t.Set("shared-table", col, avgShared)
-	}
-	return []*stats.Table{t}, nil
 }
 
 func runExt3Comp(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("§8.1 extension: three-component hybrids (AVG, assoc4)", "predictor")
-	for _, total := range []int{1536, 6144, 24576} {
-		comp2 := roundPow2(total / 2)
-		comp3 := roundPow2(total / 3)
-		two, err := ctx.hybridRates(1, 3, "assoc4", comp2)
-		if err != nil {
-			return nil, err
-		}
-		three, err := ctx.Sweep(func() (core.Predictor, error) {
-			comps := make([]core.Component, 0, 3)
-			for _, p := range []int{1, 3, 7} {
-				c, err := core.NewTwoLevel(boundedConfig(p, bits.Reverse, "assoc4", comp3))
-				if err != nil {
-					return nil, err
-				}
-				comps = append(comps, c)
+	return pairSweep(ctx, t, []int{1536, 6144, 24576}, [2]string{"two-comp(3.1)", "three-comp(7.3.1)"},
+		func(which, total int) func() (core.Predictor, error) {
+			if which == 0 {
+				return hybridMk(1, 3, "assoc4", roundPow2(total/2))
 			}
-			return core.NewHybrid(comps...)
+			comp3 := roundPow2(total / 3)
+			return func() (core.Predictor, error) {
+				comps := make([]core.Component, 0, 3)
+				for _, p := range []int{1, 3, 7} {
+					c, err := core.NewTwoLevel(boundedConfig(p, bits.Reverse, "assoc4", comp3))
+					if err != nil {
+						return nil, err
+					}
+					comps = append(comps, c)
+				}
+				return core.NewHybrid(comps...)
+			}
 		})
-		if err != nil {
-			return nil, err
-		}
-		col := fmt.Sprintf("%d", total)
-		avg2, _ := stats.GroupAverage(two, stats.GroupAVG)
-		avg3, _ := stats.GroupAverage(three, stats.GroupAVG)
-		t.Set("two-comp(3.1)", col, avg2)
-		t.Set("three-comp(7.3.1)", col, avg3)
-	}
-	return []*stats.Table{t}, nil
 }
 
 // roundPow2 rounds n to the nearest power of two (ties up).

@@ -31,22 +31,24 @@ func runFig10(ctx *Context) ([]*stats.Table, error) {
 	}{
 		{"b=1", 1}, {"b=2", 2}, {"b=3", 3}, {"b=4", 4}, {"b=8", 8}, {"full", 0},
 	}
+	var cfgs []core.Config
 	for p := 0; p <= 12; p++ {
 		for _, r := range rows {
-			p, r := p, r
 			cfg := exactConfig(p)
 			if p > 0 {
 				cfg.TableKind = "exact"
 				cfg.Precision = r.bits
 			}
-			rates, err := ctx.Sweep(func() (core.Predictor, error) {
-				return core.NewTwoLevel(cfg)
-			})
-			if err != nil {
-				return nil, err
-			}
-			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-			t.Set(r.label, fmt.Sprintf("p=%d", p), avg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	avgs, err := ctx.avgsOver(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p <= 12; p++ {
+		for j, r := range rows {
+			t.Set(r.label, fmt.Sprintf("p=%d", p), avgs[p*len(rows)+j])
 		}
 	}
 	return []*stats.Table{t}, nil
@@ -54,29 +56,24 @@ func runFig10(ctx *Context) ([]*stats.Table, error) {
 
 func runTable5(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("Table 5: xor vs concatenation with branch address (AVG, b=⌊24/p⌋)", "operation")
+	ops := []history.KeyOp{history.OpXor, history.OpConcat}
+	var cfgs []core.Config
 	for p := 0; p <= 12; p++ {
-		var xor, concat float64
-		for _, op := range []history.KeyOp{history.OpXor, history.OpConcat} {
-			p, op := p, op
-			cfg := core.Config{
+		for _, op := range ops {
+			cfgs = append(cfgs, core.Config{
 				PathLength: p,
 				Precision:  core.AutoPrecision,
 				KeyOp:      op,
 				TableKind:  "unbounded",
-			}
-			rates, err := ctx.Sweep(func() (core.Predictor, error) {
-				return core.NewTwoLevel(cfg)
 			})
-			if err != nil {
-				return nil, err
-			}
-			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-			if op == history.OpXor {
-				xor = avg
-			} else {
-				concat = avg
-			}
 		}
+	}
+	avgs, err := ctx.avgsOver(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p <= 12; p++ {
+		xor, concat := avgs[p*2], avgs[p*2+1]
 		col := fmt.Sprintf("p=%d", p)
 		t.Set("Xor", col, xor)
 		t.Set("Concat", col, concat)

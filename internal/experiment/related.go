@@ -44,40 +44,38 @@ func runRAS(ctx *Context) ([]*stats.Table, error) {
 
 func runRelTCache(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("§7: target cache (gshare over conditionals) vs path-based (AVG)", "predictor")
-	for _, size := range []int{512, 4096} {
-		col := fmt.Sprintf("%d", size)
-		// Chang et al.'s gshare(9) pattern history target cache; the
-		// first level sees conditional outcomes, so it needs full
-		// traces.
-		tcache, err := ctx.SweepFull(func() (core.Predictor, error) {
+	sizes := []int{512, 4096}
+	// Chang et al.'s gshare(9) pattern history target cache; the first
+	// level sees conditional outcomes, so it needs full traces and batches
+	// separately from the indirect-only path-based predictors.
+	var tcMks, pathMks []func() (core.Predictor, error)
+	for _, size := range sizes {
+		tcMks = append(tcMks, func() (core.Predictor, error) {
 			return core.NewTargetCache(9, "tagless", size)
 		})
-		if err != nil {
-			return nil, err
-		}
-		avgTC, _ := stats.GroupAverage(tcache, stats.GroupAVG)
-		t.Set("target-cache(9)", col, avgTC)
 		// The paper's comparable non-hybrid (p=3, tagless) and best
 		// hybrid configurations (§7 discussion).
-		for _, pcfg := range []struct {
-			row string
-			p   int
-		}{{"2lev-p3-tagless", 3}} {
-			rates, err := ctx.Sweep(func() (core.Predictor, error) {
-				cfg := boundedConfig(pcfg.p, bits.Reverse, "tagless", size)
-				return core.NewTwoLevel(cfg)
-			})
-			if err != nil {
-				return nil, err
-			}
-			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-			t.Set(pcfg.row, col, avg)
-		}
-		hyb, err := ctx.hybridRates(1, 3, "assoc4", size/2)
-		if err != nil {
-			return nil, err
-		}
-		avgHyb, _ := stats.GroupAverage(hyb, stats.GroupAVG)
+		cfg := boundedConfig(3, bits.Reverse, "tagless", size)
+		pathMks = append(pathMks,
+			func() (core.Predictor, error) { return core.NewTwoLevel(cfg) },
+			hybridMk(1, 3, "assoc4", size/2),
+		)
+	}
+	tcache, err := ctx.SweepBatchFull(tcMks)
+	if err != nil {
+		return nil, err
+	}
+	path, err := ctx.SweepBatch(pathMks)
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
+		col := fmt.Sprintf("%d", size)
+		avgTC, _ := stats.GroupAverage(tcache[i], stats.GroupAVG)
+		t.Set("target-cache(9)", col, avgTC)
+		avg2lev, _ := stats.GroupAverage(path[2*i], stats.GroupAVG)
+		t.Set("2lev-p3-tagless", col, avg2lev)
+		avgHyb, _ := stats.GroupAverage(path[2*i+1], stats.GroupAVG)
 		t.Set("hybrid-3.1-assoc4", col, avgHyb)
 	}
 	return []*stats.Table{t}, nil

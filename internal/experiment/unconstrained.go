@@ -99,14 +99,17 @@ func runFig2(ctx *Context) ([]*stats.Table, error) {
 		col  string
 		rule core.UpdateRule
 	}{{"btb", core.UpdateAlways}, {"btb-2bc", core.UpdateTwoMiss}}
-	for _, r := range rules {
-		rates, err := ctx.Sweep(func() (core.Predictor, error) {
-			return core.NewBTB(nil, r.rule), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		ext := stats.WithGroups(rates)
+	mks := make([]func() (core.Predictor, error), len(rules))
+	for i, r := range rules {
+		rule := r.rule
+		mks[i] = func() (core.Predictor, error) { return core.NewBTB(nil, rule), nil }
+	}
+	rates, err := ctx.SweepBatch(mks)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rules {
+		ext := stats.WithGroups(rates[i])
 		for _, k := range stats.SortedKeys(ext) {
 			t.Set(k, r.col, ext[k])
 		}
@@ -120,68 +123,108 @@ var shareSweepValues = []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 31}
 
 func runFig5(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 5: history sharing (p=8, per-branch tables)", "group")
-	for _, s := range shareSweepValues {
-		s := s
-		cfg := exactConfig(8)
-		cfg.HistShare = s
-		rates, err := ctx.Sweep(func() (core.Predictor, error) {
-			return core.NewTwoLevel(cfg)
-		})
-		if err != nil {
-			return nil, err
-		}
-		setGroups(t, fmt.Sprintf("s=%d", s), rates)
+	cfgs := make([]core.Config, len(shareSweepValues))
+	for i, s := range shareSweepValues {
+		cfgs[i] = exactConfig(8)
+		cfgs[i].HistShare = s
+	}
+	rates, err := ctx.SweepConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range shareSweepValues {
+		setGroups(t, fmt.Sprintf("s=%d", s), rates[i])
 	}
 	return []*stats.Table{t}, nil
 }
 
 func runFig7(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 7: history table sharing (p=8, global history)", "group")
-	for _, h := range shareSweepValues {
-		h := h
-		cfg := exactConfig(8)
-		cfg.TableShare = h
-		rates, err := ctx.Sweep(func() (core.Predictor, error) {
-			return core.NewTwoLevel(cfg)
-		})
-		if err != nil {
-			return nil, err
-		}
-		setGroups(t, fmt.Sprintf("h=%d", h), rates)
+	cfgs := make([]core.Config, len(shareSweepValues))
+	for i, h := range shareSweepValues {
+		cfgs[i] = exactConfig(8)
+		cfgs[i].TableShare = h
+	}
+	rates, err := ctx.SweepConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range shareSweepValues {
+		setGroups(t, fmt.Sprintf("h=%d", h), rates[i])
 	}
 	return []*stats.Table{t}, nil
 }
 
 func runFig9(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 9: misprediction vs path length (global history, per-address tables)", "group")
+	var cfgs []core.Config
 	for p := 0; p <= 18; p++ {
-		p := p
-		rates, err := ctx.Sweep(func() (core.Predictor, error) {
-			return core.NewTwoLevel(exactConfig(p))
-		})
-		if err != nil {
-			return nil, err
-		}
-		setGroups(t, fmt.Sprintf("p=%d", p), rates)
+		cfgs = append(cfgs, exactConfig(p))
+	}
+	rates, err := ctx.SweepConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p <= 18; p++ {
+		setGroups(t, fmt.Sprintf("p=%d", p), rates[p])
 	}
 	return []*stats.Table{t}, nil
 }
 
 func runAblUpdate(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("§3.2 ablation: target update rule (AVG)", "rule")
+	type cell struct {
+		p    int
+		rule core.UpdateRule
+	}
+	var cells []cell
+	var cfgs []core.Config
 	for p := 0; p <= 8; p++ {
 		for _, rule := range []core.UpdateRule{core.UpdateAlways, core.UpdateTwoMiss} {
-			p, rule := p, rule
 			cfg := exactConfig(p)
 			cfg.Update = rule
-			rates, err := ctx.Sweep(func() (core.Predictor, error) {
-				return core.NewTwoLevel(cfg)
-			})
-			if err != nil {
-				return nil, err
-			}
-			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-			t.Set(rule.String(), fmt.Sprintf("p=%d", p), avg)
+			cells = append(cells, cell{p, rule})
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	rates, err := ctx.SweepConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cl := range cells {
+		avg, _ := stats.GroupAverage(rates[i], stats.GroupAVG)
+		t.Set(cl.rule.String(), fmt.Sprintf("p=%d", cl.p), avg)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// ablVariation runs the §3.3 history-variation grids: path lengths × the
+// include flag, batched over the whole grid.
+func ablVariation(ctx *Context, t *stats.Table, offRow, onRow string,
+	set func(cfg *core.Config, include bool), full bool) ([]*stats.Table, error) {
+	paths := []int{2, 4, 6, 8, 12}
+	var cfgs []core.Config
+	for _, p := range paths {
+		for _, include := range []bool{false, true} {
+			cfg := exactConfig(p)
+			set(&cfg, include)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	var rates []map[string]float64
+	var err error
+	if full {
+		rates, err = ctx.SweepConfigsFull(cfgs)
+	} else {
+		rates, err = ctx.SweepConfigs(cfgs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range paths {
+		for j, row := range []string{offRow, onRow} {
+			avg, _ := stats.GroupAverage(rates[2*i+j], stats.GroupAVG)
+			t.Set(row, fmt.Sprintf("p=%d", p), avg)
 		}
 	}
 	return []*stats.Table{t}, nil
@@ -189,48 +232,12 @@ func runAblUpdate(ctx *Context) ([]*stats.Table, error) {
 
 func runAblCond(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("§3.3 ablation: conditional targets in the history (AVG)", "history")
-	for _, p := range []int{2, 4, 6, 8, 12} {
-		for _, include := range []bool{false, true} {
-			p, include := p, include
-			cfg := exactConfig(p)
-			cfg.IncludeCond = include
-			rates, err := ctx.SweepFull(func() (core.Predictor, error) {
-				return core.NewTwoLevel(cfg)
-			})
-			if err != nil {
-				return nil, err
-			}
-			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-			row := "indirect-only"
-			if include {
-				row = "with-conditionals"
-			}
-			t.Set(row, fmt.Sprintf("p=%d", p), avg)
-		}
-	}
-	return []*stats.Table{t}, nil
+	return ablVariation(ctx, t, "indirect-only", "with-conditionals",
+		func(cfg *core.Config, include bool) { cfg.IncludeCond = include }, true)
 }
 
 func runAblAddr(ctx *Context) ([]*stats.Table, error) {
 	t := stats.NewTable("§3.3 ablation: branch addresses in the history (AVG)", "history")
-	for _, p := range []int{2, 4, 6, 8, 12} {
-		for _, include := range []bool{false, true} {
-			p, include := p, include
-			cfg := exactConfig(p)
-			cfg.IncludeAddress = include
-			rates, err := ctx.Sweep(func() (core.Predictor, error) {
-				return core.NewTwoLevel(cfg)
-			})
-			if err != nil {
-				return nil, err
-			}
-			avg, _ := stats.GroupAverage(rates, stats.GroupAVG)
-			row := "targets-only"
-			if include {
-				row = "targets+addresses"
-			}
-			t.Set(row, fmt.Sprintf("p=%d", p), avg)
-		}
-	}
-	return []*stats.Table{t}, nil
+	return ablVariation(ctx, t, "targets-only", "targets+addresses",
+		func(cfg *core.Config, include bool) { cfg.IncludeAddress = include }, false)
 }

@@ -18,6 +18,17 @@ import (
 type Register struct {
 	buf  []uint32
 	head int // index of the most recent target
+
+	// Incremental pattern state (see Track): when tracking is enabled the
+	// compressed pattern of §4 is maintained on every Push in O(b) bit
+	// deposits instead of being reassembled from all p targets on every
+	// probe — the dominant cost of the simulator's hot loop.
+	track    bool
+	scheme   bits.Scheme
+	b, start int
+	patMask  uint32 // low p*b bits (Concat shift-out mask)
+	colClear uint32 // column holding the exiting target (interleaved schemes)
+	pat      uint32
 }
 
 // NewRegister returns a register recording the last p targets. p = 0 yields
@@ -42,15 +53,94 @@ func (r *Register) Push(target uint32) {
 		r.head = len(r.buf) - 1
 	}
 	r.buf[r.head] = target
+	if r.track {
+		r.pushPattern(target)
+	}
+}
+
+// Track enables incremental maintenance of the compressed pattern for spec,
+// so Spec.Pattern reads it in O(1). Tracking silently stays off when the
+// spec does not permit it (mismatched depth, zero pattern width, or the
+// PingPong scheme, whose columns do not shift uniformly on a push); Pattern
+// then falls back to reassembly. Call Track only on a freshly created or
+// reset register: the pattern is maintained from this point on.
+func (r *Register) Track(s Spec) {
+	p := len(r.buf)
+	if p == 0 || s.PathLength != p || s.Bits <= 0 || p*s.Bits > 32 || s.Scheme == bits.PingPong {
+		return
+	}
+	r.track = true
+	r.scheme = s.Scheme
+	r.b, r.start = s.Bits, s.StartBit
+	r.patMask = uint32(uint64(1)<<uint(p*s.Bits) - 1)
+	r.colClear = 0
+	for i := 0; i < s.Bits; i++ {
+		switch s.Scheme {
+		case bits.Straight:
+			// Pushing shifts every column up by one; the oldest
+			// target leaves from column p-1.
+			r.colClear |= 1 << uint(i*p+p-1)
+		case bits.Reverse:
+			// Columns shift down; the oldest target leaves from
+			// column 0.
+			r.colClear |= 1 << uint(i*p)
+		}
+	}
+	r.pat = 0
+	for i := p - 1; i >= 0; i-- {
+		r.pushPattern(r.Recent(i))
+	}
+}
+
+// Tracks reports whether the register maintains the pattern for spec.
+func (r *Register) Tracks(s Spec) bool {
+	return r.track && r.scheme == s.Scheme && r.b == s.Bits &&
+		r.start == s.StartBit && len(r.buf) == s.PathLength
+}
+
+// TrackedPattern returns the incrementally maintained pattern; only valid
+// when Tracks(spec) holds.
+func (r *Register) TrackedPattern() uint32 { return r.pat }
+
+// pushPattern folds the new target into the maintained pattern. A push moves
+// every recorded target one position deeper in the history, which moves each
+// target's column of pattern bits by exactly one (dropping the oldest), so
+// the pattern updates with one masked shift plus b single-bit deposits for
+// the incoming target — equivalent to reassembling via bits.Assemble but
+// p times cheaper.
+func (r *Register) pushPattern(target uint32) {
+	p := len(r.buf)
+	t := bits.Field(target, r.start, r.b)
+	switch r.scheme {
+	case bits.Concat:
+		// Most recent target occupies the low b bits; older ones shift up.
+		r.pat = (r.pat<<uint(r.b) | t) & r.patMask
+	case bits.Straight:
+		// Youngest target sits in column 0 of each b-bit round.
+		pat := (r.pat &^ r.colClear) << 1
+		for pos := 0; t != 0; pos += p {
+			pat |= (t & 1) << uint(pos)
+			t >>= 1
+		}
+		r.pat = pat
+	case bits.Reverse:
+		// Youngest target sits in column p-1 of each round.
+		pat := (r.pat &^ r.colClear) >> 1
+		for pos := p - 1; t != 0; pos += p {
+			pat |= (t & 1) << uint(pos)
+			t >>= 1
+		}
+		r.pat = pat
+	}
 }
 
 // Targets appends the register contents to dst, most recent target first,
 // and returns the extended slice.
 func (r *Register) Targets(dst []uint32) []uint32 {
-	for i := 0; i < len(r.buf); i++ {
-		dst = append(dst, r.buf[(r.head+i)%len(r.buf)])
-	}
-	return dst
+	// Two straight copies instead of a modulo per element: the ring reads
+	// buf[head..], then wraps to buf[..head].
+	dst = append(dst, r.buf[r.head:]...)
+	return append(dst, r.buf[:r.head]...)
 }
 
 // Recent returns the i-th most recent target (0 = newest). It panics if i is
@@ -68,6 +158,7 @@ func (r *Register) Reset() {
 		r.buf[i] = 0
 	}
 	r.head = 0
+	r.pat = 0
 }
 
 // File is a set of history registers shared per address region: all branches
@@ -79,6 +170,8 @@ type File struct {
 	depth     int // p
 	global    *Register
 	regs      map[uint32]*Register
+	spec      Spec // incremental-pattern spec applied to registers (see Track)
+	track     bool
 }
 
 // NewFile returns a history file with sharing parameter s and path length p.
@@ -102,6 +195,18 @@ func NewFile(s, p int) *File {
 // ShareBits returns the sharing parameter s.
 func (f *File) ShareBits() int { return f.shareBits }
 
+// Track enables incremental pattern maintenance (Register.Track) on every
+// register of the file, present and future.
+func (f *File) Track(spec Spec) {
+	f.spec, f.track = spec, true
+	if f.global != nil {
+		f.global.Track(spec)
+	}
+	for _, r := range f.regs {
+		r.Track(spec)
+	}
+}
+
 // Get returns the register used by the branch at pc, creating it on first
 // use.
 func (f *File) Get(pc uint32) *Register {
@@ -112,6 +217,9 @@ func (f *File) Get(pc uint32) *Register {
 	r := f.regs[set]
 	if r == nil {
 		r = NewRegister(f.depth)
+		if f.track {
+			r.Track(f.spec)
+		}
 		f.regs[set] = r
 	}
 	return r
@@ -202,6 +310,9 @@ func (s Spec) PatternBits() int { return s.PathLength * s.Bits }
 func (s Spec) Pattern(r *Register, scratch []uint32) uint32 {
 	if s.PathLength == 0 || s.Bits == 0 {
 		return 0
+	}
+	if r.Tracks(s) {
+		return r.pat
 	}
 	targets := r.Targets(scratch[:0])
 	if len(targets) > s.PathLength {

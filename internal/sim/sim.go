@@ -4,11 +4,20 @@
 // returns are excluded (they belong to the return address stack); and an
 // optional unbounded shadow twin attributes misses to capacity/conflict
 // effects (§5.1).
+//
+// The engine is batched: RunBatchEach drives any number of predictors
+// ("lanes") over one trace in a single pass, sharing the record decode and
+// cancellation checks and isolating each lane's panics, so a sweep over a
+// configuration grid pays for the trace once per benchmark instead of once
+// per configuration. Run/RunContext are the single-lane form.
 package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
+	"strings"
 
 	"github.com/oocsb/ibp/internal/core"
 	"github.com/oocsb/ibp/internal/trace"
@@ -22,7 +31,10 @@ type Options struct {
 	Warmup int
 	// Shadow, when non-nil, is an unbounded predictor with the same key
 	// function as the subject; a subject miss that the shadow predicts
-	// correctly is counted as a capacity/conflict miss.
+	// correctly is counted as a capacity/conflict miss. A Shadow instance
+	// belongs to exactly one lane: it trains on every branch of that
+	// lane's run, so sharing one across RunBatch lanes would corrupt it
+	// (RunBatch rejects that; RunBatchEach takes per-lane Options).
 	Shadow core.Predictor
 	// Sites enables per-site accounting (used for benchmark analysis).
 	Sites bool
@@ -85,78 +97,134 @@ func (r Result) String() string {
 	return s
 }
 
-// Run simulates the predictor over the trace. Conditional-branch records are
-// delivered to predictors implementing core.CondObserver; return records are
-// skipped (see the ras package).
-func Run(p core.Predictor, tr trace.Trace, opts Options) Result {
-	res, _ := RunContext(context.Background(), p, tr, opts)
-	return res
+// PanicError wraps a panic recovered from one predictor lane of a batched
+// run. The lane is dead from that point on (its partial Result must not be
+// used); the other lanes are unaffected.
+type PanicError struct {
+	// Val is the original panic value.
+	Val any
+	// Stack is the stack captured at recovery.
+	Stack []byte
 }
 
-// cancelCheckStride is how many trace records RunContext processes between
-// context checks; a power of two keeps the hot-loop test to a mask.
-const cancelCheckStride = 1 << 13
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("predictor panicked: %v\n%s", e.Val, e.Stack)
+}
 
-// RunContext is Run with cooperative cancellation: the context is polled
-// every few thousand records and, once it is done, the partial Result
-// accumulated so far is returned together with ctx.Err(). The partial result
-// is internally consistent (all counters describe the records actually
-// simulated) but must not be mistaken for a full-trace measurement.
-func RunContext(ctx context.Context, p core.Predictor, tr trace.Trace, opts Options) (Result, error) {
-	res := Result{Warmup: opts.Warmup}
+// LaneError attributes a failure to one lane of a batched run.
+type LaneError struct {
+	// Lane indexes the predictor in the RunBatch/RunBatchEach call.
+	Lane int
+	// Err is the lane's failure (a *PanicError for recovered panics).
+	Err error
+}
+
+func (e LaneError) Error() string { return fmt.Sprintf("lane %d: %v", e.Lane, e.Err) }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e LaneError) Unwrap() error { return e.Err }
+
+// BatchError aggregates the per-lane failures of a batched run. Lanes not
+// listed completed normally and their Results are valid: a misbehaving
+// predictor degrades its own lane, not the whole pass.
+type BatchError struct {
+	Lanes []LaneError
+}
+
+func (e *BatchError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: %d of batch lanes failed", len(e.Lanes))
+	for _, le := range e.Lanes {
+		fmt.Fprintf(&b, "; %v", le)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the lane errors to errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Lanes))
+	for i, le := range e.Lanes {
+		out[i] = le
+	}
+	return out
+}
+
+// lane is the per-predictor state of a batched run.
+type lane struct {
+	p         core.Predictor
+	condObs   core.CondObserver
+	resetter  core.Resetter
+	shadow    core.Predictor
+	shadowObs core.CondObserver
+	shadowRst core.Resetter
+	opts      Options
+	seen      int
+	res       Result
+	dead      bool
+	err       error
+}
+
+func (l *lane) init(p core.Predictor, opts Options) {
+	l.p = p
+	l.opts = opts
+	l.condObs, _ = p.(core.CondObserver)
+	l.resetter, _ = p.(core.Resetter)
+	l.shadow = opts.Shadow
+	if l.shadow != nil {
+		l.shadowObs, _ = l.shadow.(core.CondObserver)
+		l.shadowRst, _ = l.shadow.(core.Resetter)
+	}
+	l.res = Result{Warmup: opts.Warmup}
 	if opts.Sites {
-		res.PerSite = make(map[uint32]*SiteStats)
+		l.res.PerSite = make(map[uint32]*SiteStats)
 	}
-	condObs, _ := p.(core.CondObserver)
-	var shadowObs core.CondObserver
-	if opts.Shadow != nil {
-		shadowObs, _ = opts.Shadow.(core.CondObserver)
-	}
-	resetter, _ := p.(core.Resetter)
-	var shadowResetter core.Resetter
-	if opts.Shadow != nil {
-		shadowResetter, _ = opts.Shadow.(core.Resetter)
-	}
-	done := ctx.Done()
-	seen := 0
-	for ri, r := range tr {
-		if done != nil && ri&(cancelCheckStride-1) == 0 {
-			select {
-			case <-done:
-				return res, ctx.Err()
-			default:
-			}
+}
+
+// runBlock advances the lane over one block of trace records. The hot
+// counters live in locals for the duration of the block and are written back
+// by the deferred function, which also converts a predictor panic into a
+// dead lane carrying a *PanicError — one deferred frame per lane-block
+// instead of per record keeps isolation off the per-branch path.
+func (l *lane) runBlock(block []trace.Record) {
+	seen, res := l.seen, l.res
+	defer func() {
+		l.seen, l.res = seen, res
+		if r := recover(); r != nil {
+			l.dead = true
+			l.err = &PanicError{Val: r, Stack: debug.Stack()}
 		}
+	}()
+	for _, r := range block {
 		switch {
 		case r.Kind == trace.Cond:
-			if condObs != nil {
-				condObs.ObserveCond(r.PC, r.Target, r.Target != 0)
+			if l.condObs != nil {
+				l.condObs.ObserveCond(r.PC, r.Target, r.Target != 0)
 			}
-			if shadowObs != nil {
-				shadowObs.ObserveCond(r.PC, r.Target, r.Target != 0)
+			if l.shadowObs != nil {
+				l.shadowObs.ObserveCond(r.PC, r.Target, r.Target != 0)
 			}
 			continue
 		case !r.Kind.Indirect():
 			continue
 		}
-		if opts.FlushEvery > 0 && seen > 0 && seen%opts.FlushEvery == 0 {
-			if resetter != nil {
-				resetter.Reset()
+		if l.opts.FlushEvery > 0 && seen > 0 && seen%l.opts.FlushEvery == 0 {
+			if l.resetter != nil {
+				l.resetter.Reset()
 			}
-			if shadowResetter != nil {
-				shadowResetter.Reset()
+			if l.shadowRst != nil {
+				l.shadowRst.Reset()
 			}
 		}
-		pred, ok := p.Predict(r.PC)
-		p.Update(r.PC, r.Target)
+		pred, ok := l.p.Predict(r.PC)
+		l.p.Update(r.PC, r.Target)
 		var shadowCorrect bool
-		if opts.Shadow != nil {
-			st, sok := opts.Shadow.Predict(r.PC)
-			opts.Shadow.Update(r.PC, r.Target)
+		if l.shadow != nil {
+			st, sok := l.shadow.Predict(r.PC)
+			l.shadow.Update(r.PC, r.Target)
 			shadowCorrect = sok && st == r.Target
 		}
 		seen++
-		if seen <= opts.Warmup {
+		if seen <= l.opts.Warmup {
 			continue
 		}
 		res.Executed++
@@ -182,7 +250,129 @@ func RunContext(ctx context.Context, p core.Predictor, tr trace.Trace, opts Opti
 			}
 		}
 	}
-	return res, nil
+}
+
+// blockSize is how many trace records a lane processes per protected block;
+// the context is polled once per block. A power of two matching the old
+// single-lane cancellation stride keeps partial results at cancellation
+// identical to the previous engine.
+const blockSize = 1 << 13
+
+// RunBatchEach simulates each predictor — with its own Options — over the
+// trace in a single pass. Lanes are independent: predictors (and their
+// shadows) must not share mutable state, or the interleaved updates of one
+// lane would corrupt another; nothing else is shared between lanes.
+//
+// A panic inside one lane's predictor kills that lane only: its partial
+// Result must be discarded, and the failure is reported as a LaneError
+// (wrapping *PanicError) inside a *BatchError. Lanes absent from the
+// BatchError completed normally and their Results are valid.
+//
+// Cancellation is checked between blocks of records; once ctx is done the
+// partial results accumulated so far are returned with an error satisfying
+// errors.Is(err, ctx.Err()). Partial results are internally consistent (all
+// counters describe the records actually simulated) but must not be mistaken
+// for full-trace measurements.
+func RunBatchEach(ctx context.Context, ps []core.Predictor, tr trace.Trace, opts []Options) ([]Result, error) {
+	if len(opts) != len(ps) {
+		return nil, fmt.Errorf("sim: %d predictors but %d option sets", len(ps), len(opts))
+	}
+	lanes := make([]lane, len(ps))
+	for i := range lanes {
+		lanes[i].init(ps[i], opts[i])
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
+	live := len(lanes)
+	for base := 0; base < len(tr) && live > 0; base += blockSize {
+		if done != nil {
+			select {
+			case <-done:
+				return collect(lanes, ctx.Err())
+			default:
+			}
+		}
+		end := base + blockSize
+		if end > len(tr) {
+			end = len(tr)
+		}
+		block := tr[base:end]
+		for i := range lanes {
+			if l := &lanes[i]; !l.dead {
+				l.runBlock(block)
+				if l.dead {
+					live--
+				}
+			}
+		}
+	}
+	return collect(lanes, nil)
+}
+
+// collect gathers per-lane results and folds lane failures (and an optional
+// cancellation error) into the returned error.
+func collect(lanes []lane, cancel error) ([]Result, error) {
+	results := make([]Result, len(lanes))
+	var failed []LaneError
+	for i := range lanes {
+		results[i] = lanes[i].res
+		if lanes[i].err != nil {
+			failed = append(failed, LaneError{Lane: i, Err: lanes[i].err})
+		}
+	}
+	var err error
+	if failed != nil {
+		err = &BatchError{Lanes: failed}
+	}
+	switch {
+	case cancel == nil:
+	case err == nil:
+		err = cancel // keep the identity of ctx.Err() when it is the only failure
+	default:
+		err = errors.Join(cancel, err)
+	}
+	return results, err
+}
+
+// RunBatch is RunBatchEach with one shared Options value. Options.Shadow
+// must be nil unless there is exactly one lane — a shadow trains on its
+// lane's branches and cannot serve several lanes.
+func RunBatch(ctx context.Context, ps []core.Predictor, tr trace.Trace, opts Options) ([]Result, error) {
+	if opts.Shadow != nil && len(ps) > 1 {
+		return nil, fmt.Errorf("sim: one Options.Shadow cannot serve %d lanes; use RunBatchEach with a shadow per lane", len(ps))
+	}
+	all := make([]Options, len(ps))
+	for i := range all {
+		all[i] = opts
+	}
+	return RunBatchEach(ctx, ps, tr, all)
+}
+
+// Run simulates the predictor over the trace. Conditional-branch records are
+// delivered to predictors implementing core.CondObserver; return records are
+// skipped (see the ras package).
+func Run(p core.Predictor, tr trace.Trace, opts Options) Result {
+	res, _ := RunContext(context.Background(), p, tr, opts)
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every few thousand records and, once it is done, the partial Result
+// accumulated so far is returned together with ctx.Err(). It is the
+// single-lane form of RunBatchEach and keeps the historical contract that a
+// predictor panic propagates to the caller.
+func RunContext(ctx context.Context, p core.Predictor, tr trace.Trace, opts Options) (Result, error) {
+	rs, err := RunBatchEach(ctx, []core.Predictor{p}, tr, []Options{opts})
+	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			panic(pe.Val)
+		}
+		return rs[0], err
+	}
+	return rs[0], nil
 }
 
 // MissRate is a convenience wrapper: simulate and return the misprediction

@@ -165,7 +165,7 @@ func TestMissRateHelper(t *testing.T) {
 
 func TestRunContextCancelled(t *testing.T) {
 	// Big enough to span several cancellation-check strides.
-	tr := cycleTrace(0x1000, []uint32{0x2000, 0x3000}, 3*cancelCheckStride)
+	tr := cycleTrace(0x1000, []uint32{0x2000, 0x3000}, 3*blockSize)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	res, err := RunContext(ctx, core.NewBTB(nil, core.UpdateTwoMiss), tr, Options{})

@@ -16,11 +16,22 @@ import (
 // the hysteresis bit of the two-miss update rule (§3.1 "2bc") and the
 // confidence counter used for hybrid metaprediction (§6.1). The tag and
 // valid bit are managed by the owning table.
+// Fields are ordered wide-to-narrow so the struct packs into exactly 24
+// bytes with no padding — the dense tables are flat []Entry arrays, and the
+// hot loop's cache footprint is 24B × entries.
 type Entry struct {
-	key   uint64
-	valid bool
+	key uint64
 	// Target is the predicted target address.
 	Target uint32
+	// Next is the predicted address of the next indirect branch (the
+	// §8.1 run-ahead extension); zero when unknown.
+	Next uint32
+	// gen stamps the generation of the owning dense table (Tagless,
+	// SetAssoc) that wrote the entry: those tables reset in O(1) by bumping
+	// their generation, which makes every older entry read as invalid.
+	// List- and map-backed tables leave it zero.
+	gen   uint32
+	valid bool
 	// Hyst is the hysteresis state of the two-miss update rule: nonzero
 	// when the previous access to this entry was a misprediction.
 	Hyst uint8
@@ -30,9 +41,6 @@ type Entry struct {
 	// Chosen is the auxiliary counter of the paper's §8.1 shared-table
 	// hybrid: how often this entry's prediction was selected.
 	Chosen uint8
-	// Next is the predicted address of the next indirect branch (the
-	// §8.1 run-ahead extension); zero when unknown.
-	Next uint32
 }
 
 // Valid reports whether the entry currently holds a prediction.
@@ -63,6 +71,12 @@ type Bounded interface {
 	// Insert allocates (possibly by eviction) an entry for key, resets
 	// its fields, and returns it. The caller sets Target afterwards.
 	Insert(key uint64) *Entry
+	// ProbeOrInsert combines Probe and Insert into one table walk: it
+	// returns the existing entry for key with found=true (updating recency
+	// like Probe), or allocates one like Insert and returns it with
+	// found=false (the caller sets Target). Predictor update paths use it
+	// to avoid paying two lookups per branch.
+	ProbeOrInsert(key uint64) (e *Entry, found bool)
 	// Capacity returns the table size in entries, or -1 if unbounded.
 	Capacity() int
 	// Utilization returns the fraction of entries currently valid
@@ -91,6 +105,7 @@ func checkPow2(n int, what string) {
 type Tagless struct {
 	slots []Entry
 	mask  uint64
+	gen   uint32
 }
 
 // NewTagless returns a tagless table with the given number of entries
@@ -104,7 +119,7 @@ func NewTagless(entries int) *Tagless {
 // comparison is performed.
 func (t *Tagless) Probe(key uint64) *Entry {
 	e := &t.slots[key&t.mask]
-	if !e.valid {
+	if !e.valid || e.gen != t.gen {
 		return nil
 	}
 	return e
@@ -114,13 +129,25 @@ func (t *Tagless) Probe(key uint64) *Entry {
 func (t *Tagless) Insert(key uint64) *Entry {
 	e := &t.slots[key&t.mask]
 	e.reset(key)
+	e.gen = t.gen
 	return e
+}
+
+// ProbeOrInsert implements Bounded.
+func (t *Tagless) ProbeOrInsert(key uint64) (*Entry, bool) {
+	e := &t.slots[key&t.mask]
+	if e.valid && e.gen == t.gen {
+		return e, true
+	}
+	e.reset(key)
+	e.gen = t.gen
+	return e, false
 }
 
 // Victim implements Bounded.
 func (t *Tagless) Victim(key uint64) *Entry {
 	e := &t.slots[key&t.mask]
-	if !e.valid {
+	if !e.valid || e.gen != t.gen {
 		return nil
 	}
 	return e
@@ -130,10 +157,19 @@ func (t *Tagless) Victim(key uint64) *Entry {
 func (t *Tagless) Capacity() int { return len(t.slots) }
 
 // Utilization implements Bounded.
-func (t *Tagless) Utilization() float64 { return utilization(t.slots) }
+func (t *Tagless) Utilization() float64 { return utilization(t.slots, t.gen) }
 
-// Reset implements Bounded.
-func (t *Tagless) Reset() { clear(t.slots) }
+// Reset implements Bounded in O(1): bumping the generation makes every
+// current entry read as invalid without touching the slot array. Flush-heavy
+// simulations and predictor reuse across sweep cells depend on this being
+// cheap. On the (unreachable in practice) 2^32nd reset the generation wraps
+// and the slots are cleared for real, so ancient entries can never resurrect.
+func (t *Tagless) Reset() {
+	t.gen++
+	if t.gen == 0 {
+		clear(t.slots)
+	}
+}
 
 // Kind implements Bounded.
 func (t *Tagless) Kind() string { return "tagless" }
@@ -147,6 +183,7 @@ type SetAssoc struct {
 	indexBits int
 	mask      uint64
 	slots     []Entry // sets * ways, set-major
+	gen       uint32
 }
 
 // NewSetAssoc returns a table with the given total entries (power of two)
@@ -180,7 +217,7 @@ func (t *SetAssoc) set(key uint64) []Entry {
 func (t *SetAssoc) Probe(key uint64) *Entry {
 	set := t.set(key)
 	for i := range set {
-		if set[i].valid && set[i].key == key {
+		if set[i].key == key && set[i].valid && set[i].gen == t.gen {
 			if i != 0 {
 				hit := set[i]
 				copy(set[1:i+1], set[:i])
@@ -200,14 +237,38 @@ func (t *SetAssoc) Insert(key uint64) *Entry {
 	copy(set[1:], set[:t.ways-1])
 	set[0] = victim
 	set[0].reset(key)
+	set[0].gen = t.gen
 	return &set[0]
+}
+
+// ProbeOrInsert implements Bounded: one walk of the set either promotes the
+// hit to most-recently-used (as Probe would) or claims the LRU way (as
+// Insert would).
+func (t *SetAssoc) ProbeOrInsert(key uint64) (*Entry, bool) {
+	set := t.set(key)
+	for i := range set {
+		if set[i].key == key && set[i].valid && set[i].gen == t.gen {
+			if i != 0 {
+				hit := set[i]
+				copy(set[1:i+1], set[:i])
+				set[0] = hit
+			}
+			return &set[0], true
+		}
+	}
+	victim := set[t.ways-1]
+	copy(set[1:], set[:t.ways-1])
+	set[0] = victim
+	set[0].reset(key)
+	set[0].gen = t.gen
+	return &set[0], false
 }
 
 // Victim implements Bounded.
 func (t *SetAssoc) Victim(key uint64) *Entry {
 	set := t.set(key)
 	e := &set[t.ways-1]
-	if !e.valid {
+	if !e.valid || e.gen != t.gen {
 		return nil
 	}
 	return e
@@ -217,10 +278,15 @@ func (t *SetAssoc) Victim(key uint64) *Entry {
 func (t *SetAssoc) Capacity() int { return len(t.slots) }
 
 // Utilization implements Bounded.
-func (t *SetAssoc) Utilization() float64 { return utilization(t.slots) }
+func (t *SetAssoc) Utilization() float64 { return utilization(t.slots, t.gen) }
 
-// Reset implements Bounded.
-func (t *SetAssoc) Reset() { clear(t.slots) }
+// Reset implements Bounded in O(1) by generation bump (see Tagless.Reset).
+func (t *SetAssoc) Reset() {
+	t.gen++
+	if t.gen == 0 {
+		clear(t.slots)
+	}
+}
 
 // Kind implements Bounded.
 func (t *SetAssoc) Kind() string { return fmt.Sprintf("assoc%d", t.ways) }
@@ -309,6 +375,29 @@ func (t *FullAssoc) Insert(key uint64) *Entry {
 	return &n.Entry
 }
 
+// ProbeOrInsert implements Bounded with a single map lookup.
+func (t *FullAssoc) ProbeOrInsert(key uint64) (*Entry, bool) {
+	if n := t.m[key]; n != nil {
+		if t.mru != n {
+			t.unlink(n)
+			t.pushFront(n)
+		}
+		return &n.Entry, true
+	}
+	var n *faNode
+	if len(t.m) >= t.capacity {
+		n = t.lru
+		t.unlink(n)
+		delete(t.m, n.key)
+	} else {
+		n = &faNode{}
+	}
+	n.Entry.reset(key)
+	t.m[key] = n
+	t.pushFront(n)
+	return &n.Entry, false
+}
+
 // Victim implements Bounded.
 func (t *FullAssoc) Victim(key uint64) *Entry {
 	if t.m[key] != nil || len(t.m) < t.capacity {
@@ -363,6 +452,17 @@ func (t *Unbounded64) Insert(key uint64) *Entry {
 	return e
 }
 
+// ProbeOrInsert implements Bounded.
+func (t *Unbounded64) ProbeOrInsert(key uint64) (*Entry, bool) {
+	if e := t.m[key]; e != nil {
+		return e, true
+	}
+	e := &Entry{}
+	e.reset(key)
+	t.m[key] = e
+	return e, false
+}
+
 // Victim implements Bounded: an unbounded table never evicts.
 func (t *Unbounded64) Victim(key uint64) *Entry { return nil }
 
@@ -409,19 +509,33 @@ func (t *UnboundedStr) Insert(key []byte) *Entry {
 	return e
 }
 
+// ProbeOrInsert returns the existing entry for key (found=true) or allocates
+// a fresh one (found=false) with a single map lookup on the hit path. The
+// map is indexed by string(key) directly so probes never allocate; only a
+// genuine insertion materializes the key string.
+func (t *UnboundedStr) ProbeOrInsert(key []byte) (*Entry, bool) {
+	if e := t.m[string(key)]; e != nil {
+		return e, true
+	}
+	e := &Entry{}
+	e.reset(0)
+	t.m[string(key)] = e
+	return e, false
+}
+
 // Len returns the number of patterns stored.
 func (t *UnboundedStr) Len() int { return len(t.m) }
 
 // Reset clears the table.
 func (t *UnboundedStr) Reset() { clear(t.m) }
 
-func utilization(slots []Entry) float64 {
+func utilization(slots []Entry, gen uint32) float64 {
 	if len(slots) == 0 {
 		return math.NaN()
 	}
 	n := 0
 	for i := range slots {
-		if slots[i].valid {
+		if slots[i].valid && slots[i].gen == gen {
 			n++
 		}
 	}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Benchmark-regression snapshot: runs the go-test benchmarks (the regression
+# target BenchmarkFig17HybridMatrix plus the raw predictor-throughput
+# benchmarks), then folds their results together with in-process predictor
+# and experiment timings into results/BENCH_<date>.json via ibpsweep
+# -benchjson.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+# Environment:
+#   BENCH      benchmark regexp for go test (default: fig17 + predictors)
+#   BENCHTIME  go test -benchtime (default: 3x; CI smoke uses 1x)
+#   RUN        experiment ids to wall-clock (default: a figure-class sample)
+#   N          trace length for the experiment timings (default: 20000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-results/BENCH_$(date +%F).json}"
+mkdir -p "$(dirname "$out")"
+bench="${BENCH:-^(BenchmarkFig17HybridMatrix|BenchmarkPredictor)}"
+benchtime="${BENCHTIME:-3x}"
+run="${RUN:-fig2,fig9,fig12,fig17}"
+n="${N:-20000}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" . | tee "$raw"
+
+go run ./cmd/ibpsweep -benchjson "$out" -benchraw "$raw" -run "$run" -n "$n"
