@@ -23,6 +23,7 @@ import (
 	"github.com/oocsb/ibp/internal/sim"
 	"github.com/oocsb/ibp/internal/stats"
 	"github.com/oocsb/ibp/internal/table"
+	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
 	"github.com/oocsb/ibp/internal/workload"
 )
@@ -47,6 +48,8 @@ type options struct {
 	shadow    bool
 	sites     bool
 	top       int
+	stats     bool
+	logLevel  string
 }
 
 func main() {
@@ -69,6 +72,8 @@ func main() {
 	flag.BoolVar(&o.shadow, "shadow", false, "attribute capacity/conflict misses with an unbounded twin")
 	flag.BoolVar(&o.sites, "sites", false, "report the worst-predicted branch sites")
 	flag.IntVar(&o.top, "top", 5, "number of sites to report with -sites")
+	flag.BoolVar(&o.stats, "stats", false, "report per-run table occupancy/eviction counters after each benchmark")
+	flag.StringVar(&o.logLevel, "log", "warn", "structured log level: debug, info, warn, error, off")
 	flag.Parse()
 	if err := realMain(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ibpsim:", err)
@@ -187,6 +192,15 @@ func boundedTable(o options) (table.Bounded, error) {
 }
 
 func realMain(o options) error {
+	level, err := telemetry.ParseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	log := telemetry.NewLogger(os.Stderr, level)
+	if o.stats {
+		// Table snapshots on Results come from the telemetry layer.
+		telemetry.Enable(nil)
+	}
 	var runs []struct {
 		name string
 		tr   trace.Trace
@@ -223,6 +237,7 @@ func realMain(o options) error {
 	if err != nil {
 		return err
 	}
+	log.Debug("simulating", "predictor", probe.Name(), "runs", len(runs), "n", o.n, "warmup", o.warmup)
 	fmt.Printf("predictor: %s\n\n", probe.Name())
 	fmt.Printf("%-10s %10s %10s %10s %10s\n", "benchmark", "branches", "misses", "miss%", "capacity%")
 	rates := make(map[string]float64)
@@ -244,8 +259,14 @@ func realMain(o options) error {
 		}
 		res := sim.Run(p, r.tr, opts)
 		rates[r.name] = res.MissRate()
+		log.Info("benchmark done", "bench", r.name, "executed", res.Executed, "missRate", res.MissRate())
 		fmt.Printf("%-10s %10d %10d %10.2f %10.2f\n",
 			r.name, res.Executed, res.Misses, res.MissRate(), res.CapacityRate())
+		if o.stats && len(res.Tables) > 0 {
+			st := table.Merge(res.Tables)
+			fmt.Printf("    tables: %s cap=%d occ=%.2f inserts=%d evictions=%d resets=%d\n",
+				st.Kind, st.Capacity, st.Occupancy, st.Inserts, st.Evictions, st.Resets)
+		}
 		if o.sites {
 			printWorstSites(res, o.top)
 		}

@@ -4,37 +4,58 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/oocsb/ibp/internal/experiment"
+	"github.com/oocsb/ibp/internal/telemetry"
 )
 
 func bg() context.Context { return context.Background() }
 
+// sweep runs realMain with -run set, defaulting everything else.
+func sweep(ctx context.Context, run string, n int, mod func(*options)) error {
+	o := options{run: run, traceLen: n, logLevel: "off"}
+	if mod != nil {
+		mod(&o)
+	}
+	return realMain(ctx, o)
+}
+
 func TestRealMainList(t *testing.T) {
-	if err := realMain(bg(), true, "", 0, "", false, "", ""); err != nil {
+	if err := realMain(bg(), options{list: true, logLevel: "off"}); err != nil {
 		t.Fatalf("-list: %v", err)
 	}
 }
 
 func TestRealMainNoArgs(t *testing.T) {
-	if err := realMain(bg(), false, "", 0, "", false, "", ""); err == nil {
+	if err := realMain(bg(), options{logLevel: "off"}); err == nil {
 		t.Fatal("no -run accepted")
 	}
 }
 
 func TestRealMainUnknownExperiment(t *testing.T) {
-	if err := realMain(bg(), false, "nonesuch", 0, "", false, "", ""); err == nil {
+	if err := sweep(bg(), "nonesuch", 0, nil); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRealMainBadLogLevel(t *testing.T) {
+	if err := realMain(bg(), options{list: true, logLevel: "shouty"}); err == nil {
+		t.Fatal("invalid -log level accepted")
 	}
 }
 
 func TestRealMainRunsAndWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	// table1 is cheap even at a moderate trace length.
-	if err := realMain(bg(), false, "table1", 2000, dir, false, "", ""); err != nil {
+	if err := sweep(bg(), "table1", 2000, func(o *options) { o.csvDir = dir }); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "table1-*.csv"))
@@ -55,7 +76,7 @@ func TestRealMainRunsAndWritesCSV(t *testing.T) {
 }
 
 func TestRealMainCommaSeparated(t *testing.T) {
-	if err := realMain(bg(), false, "table1, sites", 1500, "", false, "", ""); err != nil {
+	if err := sweep(bg(), "table1, sites", 1500, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -63,14 +84,14 @@ func TestRealMainCommaSeparated(t *testing.T) {
 func TestRealMainCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := realMain(ctx, false, "table1", 2000, "", false, "", "")
+	err := sweep(ctx, "table1", 2000, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
 func TestRealMainResumeNeedsCSV(t *testing.T) {
-	if err := realMain(bg(), false, "table1", 2000, "", true, "", ""); err == nil {
+	if err := sweep(bg(), "table1", 2000, func(o *options) { o.resume = true }); err == nil {
 		t.Fatal("-resume without -csv accepted")
 	}
 }
@@ -83,7 +104,8 @@ func TestBenchJSONSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "BENCH_test.json")
-	if err := realMain(bg(), false, "table1", 1500, "", false, out, raw); err != nil {
+	err := sweep(bg(), "table1", 1500, func(o *options) { o.benchJSON, o.benchRaw = out, raw })
+	if err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -125,7 +147,7 @@ func readManifest(t *testing.T, dir string) *manifest {
 
 func TestManifestJournalsCompletion(t *testing.T) {
 	dir := t.TempDir()
-	if err := realMain(bg(), false, "table1,sites", 1500, dir, false, "", ""); err != nil {
+	if err := sweep(bg(), "table1,sites", 1500, func(o *options) { o.csvDir = dir }); err != nil {
 		t.Fatal(err)
 	}
 	m := readManifest(t, dir)
@@ -148,9 +170,51 @@ func TestManifestJournalsCompletion(t *testing.T) {
 	}
 }
 
+// TestRunManifestProvenance pins the run-manifest schema: tool/Go versions,
+// platform, workload seeds, and per-experiment wall time + telemetry counter
+// movement must all be journaled.
+func TestRunManifestProvenance(t *testing.T) {
+	dir := t.TempDir()
+	// fig9 exercises the batched sweep path, so sweep_*/sim_* counters move.
+	if err := sweep(bg(), "fig9", 1500, func(o *options) { o.csvDir = dir }); err != nil {
+		t.Fatal(err)
+	}
+	m := readManifest(t, dir)
+	if m.Version != 2 {
+		t.Errorf("manifest version = %d, want 2", m.Version)
+	}
+	if m.ToolVersion != toolVersion || m.GoVersion != runtime.Version() {
+		t.Errorf("tool provenance missing: tool=%q go=%q", m.ToolVersion, m.GoVersion)
+	}
+	if m.GOOS != runtime.GOOS || m.GOARCH != runtime.GOARCH {
+		t.Errorf("platform missing: %s/%s", m.GOOS, m.GOARCH)
+	}
+	if len(m.Suite) == 0 {
+		t.Fatal("workload suite provenance missing")
+	}
+	for _, s := range m.Suite {
+		if s.Name == "" || s.Seed == 0 {
+			t.Errorf("suite entry missing name or seed: %+v", s)
+		}
+	}
+	e, ok := m.Done["fig9"]
+	if !ok {
+		t.Fatal("fig9 not journaled")
+	}
+	if len(e.Counters) == 0 {
+		t.Error("no telemetry counters journaled for fig9")
+	}
+	for _, want := range []string{"sim_records_total", "sweep_cells_done_total"} {
+		if e.Counters[want] <= 0 {
+			t.Errorf("counter %s = %v, want > 0 (have %v)", want, e.Counters[want], e.Counters)
+			break
+		}
+	}
+}
+
 func TestResumeSkipsCompleted(t *testing.T) {
 	dir := t.TempDir()
-	if err := realMain(bg(), false, "table1", 1500, dir, false, "", ""); err != nil {
+	if err := sweep(bg(), "table1", 1500, func(o *options) { o.csvDir = dir }); err != nil {
 		t.Fatal(err)
 	}
 	first := readManifest(t, dir)
@@ -158,7 +222,8 @@ func TestResumeSkipsCompleted(t *testing.T) {
 
 	// Resume with one more experiment: table1 must be skipped (its
 	// timestamp survives), sites must run.
-	if err := realMain(bg(), false, "table1,sites", 1500, dir, true, "", ""); err != nil {
+	err := sweep(bg(), "table1,sites", 1500, func(o *options) { o.csvDir, o.resume = dir, true })
+	if err != nil {
 		t.Fatal(err)
 	}
 	m := readManifest(t, dir)
@@ -172,10 +237,10 @@ func TestResumeSkipsCompleted(t *testing.T) {
 
 func TestResumeRejectsTraceLenMismatch(t *testing.T) {
 	dir := t.TempDir()
-	if err := realMain(bg(), false, "table1", 1500, dir, false, "", ""); err != nil {
+	if err := sweep(bg(), "table1", 1500, func(o *options) { o.csvDir = dir }); err != nil {
 		t.Fatal(err)
 	}
-	err := realMain(bg(), false, "table1", 3000, dir, true, "", "")
+	err := sweep(bg(), "table1", 3000, func(o *options) { o.csvDir, o.resume = dir, true })
 	if err == nil || !strings.Contains(err.Error(), "-n") {
 		t.Fatalf("trace-length mismatch accepted on resume: %v", err)
 	}
@@ -183,12 +248,12 @@ func TestResumeRejectsTraceLenMismatch(t *testing.T) {
 
 func TestFreshRunInvalidatesManifest(t *testing.T) {
 	dir := t.TempDir()
-	if err := realMain(bg(), false, "table1,sites", 1500, dir, false, "", ""); err != nil {
+	if err := sweep(bg(), "table1,sites", 1500, func(o *options) { o.csvDir = dir }); err != nil {
 		t.Fatal(err)
 	}
 	// A non-resume run clears previous completions and journals only its
 	// own experiments.
-	if err := realMain(bg(), false, "table1", 1500, dir, false, "", ""); err != nil {
+	if err := sweep(bg(), "table1", 1500, func(o *options) { o.csvDir = dir }); err != nil {
 		t.Fatal(err)
 	}
 	m := readManifest(t, dir)
@@ -246,7 +311,7 @@ func TestInterruptMidSweep(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 		cancel()
 	}()
-	err := realMain(ctx, false, "table1,fig9", 60000, dir, false, "", "")
+	err := sweep(ctx, "table1,fig9", 60000, func(o *options) { o.csvDir = dir })
 	if err != nil && !errors.Is(err, context.Canceled) {
 		t.Fatalf("unexpected error: %v", err)
 	}
@@ -265,13 +330,128 @@ func TestInterruptMidSweep(t *testing.T) {
 		t.Errorf("temp files left behind: %v", leftovers)
 	}
 	// Resume must finish the sweep.
-	if err := realMain(bg(), false, "table1,fig9", 60000, dir, true, "", ""); err != nil {
+	err = sweep(bg(), "table1,fig9", 60000, func(o *options) { o.csvDir, o.resume = dir, true })
+	if err != nil {
 		t.Fatal(err)
 	}
 	m = readManifest(t, dir)
 	for _, id := range []string{"table1", "fig9"} {
 		if _, ok := m.Done[id]; !ok {
 			t.Errorf("%s missing after resume", id)
+		}
+	}
+}
+
+// TestMetricsAndPprofServe checks the observability endpoints: a sweep run
+// with -metrics and -pprof on ephemeral ports must start both servers, and
+// the telemetry endpoint must serve Prometheus text and JSON directly.
+func TestMetricsAndPprofServe(t *testing.T) {
+	err := sweep(bg(), "table1", 1500, func(o *options) {
+		o.metricsAddr = "127.0.0.1:0"
+		o.pprofAddr = "127.0.0.1:0"
+	})
+	if err != nil {
+		t.Fatalf("sweep with -metrics/-pprof: %v", err)
+	}
+
+	// Exercise the endpoints against a live server (realMain closed its
+	// own on exit; bind a fresh one to inspect responses).
+	reg := telemetry.Enable(nil)
+	defer telemetry.Disable()
+	reg.Counter("sweep_demo_total").Add(3)
+	srv, addr, err := telemetry.ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "sweep_demo_total 3") {
+		t.Errorf("metrics endpoint: status %d, body %q", resp.StatusCode, body)
+	}
+	psrv, paddr, err := telemetry.ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psrv.Close()
+	resp, err = http.Get("http://" + paddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: status %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsDump(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "metrics.json")
+	err := sweep(bg(), "fig9", 1500, func(o *options) { o.metricsDump = dump })
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics dump is not a JSON snapshot: %v", err)
+	}
+	if snap["sim_records_total"] <= 0 {
+		t.Errorf("sim_records_total = %v, want > 0 (snapshot %v)", snap["sim_records_total"], snap)
+	}
+}
+
+// TestProgressLineAndInterruptSummary unit-tests the renderer's line format
+// and the partial-progress summary against a fabricated context state.
+func TestProgressLineAndInterruptSummary(t *testing.T) {
+	ectx := experiment.NewContext(1500)
+	// Run one real (cheap) experiment so the progress counters move.
+	e, err := experiment.ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(ectx); err != nil {
+		t.Fatal(err)
+	}
+	s := ectx.Progress()
+	if s.CellsTotal == 0 || s.CellsDone != s.CellsTotal {
+		t.Fatalf("progress after a full run: %+v", s)
+	}
+	if s.Executed == 0 || s.MissRate() <= 0 {
+		t.Errorf("no rolling miss rate: %+v", s)
+	}
+
+	p := &progressRenderer{ectx: ectx}
+	p.label.Store("2/24 fig9")
+	line := p.line()
+	for _, want := range []string{"sweep [2/24 fig9]", "cells ", "miss "} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+
+	// Stop must be idempotent: the interrupt path stops the renderer for
+	// the summary, then the deferred Stop fires again.
+	live := startProgress(io.Discard, ectx, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	live.Stop()
+	live.Stop()
+
+	var buf strings.Builder
+	printInterruptSummary(&buf, ectx, []string{"fig9"},
+		[]experiment.CellError{{Bench: "perl", Err: errors.New("boom")}})
+	out := buf.String()
+	for _, want := range []string{"interrupted after", "1 experiment(s) completed",
+		"rolling miss rate", "completed: [fig9]", "degraded cell: perl: boom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,115 @@
+// Live sweep progress: a background renderer that polls the experiment
+// context's progress counters a few times per second and keeps one
+// carriage-return status line updated on the terminal, plus the partial
+// progress summary printed when a run is interrupted.
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/oocsb/ibp/internal/experiment"
+)
+
+// progressRenderer drives the -progress status line. It owns exactly one
+// terminal line on w: every tick rewrites it in place (CR + clear), Stop
+// erases it so subsequent output starts clean.
+type progressRenderer struct {
+	w        io.Writer
+	ectx     *experiment.Context
+	label    atomic.Value // string: "3/24 fig17"
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// startProgress launches the renderer, updating every interval.
+func startProgress(w io.Writer, ectx *experiment.Context, interval time.Duration) *progressRenderer {
+	p := &progressRenderer{
+		w:    w,
+		ectx: ectx,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.label.Store("")
+	go p.loop(interval)
+	return p
+}
+
+// SetLabel names the experiment currently running, e.g. "3/24 fig17".
+func (p *progressRenderer) SetLabel(s string) { p.label.Store(s) }
+
+func (p *progressRenderer) loop(interval time.Duration) {
+	defer close(p.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			// Erase the status line so the next writer gets a clean one.
+			fmt.Fprint(p.w, "\r\x1b[2K")
+			return
+		case <-t.C:
+			fmt.Fprintf(p.w, "\r\x1b[2K%s", p.line())
+		}
+	}
+}
+
+// line renders the current status: cells done/total, rolling miss rate, and
+// the extrapolated time to completion.
+func (p *progressRenderer) line() string {
+	s := p.ectx.Progress()
+	label, _ := p.label.Load().(string)
+	out := fmt.Sprintf("sweep [%s]", label)
+	if s.CellsTotal > 0 {
+		out += fmt.Sprintf(" cells %d/%d (%.0f%%)", s.CellsDone, s.CellsTotal,
+			100*float64(s.CellsDone)/float64(s.CellsTotal))
+	} else {
+		out += " starting"
+	}
+	if s.Executed > 0 {
+		out += fmt.Sprintf(" · miss %.2f%%", s.MissRate())
+	}
+	if s.Elapsed > 0 {
+		out += " · elapsed " + s.Elapsed.Round(time.Second).String()
+	}
+	if eta := s.ETA(); eta > 0 {
+		out += " · eta " + eta.Round(time.Second).String()
+	}
+	if s.CellsFailed > 0 {
+		out += fmt.Sprintf(" · %d degraded", s.CellsFailed)
+	}
+	return out
+}
+
+// Stop halts the renderer and erases the status line. Idempotent: the
+// interrupt-summary path stops it early and the deferred Stop follows.
+func (p *progressRenderer) Stop() {
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		<-p.done
+	})
+}
+
+// printInterruptSummary reports where an interrupted run got to: experiments
+// and sweep cells completed, plus every degraded cell recorded before the
+// interrupt — so Ctrl-C ends with an accounting of the partial work instead
+// of a bare context error.
+func printInterruptSummary(w io.Writer, ectx *experiment.Context, completed []string, degraded []experiment.CellError) {
+	s := ectx.Progress()
+	fmt.Fprintf(w, "ibpsweep: interrupted after %s: %d experiment(s) completed, %d/%d sweep cells done",
+		s.Elapsed.Round(time.Second), len(completed), s.CellsDone, s.CellsTotal)
+	if s.Executed > 0 {
+		fmt.Fprintf(w, ", rolling miss rate %.2f%%", s.MissRate())
+	}
+	fmt.Fprintln(w)
+	if len(completed) > 0 {
+		fmt.Fprintf(w, "ibpsweep:   completed: %v\n", completed)
+	}
+	for _, d := range degraded {
+		fmt.Fprintf(w, "ibpsweep:   degraded cell: %v\n", d)
+	}
+}

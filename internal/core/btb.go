@@ -77,3 +77,6 @@ func (b *BTB) Name() string { return b.name }
 
 // Reset implements Resetter.
 func (b *BTB) Reset() { b.tab.Reset() }
+
+// TableStats implements TableStatser.
+func (b *BTB) TableStats() []table.Stats { return []table.Stats{b.tab.Stats()} }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/oocsb/ibp/internal/bits"
+	"github.com/oocsb/ibp/internal/table"
 )
 
 // Component is a predictor usable inside a hybrid: it exposes the confidence
@@ -83,6 +84,18 @@ func (h *Hybrid) Reset() {
 			r.Reset()
 		}
 	}
+}
+
+// TableStats implements TableStatser: the concatenation of every component's
+// table stats, in component order.
+func (h *Hybrid) TableStats() []table.Stats {
+	var out []table.Stats
+	for _, c := range h.comps {
+		if ts, ok := c.(TableStatser); ok {
+			out = append(out, ts.TableStats()...)
+		}
+	}
+	return out
 }
 
 // NewDualPath builds the paper's canonical hybrid: two two-level components

@@ -50,6 +50,16 @@ type Resetter interface {
 	Reset()
 }
 
+// TableStatser is implemented by predictors that can report their target
+// tables' behaviour counters (occupancy, inserts, evictions, resets). The
+// telemetry layer uses it to attach per-table snapshots to simulation
+// results; predictors without introspectable tables simply don't implement
+// it.
+type TableStatser interface {
+	// TableStats returns one Stats per underlying table, in a stable order.
+	TableStats() []table.Stats
+}
+
 // UpdateRule selects how a table entry's target is updated after a
 // misprediction (§3.1).
 type UpdateRule uint8

@@ -350,6 +350,14 @@ func (t *TwoLevel) Patterns() int {
 	return -1
 }
 
+// TableStats implements TableStatser.
+func (t *TwoLevel) TableStats() []table.Stats {
+	if t.exact != nil {
+		return []table.Stats{t.exact.Stats()}
+	}
+	return []table.Stats{t.tab.Stats()}
+}
+
 // Reset implements Resetter.
 func (t *TwoLevel) Reset() {
 	t.memoValid = false

@@ -17,6 +17,7 @@ import (
 	"github.com/oocsb/ibp/internal/core"
 	"github.com/oocsb/ibp/internal/sim"
 	"github.com/oocsb/ibp/internal/stats"
+	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
 	"github.com/oocsb/ibp/internal/workload"
 )
@@ -31,6 +32,8 @@ type Context struct {
 	Suite []workload.Config
 
 	ctx context.Context // cancellation for the whole run; never nil
+
+	prog progress // cumulative sweep progress (atomics; see Progress)
 
 	mu       sync.Mutex
 	traces   map[string]*traceEntry // single-flight indirect traces + summaries
@@ -86,6 +89,8 @@ func (e CellError) Error() string { return fmt.Sprintf("%s: %v", e.Bench, e.Err)
 
 // recordFailure remembers a degraded cell.
 func (c *Context) recordFailure(bench string, err error) {
+	c.prog.cellsFailed.Add(1)
+	telemetry.Default().Counter("sweep_cells_failed_total").Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.failures = append(c.failures, CellError{Bench: bench, Err: err})
@@ -93,12 +98,21 @@ func (c *Context) recordFailure(bench string, err error) {
 
 // TakeFailures returns the degraded cell failures accumulated since the
 // previous call and clears the list; the front end reports them alongside
-// the (partial) result tables.
+// the (partial) result tables. The order is deterministic — sorted by
+// benchmark, then by error text — regardless of the worker interleaving
+// that recorded them, so error rows, journal entries, and logs are stable
+// across runs.
 func (c *Context) TakeFailures() []CellError {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := c.failures
 	c.failures = nil
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Err.Error() < out[j].Err.Error()
+	})
 	return out
 }
 
@@ -128,20 +142,36 @@ func (c *Context) entry(m map[string]*traceEntry, name string) *traceEntry {
 	return e
 }
 
+// traceDone accounts one trace-cache access: generated distinguishes the
+// single caller whose Do closure actually ran from the callers served by the
+// cache, and a captured generation panic is counted before being re-raised.
+func traceDone(e *traceEntry, generated bool) {
+	r := telemetry.Default()
+	if generated {
+		r.Counter("trace_cache_misses_total").Inc()
+	} else {
+		r.Counter("trace_cache_hits_total").Inc()
+	}
+	if e.panicVal != nil {
+		r.Counter("trace_gen_panics_total").Inc()
+		panic(e.panicVal)
+	}
+}
+
 // Trace returns the cached indirect-branch-only trace for a benchmark
 // (sufficient for every predictor except conditional-history consumers; use
 // FullTrace for those). Generation is single-flight across goroutines.
 func (c *Context) Trace(cfg workload.Config) trace.Trace {
 	e := c.entry(c.traces, cfg.Name)
+	generated := false
 	e.once.Do(func() {
+		generated = true
 		defer func() { e.panicVal = recover() }()
 		full := cfg.MustGenerate(c.TraceLen)
 		e.sum = trace.Summarize(full)
 		e.tr = full.Indirect()
 	})
-	if e.panicVal != nil {
-		panic(e.panicVal)
-	}
+	traceDone(e, generated)
 	return e.tr
 }
 
@@ -149,13 +179,13 @@ func (c *Context) Trace(cfg workload.Config) trace.Trace {
 // benchmark, generating it single-flight on first use.
 func (c *Context) FullTrace(cfg workload.Config) trace.Trace {
 	e := c.entry(c.fulls, cfg.Name)
+	generated := false
 	e.once.Do(func() {
+		generated = true
 		defer func() { e.panicVal = recover() }()
 		e.tr = cfg.MustGenerate(c.TraceLen)
 	})
-	if e.panicVal != nil {
-		panic(e.panicVal)
-	}
+	traceDone(e, generated)
 	return e.tr
 }
 
@@ -215,6 +245,7 @@ func runCell(ctx context.Context, i int, fn func(i int) error) error {
 		if err == nil || !IsTransient(err) || attempt >= maxCellAttempts {
 			return err
 		}
+		telemetry.Default().Counter("sweep_cells_retried_total").Inc()
 		delay := baseBackoff << (attempt - 1)
 		if delay > maxBackoff {
 			delay = maxBackoff
@@ -337,8 +368,9 @@ type laneCache struct {
 
 // lanes returns predictors (and per-lane shadows) for the chunk's specs,
 // reusing the cached set via Reset when possible.
-func (lc *laneCache) lanes(chunk int, specs []SweepSpec) (ps, shadows []core.Predictor, err error) {
+func (lc *laneCache) lanes(chunk int, specs []SweepSpec, sm sweepMetrics) (ps, shadows []core.Predictor, err error) {
 	if lc.valid && lc.resettable && lc.chunk == chunk {
+		sm.laneHits.Inc()
 		for _, p := range lc.ps {
 			p.(core.Resetter).Reset()
 		}
@@ -349,6 +381,7 @@ func (lc *laneCache) lanes(chunk int, specs []SweepSpec) (ps, shadows []core.Pre
 		}
 		return lc.ps, lc.shadows, nil
 	}
+	sm.laneMiss.Inc()
 	lc.valid = false
 	ps = make([]core.Predictor, len(specs))
 	shadows = make([]core.Predictor, len(specs))
@@ -402,6 +435,9 @@ func (c *Context) SweepSpecs(specs []SweepSpec, full bool) ([]map[string]sim.Res
 	}
 	nb := len(c.Suite)
 	chunks := (len(specs) + sweepChunk - 1) / sweepChunk
+	sm := newSweepMetrics(telemetry.Default())
+	c.prog.begin(nb*chunks, time.Now())
+	sm.queued.Add(uint64(nb * chunks))
 	var mu sync.Mutex
 	pool := sync.Pool{New: func() any { return &laneCache{} }}
 	// Cells are ordered chunk-major so a worker's consecutive cells share a
@@ -416,10 +452,18 @@ func (c *Context) SweepSpecs(specs []SweepSpec, full bool) ([]map[string]sim.Res
 		sub := specs[lo:hi]
 		cache := pool.Get().(*laneCache)
 		defer pool.Put(cache)
+		sm.running.Add(1)
+		cellStart := time.Now()
+		defer func() {
+			sm.running.Add(-1)
+			sm.cellTime.Observe(time.Since(cellStart))
+			sm.done.Inc()
+			c.prog.cellsDone.Add(1)
+		}()
 		// Construction errors are deterministic configuration mistakes:
 		// every cell would fail identically, so they abort the sweep
 		// rather than degrade.
-		ps, shadows, err := cache.lanes(chunk, sub)
+		ps, shadows, err := cache.lanes(chunk, sub, sm)
 		if err != nil {
 			return fmt.Errorf("%s: %w", bench.Name, err)
 		}
@@ -453,13 +497,18 @@ func (c *Context) SweepSpecs(specs []SweepSpec, full bool) ([]map[string]sim.Res
 					c.recordFailure(bench.Name, fmt.Errorf("config %d: %w", lo+le.Lane, le.Err))
 				}
 			}
+			var executed, missed uint64
 			mu.Lock()
 			for i, r := range rs {
 				if !dead[i] {
 					out[lo+i][bench.Name] = r
+					executed += uint64(r.Executed)
+					missed += uint64(r.Misses)
 				}
 			}
 			mu.Unlock()
+			c.prog.executed.Add(executed)
+			c.prog.misses.Add(missed)
 			return nil
 		})
 		if cellErr != nil {

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestCellErrorFormatting(t *testing.T) {
+	base := errors.New("predictor panicked: index out of range")
+	e := CellError{Bench: "perl", Err: base}
+	if got, want := e.Error(), "perl: predictor panicked: index out of range"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	// The underlying error stays reachable for errors.Is inspection.
+	if !errors.Is(e.Err, base) {
+		t.Error("underlying error lost")
+	}
+}
+
+// TestTakeFailuresDeterministicOrder records failures in a scrambled order
+// and checks TakeFailures returns them sorted by benchmark then error text,
+// independent of insertion order.
+func TestTakeFailuresDeterministicOrder(t *testing.T) {
+	c := NewContext(1000)
+	c.recordFailure("perl", errors.New("z-error"))
+	c.recordFailure("gcc", errors.New("b-error"))
+	c.recordFailure("perl", errors.New("a-error"))
+	c.recordFailure("gcc", errors.New("a-error"))
+	got := c.TakeFailures()
+	want := []string{"gcc: a-error", "gcc: b-error", "perl: a-error", "perl: z-error"}
+	if len(got) != len(want) {
+		t.Fatalf("TakeFailures returned %d failures, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		if f.Error() != want[i] {
+			t.Errorf("failure[%d] = %q, want %q", i, f.Error(), want[i])
+		}
+	}
+	if again := c.TakeFailures(); len(again) != 0 {
+		t.Errorf("second TakeFailures not empty: %v", again)
+	}
+}
+
+// TestRecordFailureConcurrent hammers recordFailure from many goroutines
+// (the real callers are sweep worker-pool cells); under -race this pins the
+// locking, and the result must contain every failure exactly once, sorted.
+func TestRecordFailureConcurrent(t *testing.T) {
+	c := NewContext(1000)
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range perWorker {
+				c.recordFailure(fmt.Sprintf("bench%02d", w), fmt.Errorf("cell %02d failed", i))
+			}
+		}()
+	}
+	wg.Wait()
+	got := c.TakeFailures()
+	if len(got) != workers*perWorker {
+		t.Fatalf("%d failures recorded, want %d", len(got), workers*perWorker)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool {
+		if got[i].Bench != got[j].Bench {
+			return got[i].Bench < got[j].Bench
+		}
+		return got[i].Err.Error() < got[j].Err.Error()
+	}) {
+		t.Error("concurrent failures not in deterministic order")
+	}
+	seen := make(map[string]bool, len(got))
+	for _, f := range got {
+		if seen[f.Error()] {
+			t.Fatalf("duplicate failure %q", f.Error())
+		}
+		seen[f.Error()] = true
+	}
+	// Progress must agree with the failure count.
+	if s := c.Progress(); s.CellsFailed != workers*perWorker {
+		t.Errorf("Progress().CellsFailed = %d, want %d", s.CellsFailed, workers*perWorker)
+	}
+}

@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"runtime/debug"
 	"strings"
+	"time"
 
 	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/table"
+	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
 )
 
@@ -69,6 +72,12 @@ type Result struct {
 	Warmup int
 	// PerSite holds per-site counts when requested.
 	PerSite map[uint32]*SiteStats
+	// Tables summarizes the predictor's target tables over this run
+	// (occupancy at completion; insert/eviction/reset deltas attributed to
+	// this run even on a reused predictor instance). Populated only when
+	// telemetry is enabled (telemetry.Default() non-nil) and the predictor
+	// implements core.TableStatser; nil otherwise.
+	Tables []table.Stats
 }
 
 // MissRate returns the misprediction rate in percent.
@@ -149,11 +158,44 @@ func (e *BatchError) Unwrap() []error {
 	return out
 }
 
+// runMetrics is the set of hot-loop telemetry handles resolved once per
+// batched run. A nil *runMetrics means telemetry is disabled and the engine
+// takes the uninstrumented path.
+type runMetrics struct {
+	records   *telemetry.Counter // trace records scanned, summed over lanes
+	predicts  *telemetry.Counter // indirect branches predicted (incl. warmup)
+	misses    *telemetry.Counter // mispredictions
+	panics    *telemetry.Counter // lanes killed by a predictor panic
+	evictions *telemetry.Counter // table entries displaced (per-run deltas)
+	resets    *telemetry.Counter // whole-table resets (per-run deltas)
+	occupancy *telemetry.Gauge   // last observed end-of-run table occupancy
+	block     *telemetry.Timer   // wall time per lane-block
+}
+
+// newRunMetrics resolves the handles against r, or returns nil when
+// telemetry is disabled.
+func newRunMetrics(r *telemetry.Registry) *runMetrics {
+	if r == nil {
+		return nil
+	}
+	return &runMetrics{
+		records:   r.Counter("sim_records_total"),
+		predicts:  r.Counter("sim_predicts_total"),
+		misses:    r.Counter("sim_misses_total"),
+		panics:    r.Counter("sim_lane_panics_total"),
+		evictions: r.Counter("sim_table_evictions_total"),
+		resets:    r.Counter("sim_table_resets_total"),
+		occupancy: r.Gauge("sim_table_occupancy"),
+		block:     r.Timer("sim_block"),
+	}
+}
+
 // lane is the per-predictor state of a batched run.
 type lane struct {
 	p         core.Predictor
 	condObs   core.CondObserver
 	resetter  core.Resetter
+	statser   core.TableStatser
 	shadow    core.Predictor
 	shadowObs core.CondObserver
 	shadowRst core.Resetter
@@ -162,9 +204,13 @@ type lane struct {
 	res       Result
 	dead      bool
 	err       error
+	// baseStats is the predictor's table counters at run start, so the
+	// per-Result snapshot reports this run's deltas even when the predictor
+	// is a reused (Reset) instance. Only captured when telemetry is on.
+	baseStats []table.Stats
 }
 
-func (l *lane) init(p core.Predictor, opts Options) {
+func (l *lane) init(p core.Predictor, opts Options, m *runMetrics) {
 	l.p = p
 	l.opts = opts
 	l.condObs, _ = p.(core.CondObserver)
@@ -177,6 +223,51 @@ func (l *lane) init(p core.Predictor, opts Options) {
 	l.res = Result{Warmup: opts.Warmup}
 	if opts.Sites {
 		l.res.PerSite = make(map[uint32]*SiteStats)
+	}
+	if m != nil {
+		if l.statser, _ = p.(core.TableStatser); l.statser != nil {
+			l.baseStats = l.statser.TableStats()
+		}
+	}
+}
+
+// finishStats attaches the lane's per-run table snapshot to its Result and
+// publishes the deltas to the registry. Dead lanes are skipped (their tables
+// may be mid-mutation).
+func (l *lane) finishStats(m *runMetrics) {
+	if m == nil || l.statser == nil || l.dead {
+		return
+	}
+	cur := l.statser.TableStats()
+	if len(cur) != len(l.baseStats) {
+		return // table topology changed under us; don't misattribute
+	}
+	for i := range cur {
+		cur[i] = cur[i].Sub(l.baseStats[i])
+		m.evictions.Add(cur[i].Evictions)
+		m.resets.Add(cur[i].Resets)
+	}
+	l.res.Tables = cur
+	m.occupancy.Set(table.Merge(cur).Occupancy)
+}
+
+// step advances the lane over one block and publishes the block's counter
+// deltas: one timer observation and three atomic adds per 8192-record block,
+// so enabled telemetry never touches the per-record path.
+func (l *lane) step(block []trace.Record, m *runMetrics) {
+	if m == nil {
+		l.runBlock(block)
+		return
+	}
+	start := time.Now()
+	seen0, miss0 := l.seen, l.res.Misses
+	l.runBlock(block)
+	m.block.Observe(time.Since(start))
+	m.records.Add(uint64(len(block)))
+	m.predicts.Add(uint64(l.seen - seen0))
+	m.misses.Add(uint64(l.res.Misses - miss0))
+	if l.dead {
+		m.panics.Inc()
 	}
 }
 
@@ -277,9 +368,10 @@ func RunBatchEach(ctx context.Context, ps []core.Predictor, tr trace.Trace, opts
 	if len(opts) != len(ps) {
 		return nil, fmt.Errorf("sim: %d predictors but %d option sets", len(ps), len(opts))
 	}
+	m := newRunMetrics(telemetry.Default())
 	lanes := make([]lane, len(ps))
 	for i := range lanes {
-		lanes[i].init(ps[i], opts[i])
+		lanes[i].init(ps[i], opts[i], m)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -290,7 +382,7 @@ func RunBatchEach(ctx context.Context, ps []core.Predictor, tr trace.Trace, opts
 		if done != nil {
 			select {
 			case <-done:
-				return collect(lanes, ctx.Err())
+				return collect(lanes, ctx.Err(), m)
 			default:
 			}
 		}
@@ -301,22 +393,23 @@ func RunBatchEach(ctx context.Context, ps []core.Predictor, tr trace.Trace, opts
 		block := tr[base:end]
 		for i := range lanes {
 			if l := &lanes[i]; !l.dead {
-				l.runBlock(block)
+				l.step(block, m)
 				if l.dead {
 					live--
 				}
 			}
 		}
 	}
-	return collect(lanes, nil)
+	return collect(lanes, nil, m)
 }
 
 // collect gathers per-lane results and folds lane failures (and an optional
 // cancellation error) into the returned error.
-func collect(lanes []lane, cancel error) ([]Result, error) {
+func collect(lanes []lane, cancel error, m *runMetrics) ([]Result, error) {
 	results := make([]Result, len(lanes))
 	var failed []LaneError
 	for i := range lanes {
+		lanes[i].finishStats(m)
 		results[i] = lanes[i].res
 		if lanes[i].err != nil {
 			failed = append(failed, LaneError{Lane: i, Err: lanes[i].err})

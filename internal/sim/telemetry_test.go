@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/bits"
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/telemetry"
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// trainedLane returns a lane over p trained on tr (two full passes), wired to
+// the given metrics, so a replay of tr is pure steady state.
+func trainedLane(p core.Predictor, tr trace.Trace, m *runMetrics) *lane {
+	l := &lane{}
+	l.init(p, Options{}, m)
+	for pass := 0; pass < 2; pass++ {
+		l.step(tr, m)
+	}
+	return l
+}
+
+// TestInstrumentedStepZeroAllocs is the overhead guard's allocation half: the
+// per-block step with LIVE telemetry handles must not allocate in steady
+// state. Together with core's TestSteadyStateZeroAllocs (the uninstrumented
+// loop) this pins the invariant that enabling -metrics cannot introduce GC
+// pressure into the hot loop.
+func TestInstrumentedStepZeroAllocs(t *testing.T) {
+	tr := cycleTrace(0x1000, []uint32{0x2000, 0x2040, 0x2080}, 300)
+	reg := telemetry.New()
+	m := newRunMetrics(reg)
+	if m == nil {
+		t.Fatal("metrics nil with a live registry")
+	}
+	p := core.MustTwoLevel(core.Config{PathLength: 4, Precision: core.AutoPrecision,
+		Scheme: bits.Reverse, TableKind: "tagless", Entries: 512})
+	l := trainedLane(p, tr, m)
+	allocs := testing.AllocsPerRun(5, func() {
+		l.step(tr, m)
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented step: %v allocs per %d-record block, want 0", allocs, len(tr))
+	}
+	if reg.Snapshot()["sim_records_total"] == 0 {
+		t.Error("metrics did not move during the instrumented steps")
+	}
+}
+
+// TestRunBatchEachPublishesTelemetry runs the batch engine with the default
+// registry enabled and checks both outputs: registry counters and the
+// per-Result table snapshot.
+func TestRunBatchEachPublishesTelemetry(t *testing.T) {
+	telemetry.Enable(nil)
+	defer telemetry.Disable()
+	tr := cycleTrace(0x1000, []uint32{0x2000, 0x3000}, 500)
+	p := core.MustTwoLevel(core.Config{PathLength: 2, Precision: core.AutoPrecision,
+		Scheme: bits.Reverse, TableKind: "assoc2", Entries: 64})
+	res, err := RunBatchEach(context.Background(), []core.Predictor{p}, tr, []Options{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := telemetry.Default().Snapshot()
+	if s["sim_records_total"] < float64(len(tr)) {
+		t.Errorf("sim_records_total = %v, want >= %d", s["sim_records_total"], len(tr))
+	}
+	if s["sim_predicts_total"] == 0 || s["sim_block_count"] == 0 {
+		t.Errorf("counters did not move: %v", s)
+	}
+	if len(res[0].Tables) == 0 {
+		t.Fatalf("no table snapshot on Result with telemetry enabled")
+	}
+	st := res[0].Tables[0]
+	if st.Inserts == 0 || st.Capacity != 64 {
+		t.Errorf("table snapshot: %+v", st)
+	}
+}
+
+// TestResultTablesNilWhenDisabled pins that the table snapshot is a
+// telemetry-only extension: with the registry disabled, Results stay exactly
+// as before (batch-vs-sequential equivalence tests compare them with
+// reflect.DeepEqual).
+func TestResultTablesNilWhenDisabled(t *testing.T) {
+	tr := cycleTrace(0x1000, []uint32{0x2000}, 100)
+	p := core.MustTwoLevel(core.Config{PathLength: 2, Precision: core.AutoPrecision,
+		Scheme: bits.Reverse, TableKind: "assoc2", Entries: 64})
+	res, err := RunBatchEach(context.Background(), []core.Predictor{p}, tr, []Options{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Tables != nil {
+		t.Errorf("Tables = %+v with telemetry disabled, want nil", res[0].Tables)
+	}
+}
+
+// TestTableStatsDeltaAcrossReuse pins the reused-predictor semantics: a
+// second batched run on the same (Reset) predictor must report only that
+// run's inserts, not the cumulative total since construction.
+func TestTableStatsDeltaAcrossReuse(t *testing.T) {
+	telemetry.Enable(nil)
+	defer telemetry.Disable()
+	tr := cycleTrace(0x1000, []uint32{0x2000, 0x3000}, 200)
+	p := core.MustTwoLevel(core.Config{PathLength: 2, Precision: core.AutoPrecision,
+		Scheme: bits.Reverse, TableKind: "assoc2", Entries: 64})
+	first, err := RunBatchEach(context.Background(), []core.Predictor{p}, tr, []Options{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	second, err := RunBatchEach(context.Background(), []core.Predictor{p}, tr, []Options{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, s := first[0].Tables[0], second[0].Tables[0]
+	if s.Inserts == 0 || s.Inserts > 2*f.Inserts {
+		t.Errorf("reused-predictor delta looks cumulative: first %+v, second %+v", f, s)
+	}
+	if s.Resets != 0 {
+		// The Reset happened between runs, before the second baseline.
+		t.Errorf("second run charged with the inter-run reset: %+v", s)
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the batch engine with telemetry off vs
+// on over an identical trace; CI's overhead guard compares the two (the "on"
+// case must stay within a few percent of "off", and neither may allocate in
+// steady state beyond the per-run setup).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	tr := cycleTrace(0x1000, []uint32{0x2000, 0x2040, 0x2080, 0x20C0}, 25000)
+	mk := func() core.Predictor {
+		return core.MustTwoLevel(core.Config{PathLength: 6, Precision: core.AutoPrecision,
+			Scheme: bits.Reverse, TableKind: "assoc4", Entries: 1024})
+	}
+	run := func(b *testing.B) {
+		b.Helper()
+		p := mk()
+		b.SetBytes(int64(len(tr)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunBatchEach(context.Background(), []core.Predictor{p}, tr, []Options{{}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		telemetry.Disable()
+		run(b)
+	})
+	b.Run("on", func(b *testing.B) {
+		telemetry.Enable(nil)
+		defer telemetry.Disable()
+		run(b)
+	})
+}

@@ -61,6 +61,79 @@ func (e *Entry) reset(key uint64) {
 	e.Next = 0
 }
 
+// Stats is a point-in-time summary of one table's behaviour counters, the
+// raw material of the telemetry layer's occupancy/eviction reporting. The
+// counters are plain (non-atomic) fields on the tables — a table belongs to
+// exactly one simulation lane — and tracking them costs one increment on the
+// insert path only, never on the predict path.
+type Stats struct {
+	// Kind is the table organization ("assoc4", "tagless", ...).
+	Kind string `json:"kind"`
+	// Capacity is the table size in entries, -1 if unbounded.
+	Capacity int `json:"capacity"`
+	// Occupancy is the fraction of entries valid at snapshot time
+	// (unbounded tables report 1).
+	Occupancy float64 `json:"occupancy"`
+	// Inserts counts entry allocations (including those that evicted).
+	Inserts uint64 `json:"inserts"`
+	// Evictions is the subset of Inserts that displaced a live entry.
+	Evictions uint64 `json:"evictions"`
+	// Resets counts whole-table clears (generation bumps for the dense
+	// organizations).
+	Resets uint64 `json:"resets"`
+}
+
+// add accumulates o into s, keeping Kind/Capacity of the first table and
+// averaging occupancy weights by table count at the caller's discretion.
+func (s *Stats) add(o Stats) {
+	s.Inserts += o.Inserts
+	s.Evictions += o.Evictions
+	s.Resets += o.Resets
+}
+
+// Sub returns s with prev's counters subtracted: the table movement between
+// two snapshots of the same table. Occupancy (a point-in-time value) is kept
+// from s. Simulation lanes use it to report per-run deltas even when the
+// predictor is a reused instance whose lifetime counters span earlier cells.
+func (s Stats) Sub(prev Stats) Stats {
+	s.Inserts -= prev.Inserts
+	s.Evictions -= prev.Evictions
+	s.Resets -= prev.Resets
+	return s
+}
+
+// Merge folds a set of per-table stats into one aggregate: counters sum,
+// occupancy averages over the bounded tables, capacity sums (−1 if any
+// component is unbounded). It is what a multi-table predictor reports as a
+// single per-Result line.
+func Merge(stats []Stats) Stats {
+	var out Stats
+	bounded := 0
+	for i, st := range stats {
+		if i == 0 {
+			out.Kind = st.Kind
+		} else if out.Kind != st.Kind {
+			out.Kind = "mixed"
+		}
+		out.add(st)
+		if st.Capacity < 0 || out.Capacity < 0 {
+			out.Capacity = -1
+		} else {
+			out.Capacity += st.Capacity
+		}
+		if st.Capacity >= 0 {
+			out.Occupancy += st.Occupancy
+			bounded++
+		}
+	}
+	if bounded > 0 {
+		out.Occupancy /= float64(bounded)
+	} else if len(stats) > 0 {
+		out.Occupancy = 1
+	}
+	return out
+}
+
 // Bounded is a prediction table over 64-bit keys. The predictor calls Probe
 // first; on nil it may call Insert to allocate an entry (choosing a victim
 // if the table is full). Probe updates recency state on a hit.
@@ -91,6 +164,8 @@ type Bounded interface {
 	Reset()
 	// Kind returns a short organization name for reports, e.g. "assoc2".
 	Kind() string
+	// Stats returns the table's behaviour counters and current occupancy.
+	Stats() Stats
 }
 
 func checkPow2(n int, what string) {
@@ -106,6 +181,13 @@ type Tagless struct {
 	slots []Entry
 	mask  uint64
 	gen   uint32
+	stats counters
+}
+
+// counters is the shared insert/eviction/reset accounting embedded in every
+// table organization.
+type counters struct {
+	inserts, evictions, resets uint64
 }
 
 // NewTagless returns a tagless table with the given number of entries
@@ -128,6 +210,10 @@ func (t *Tagless) Probe(key uint64) *Entry {
 // Insert claims the slot indexed by key.
 func (t *Tagless) Insert(key uint64) *Entry {
 	e := &t.slots[key&t.mask]
+	t.stats.inserts++
+	if e.valid && e.gen == t.gen && e.key != key {
+		t.stats.evictions++
+	}
 	e.reset(key)
 	e.gen = t.gen
 	return e
@@ -141,6 +227,7 @@ func (t *Tagless) ProbeOrInsert(key uint64) (*Entry, bool) {
 	}
 	e.reset(key)
 	e.gen = t.gen
+	t.stats.inserts++
 	return e, false
 }
 
@@ -166,6 +253,7 @@ func (t *Tagless) Utilization() float64 { return utilization(t.slots, t.gen) }
 // and the slots are cleared for real, so ancient entries can never resurrect.
 func (t *Tagless) Reset() {
 	t.gen++
+	t.stats.resets++
 	if t.gen == 0 {
 		clear(t.slots)
 	}
@@ -173,6 +261,14 @@ func (t *Tagless) Reset() {
 
 // Kind implements Bounded.
 func (t *Tagless) Kind() string { return "tagless" }
+
+// Stats implements Bounded.
+func (t *Tagless) Stats() Stats {
+	return Stats{
+		Kind: t.Kind(), Capacity: t.Capacity(), Occupancy: t.Utilization(),
+		Inserts: t.stats.inserts, Evictions: t.stats.evictions, Resets: t.stats.resets,
+	}
+}
 
 // SetAssoc is a set-associative table with per-set LRU replacement. Ways=1
 // gives a direct-mapped tagged table. Entries within a set are kept in
@@ -184,6 +280,7 @@ type SetAssoc struct {
 	mask      uint64
 	slots     []Entry // sets * ways, set-major
 	gen       uint32
+	stats     counters
 }
 
 // NewSetAssoc returns a table with the given total entries (power of two)
@@ -234,6 +331,10 @@ func (t *SetAssoc) Probe(key uint64) *Entry {
 func (t *SetAssoc) Insert(key uint64) *Entry {
 	set := t.set(key)
 	victim := set[t.ways-1]
+	t.stats.inserts++
+	if victim.valid && victim.gen == t.gen {
+		t.stats.evictions++
+	}
 	copy(set[1:], set[:t.ways-1])
 	set[0] = victim
 	set[0].reset(key)
@@ -257,6 +358,10 @@ func (t *SetAssoc) ProbeOrInsert(key uint64) (*Entry, bool) {
 		}
 	}
 	victim := set[t.ways-1]
+	t.stats.inserts++
+	if victim.valid && victim.gen == t.gen {
+		t.stats.evictions++
+	}
 	copy(set[1:], set[:t.ways-1])
 	set[0] = victim
 	set[0].reset(key)
@@ -283,6 +388,7 @@ func (t *SetAssoc) Utilization() float64 { return utilization(t.slots, t.gen) }
 // Reset implements Bounded in O(1) by generation bump (see Tagless.Reset).
 func (t *SetAssoc) Reset() {
 	t.gen++
+	t.stats.resets++
 	if t.gen == 0 {
 		clear(t.slots)
 	}
@@ -291,12 +397,21 @@ func (t *SetAssoc) Reset() {
 // Kind implements Bounded.
 func (t *SetAssoc) Kind() string { return fmt.Sprintf("assoc%d", t.ways) }
 
+// Stats implements Bounded.
+func (t *SetAssoc) Stats() Stats {
+	return Stats{
+		Kind: t.Kind(), Capacity: t.Capacity(), Occupancy: t.Utilization(),
+		Inserts: t.stats.inserts, Evictions: t.stats.evictions, Resets: t.stats.resets,
+	}
+}
+
 // FullAssoc is a fully-associative table with true LRU replacement,
 // implemented as a hash map plus an intrusive recency list (§5.1).
 type FullAssoc struct {
 	capacity int
 	m        map[uint64]*faNode
 	mru, lru *faNode
+	stats    counters
 }
 
 type faNode struct {
@@ -359,13 +474,16 @@ func (t *FullAssoc) Insert(key uint64) *Entry {
 		t.unlink(n)
 		t.pushFront(n)
 		n.Entry.reset(key)
+		t.stats.inserts++
 		return &n.Entry
 	}
 	var n *faNode
+	t.stats.inserts++
 	if len(t.m) >= t.capacity {
 		n = t.lru
 		t.unlink(n)
 		delete(t.m, n.key)
+		t.stats.evictions++
 	} else {
 		n = &faNode{}
 	}
@@ -385,10 +503,12 @@ func (t *FullAssoc) ProbeOrInsert(key uint64) (*Entry, bool) {
 		return &n.Entry, true
 	}
 	var n *faNode
+	t.stats.inserts++
 	if len(t.m) >= t.capacity {
 		n = t.lru
 		t.unlink(n)
 		delete(t.m, n.key)
+		t.stats.evictions++
 	} else {
 		n = &faNode{}
 	}
@@ -418,10 +538,19 @@ func (t *FullAssoc) Utilization() float64 {
 func (t *FullAssoc) Reset() {
 	clear(t.m)
 	t.mru, t.lru = nil, nil
+	t.stats.resets++
 }
 
 // Kind implements Bounded.
 func (t *FullAssoc) Kind() string { return "fullassoc" }
+
+// Stats implements Bounded.
+func (t *FullAssoc) Stats() Stats {
+	return Stats{
+		Kind: t.Kind(), Capacity: t.Capacity(), Occupancy: t.Utilization(),
+		Inserts: t.stats.inserts, Evictions: t.stats.evictions, Resets: t.stats.resets,
+	}
+}
 
 // Len returns the number of valid entries.
 func (t *FullAssoc) Len() int { return len(t.m) }
@@ -430,7 +559,8 @@ func (t *FullAssoc) Len() int { return len(t.m) }
 // limited-precision §4 experiments and as the shadow twin that attributes
 // capacity and conflict misses (§5.1).
 type Unbounded64 struct {
-	m map[uint64]*Entry
+	m     map[uint64]*Entry
+	stats counters
 }
 
 // NewUnbounded64 returns an empty unbounded table.
@@ -443,6 +573,7 @@ func (t *Unbounded64) Probe(key uint64) *Entry { return t.m[key] }
 
 // Insert implements Bounded.
 func (t *Unbounded64) Insert(key uint64) *Entry {
+	t.stats.inserts++
 	e := t.m[key]
 	if e == nil {
 		e = &Entry{}
@@ -460,6 +591,7 @@ func (t *Unbounded64) ProbeOrInsert(key uint64) (*Entry, bool) {
 	e := &Entry{}
 	e.reset(key)
 	t.m[key] = e
+	t.stats.inserts++
 	return e, false
 }
 
@@ -473,10 +605,21 @@ func (t *Unbounded64) Capacity() int { return -1 }
 func (t *Unbounded64) Utilization() float64 { return 1 }
 
 // Reset implements Bounded.
-func (t *Unbounded64) Reset() { clear(t.m) }
+func (t *Unbounded64) Reset() {
+	clear(t.m)
+	t.stats.resets++
+}
 
 // Kind implements Bounded.
 func (t *Unbounded64) Kind() string { return "unbounded" }
+
+// Stats implements Bounded.
+func (t *Unbounded64) Stats() Stats {
+	return Stats{
+		Kind: t.Kind(), Capacity: -1, Occupancy: 1,
+		Inserts: t.stats.inserts, Resets: t.stats.resets,
+	}
+}
 
 // Len returns the number of patterns stored (the paper quotes pattern counts
 // per path length, §5.1).
@@ -486,7 +629,8 @@ func (t *Unbounded64) Len() int { return len(t.m) }
 // the §3 full-precision predictors, where keys (selector + p full targets)
 // exceed 64 bits.
 type UnboundedStr struct {
-	m map[string]*Entry
+	m     map[string]*Entry
+	stats counters
 }
 
 // NewUnboundedStr returns an empty table.
@@ -500,6 +644,7 @@ func (t *UnboundedStr) Probe(key []byte) *Entry { return t.m[string(key)] }
 
 // Insert allocates an entry for key.
 func (t *UnboundedStr) Insert(key []byte) *Entry {
+	t.stats.inserts++
 	e := t.m[string(key)]
 	if e == nil {
 		e = &Entry{}
@@ -520,6 +665,7 @@ func (t *UnboundedStr) ProbeOrInsert(key []byte) (*Entry, bool) {
 	e := &Entry{}
 	e.reset(0)
 	t.m[string(key)] = e
+	t.stats.inserts++
 	return e, false
 }
 
@@ -527,7 +673,19 @@ func (t *UnboundedStr) ProbeOrInsert(key []byte) (*Entry, bool) {
 func (t *UnboundedStr) Len() int { return len(t.m) }
 
 // Reset clears the table.
-func (t *UnboundedStr) Reset() { clear(t.m) }
+func (t *UnboundedStr) Reset() {
+	clear(t.m)
+	t.stats.resets++
+}
+
+// Stats reports the exact table's behaviour counters (it is not a Bounded,
+// but predictors aggregate its stats the same way).
+func (t *UnboundedStr) Stats() Stats {
+	return Stats{
+		Kind: "exact", Capacity: -1, Occupancy: 1,
+		Inserts: t.stats.inserts, Resets: t.stats.resets,
+	}
+}
 
 func utilization(slots []Entry, gen uint32) float64 {
 	if len(slots) == 0 {

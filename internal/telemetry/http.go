@@ -1,0 +1,106 @@
+// HTTP exposure: a Prometheus-text + JSON metrics endpoint and a pprof
+// server, both started on demand by the command-line front ends.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (one `# TYPE` line plus a sample per metric, sorted by name).
+// Counters and timers are exposed as counters, gauges as gauges.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Classify names so the TYPE lines are right even though Snapshot
+	// flattens the kinds away.
+	r.mu.Lock()
+	kind := make(map[string]string, len(r.counters)+len(r.gauges)+2*len(r.timers))
+	for name := range r.counters {
+		kind[name] = "counter"
+	}
+	for name := range r.gauges {
+		kind[name] = "gauge"
+	}
+	for name := range r.timers {
+		kind[name+"_count"] = "counter"
+		kind[name+"_ns"] = "counter"
+	}
+	r.mu.Unlock()
+	s := r.Snapshot()
+	for _, name := range s.Names() {
+		k := kind[name]
+		if k == "" {
+			k = "untyped"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", name, k, name, s[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus text by
+// default, the JSON snapshot when the request asks for ?format=json (the
+// expvar-style machine-readable form).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(w)
+	})
+}
+
+// serve binds addr and serves mux in a background goroutine, returning the
+// server (caller closes it) and the bound address (useful with ":0").
+func serve(addr string, mux *http.ServeMux) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// ServeMetrics starts an HTTP server on addr exposing the registry at
+// /metrics (Prometheus text, JSON with ?format=json) and a JSON snapshot at
+// /vars. It returns the running server and its bound address; the caller
+// owns shutdown via srv.Close.
+func ServeMetrics(addr string, r *Registry) (*http.Server, string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	return serve(addr, mux)
+}
+
+// ServePprof starts a net/http/pprof server on addr (profiles under
+// /debug/pprof/). It returns the running server and its bound address; the
+// caller owns shutdown via srv.Close.
+func ServePprof(addr string) (*http.Server, string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return serve(addr, mux)
+}

@@ -1,0 +1,39 @@
+// Structured logging for the command-line front ends: one slog.Logger
+// construction point so every tool logs the same shape and honors the same
+// -log flag vocabulary.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the -log flag vocabulary ("debug", "info", "warn",
+// "error", or "off") to a slog level. "off" returns a level above Error so
+// nothing is emitted.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	case "off", "none":
+		return slog.LevelError + 4, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error|off)", s)
+	}
+}
+
+// NewLogger returns the tools' standard structured logger: logfmt-style
+// key=value text on w at the given level. Timestamps are kept — sweeps are
+// long-running and the log interleaves with progress output, so "when" is
+// part of the signal.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}

@@ -27,4 +27,9 @@ trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "$bench" -benchtime "$benchtime" . | tee "$raw"
 
+# Telemetry overhead guard: the instrumented engine (off vs on) rides along
+# in the same snapshot so regressions in either mode are visible in one file.
+go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime "$benchtime" \
+  ./internal/sim | tee -a "$raw"
+
 go run ./cmd/ibpsweep -benchjson "$out" -benchraw "$raw" -run "$run" -n "$n"
