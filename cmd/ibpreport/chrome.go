@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// The sweep manifest is decoded with local types rather than importing
+// ibpsweep's (commands don't import commands); only the fields the timeline
+// needs are declared, so manifest schema growth doesn't break the export.
+type sweepManifest struct {
+	Version  int                   `json:"version"`
+	TraceLen int                   `json:"trace_len"`
+	Done     map[string]sweepEntry `json:"done"`
+}
+
+type sweepEntry struct {
+	CompletedAt   time.Time          `json:"completed_at"`
+	WallMs        int64              `json:"wall_ms"`
+	Files         []string           `json:"files"`
+	DegradedCells []string           `json:"degraded_cells"`
+	Counters      map[string]float64 `json:"counters"`
+}
+
+// chromeEvent is one entry of the Chrome trace-event format's traceEvents
+// array (the JSON Perfetto and chrome://tracing load). "X" is a complete
+// slice with a duration; "C" a counter sample; "M" process metadata.
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// writeChromeTrace converts an ibpsweep run manifest into a Chrome
+// trace-event file: one slice per completed experiment on the sweep
+// timeline (start inferred as completion minus wall time), plus cumulative
+// counter tracks from each experiment's telemetry snapshot.
+func writeChromeTrace(w io.Writer, manifestPath string) error {
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return err
+	}
+	var m sweepManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("%s: corrupt manifest: %w", manifestPath, err)
+	}
+	if len(m.Done) == 0 {
+		return fmt.Errorf("%s: no completed experiments", manifestPath)
+	}
+
+	type expRow struct {
+		id    string
+		entry sweepEntry
+		start time.Time
+	}
+	rows := make([]expRow, 0, len(m.Done))
+	for id, e := range m.Done {
+		rows = append(rows, expRow{id, e, e.CompletedAt.Add(-time.Duration(e.WallMs) * time.Millisecond)})
+	}
+	// Start time, then id: a stable timeline whatever Go's map order did.
+	sort.Slice(rows, func(i, j int) bool {
+		if !rows[i].start.Equal(rows[j].start) {
+			return rows[i].start.Before(rows[j].start)
+		}
+		return rows[i].id < rows[j].id
+	})
+	t0 := rows[0].start
+	for _, r := range rows[1:] {
+		if r.start.Before(t0) {
+			t0 = r.start
+		}
+	}
+
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]any{"name": "ibpsweep"},
+	})
+
+	// Counter names present anywhere in the manifest, so every track exists
+	// from the first sample (Perfetto draws gaps otherwise).
+	counterNames := map[string]struct{}{}
+	for _, r := range rows {
+		for name := range r.entry.Counters {
+			counterNames[name] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(counterNames))
+	for n := range counterNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	cumulative := make(map[string]float64, len(names))
+	for _, r := range rows {
+		args := map[string]any{"trace_len": m.TraceLen}
+		if len(r.entry.Files) > 0 {
+			args["files"] = r.entry.Files
+		}
+		if len(r.entry.DegradedCells) > 0 {
+			args["degraded_cells"] = r.entry.DegradedCells
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: r.id, Ph: "X", Pid: 1, Tid: 1,
+			Ts:   r.start.Sub(t0).Microseconds(),
+			Dur:  r.entry.WallMs * 1000,
+			Args: args,
+		})
+		ts := r.entry.CompletedAt.Sub(t0).Microseconds()
+		for _, name := range names {
+			cumulative[name] += r.entry.Counters[name]
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: name, Ph: "C", Pid: 1, Tid: 1, Ts: ts,
+				Args: map[string]any{"value": cumulative[name]},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr)
+}

@@ -15,11 +15,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
-	"github.com/oocsb/ibp/internal/bits"
-	"github.com/oocsb/ibp/internal/core"
-	"github.com/oocsb/ibp/internal/history"
+	"github.com/oocsb/ibp/internal/cli"
 	"github.com/oocsb/ibp/internal/sim"
 	"github.com/oocsb/ibp/internal/stats"
 	"github.com/oocsb/ibp/internal/table"
@@ -34,22 +31,13 @@ type options struct {
 	n         int
 	warmup    int
 
-	pred      string
-	path      int
-	histShare int
-	tabShare  int
-	precision int
-	scheme    string
-	keyop     string
-	table     string
-	entries   int
-	update    string
-	hybrid    string
-	shadow    bool
-	sites     bool
-	top       int
-	stats     bool
-	logLevel  string
+	pf cli.PredictorFlags
+
+	shadow   bool
+	sites    bool
+	top      int
+	stats    bool
+	logLevel string
 }
 
 func main() {
@@ -58,17 +46,7 @@ func main() {
 	flag.StringVar(&o.traceFile, "trace", "", "read a trace file instead of generating a benchmark")
 	flag.IntVar(&o.n, "n", workload.DefaultBranches, "indirect branches per generated benchmark")
 	flag.IntVar(&o.warmup, "warmup", 0, "indirect branches excluded from accounting")
-	flag.StringVar(&o.pred, "pred", "2lev", "predictor family: 2lev, btb, btb-2bc, tcache, ppm, shared")
-	flag.IntVar(&o.path, "p", 3, "path length")
-	flag.IntVar(&o.histShare, "s", 32, "history sharing exponent (2=per-branch, 32=global)")
-	flag.IntVar(&o.tabShare, "hshare", 2, "history table sharing exponent (full-precision mode)")
-	flag.IntVar(&o.precision, "b", core.AutoPrecision, "bits per history target (-1 auto, 0 full precision)")
-	flag.StringVar(&o.scheme, "scheme", "reverse", "pattern layout: concat, straight, reverse, pingpong")
-	flag.StringVar(&o.keyop, "keyop", "xor", "address folding: xor or concat")
-	flag.StringVar(&o.table, "table", "unbounded", "table: exact, unbounded, tagless, assoc1/2/4, fullassoc")
-	flag.IntVar(&o.entries, "entries", 0, "table entries for bounded tables")
-	flag.StringVar(&o.update, "update", "2bc", "target update rule: 2bc or always")
-	flag.StringVar(&o.hybrid, "hybrid", "", "dual-path hybrid \"p1,p2\" (overrides -p)")
+	o.pf.Register(flag.CommandLine)
 	flag.BoolVar(&o.shadow, "shadow", false, "attribute capacity/conflict misses with an unbounded twin")
 	flag.BoolVar(&o.sites, "sites", false, "report the worst-predicted branch sites")
 	flag.IntVar(&o.top, "top", 5, "number of sites to report with -sites")
@@ -79,91 +57,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ibpsim:", err)
 		os.Exit(1)
 	}
-}
-
-func buildPredictor(o options) (core.Predictor, error) {
-	switch o.pred {
-	case "btb":
-		tb, err := boundedTable(o)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewBTB(tb, core.UpdateAlways), nil
-	case "btb-2bc":
-		tb, err := boundedTable(o)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewBTB(tb, core.UpdateTwoMiss), nil
-	case "tcache":
-		entries := o.entries
-		if entries == 0 {
-			entries = 512
-		}
-		return core.NewTargetCache(9, orDefault(o.table, "tagless"), entries)
-	case "ppm":
-		p1, p2, err := parsePair(o.hybrid)
-		if err != nil {
-			return nil, fmt.Errorf("ppm needs -hybrid p1,p2: %w", err)
-		}
-		return core.NewCascade([]int{p1, p2}, o.table, o.entries)
-	case "shared":
-		p1, p2, err := parsePair(o.hybrid)
-		if err != nil {
-			return nil, fmt.Errorf("shared needs -hybrid p1,p2: %w", err)
-		}
-		return core.NewSharedHybrid(p1, p2, o.table, o.entries)
-	case "2lev":
-		if o.hybrid != "" {
-			p1, p2, err := parsePair(o.hybrid)
-			if err != nil {
-				return nil, err
-			}
-			return core.NewDualPath(p1, p2, o.table, o.entries)
-		}
-		cfg, err := twoLevelConfig(o)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewTwoLevel(cfg)
-	}
-	return nil, fmt.Errorf("unknown predictor %q", o.pred)
-}
-
-func twoLevelConfig(o options) (core.Config, error) {
-	scheme, err := bits.ParseScheme(o.scheme)
-	if err != nil {
-		return core.Config{}, err
-	}
-	var keyop history.KeyOp
-	switch o.keyop {
-	case "xor":
-		keyop = history.OpXor
-	case "concat":
-		keyop = history.OpConcat
-	default:
-		return core.Config{}, fmt.Errorf("unknown key op %q", o.keyop)
-	}
-	var update core.UpdateRule
-	switch o.update {
-	case "2bc":
-		update = core.UpdateTwoMiss
-	case "always":
-		update = core.UpdateAlways
-	default:
-		return core.Config{}, fmt.Errorf("unknown update rule %q", o.update)
-	}
-	return core.Config{
-		PathLength: o.path,
-		HistShare:  o.histShare,
-		TableShare: o.tabShare,
-		Precision:  o.precision,
-		Scheme:     scheme,
-		KeyOp:      keyop,
-		TableKind:  o.table,
-		Entries:    o.entries,
-		Update:     update,
-	}, nil
 }
 
 // readTraceFile decodes a trace file, wrapping every failure — including
@@ -180,15 +73,6 @@ func readTraceFile(path string) (trace.Trace, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return tr, nil
-}
-
-// boundedTable builds the BTB's table, or nil for an unbounded one. Errors
-// propagate so main exits non-zero through the single failure path.
-func boundedTable(o options) (table.Bounded, error) {
-	if o.table == "" || o.table == "unbounded" || o.table == "exact" {
-		return nil, nil
-	}
-	return table.New(o.table, o.entries)
 }
 
 func realMain(o options) error {
@@ -233,7 +117,7 @@ func realMain(o options) error {
 		}{cfg.Name, cfg.MustGenerate(o.n)})
 	}
 
-	probe, err := buildPredictor(o)
+	probe, err := o.pf.Build()
 	if err != nil {
 		return err
 	}
@@ -242,16 +126,13 @@ func realMain(o options) error {
 	fmt.Printf("%-10s %10s %10s %10s %10s\n", "benchmark", "branches", "misses", "miss%", "capacity%")
 	rates := make(map[string]float64)
 	for _, r := range runs {
-		p, err := buildPredictor(o)
+		p, err := o.pf.Build()
 		if err != nil {
 			return err
 		}
 		opts := sim.Options{Warmup: o.warmup, Sites: o.sites}
 		if o.shadow {
-			so := o
-			so.table = "unbounded"
-			so.entries = 0
-			shadow, err := buildPredictor(so)
+			shadow, err := o.pf.Unbounded().Build()
 			if err != nil {
 				return err
 			}
@@ -263,9 +144,7 @@ func realMain(o options) error {
 		fmt.Printf("%-10s %10d %10d %10.2f %10.2f\n",
 			r.name, res.Executed, res.Misses, res.MissRate(), res.CapacityRate())
 		if o.stats && len(res.Tables) > 0 {
-			st := table.Merge(res.Tables)
-			fmt.Printf("    tables: %s cap=%d occ=%.2f inserts=%d evictions=%d resets=%d\n",
-				st.Kind, st.Capacity, st.Occupancy, st.Inserts, st.Evictions, st.Resets)
+			printTableStats(res.Tables)
 		}
 		if o.sites {
 			printWorstSites(res, o.top)
@@ -283,6 +162,26 @@ func realMain(o options) error {
 	return nil
 }
 
+// printTableStats merges the run's table snapshots per kind and prints one
+// line per kind in sorted key order, so output is byte-stable across runs
+// however the predictor orders its component tables.
+func printTableStats(sts []table.Stats) {
+	byKind := make(map[string][]table.Stats)
+	for _, st := range sts {
+		byKind[st.Kind] = append(byKind[st.Kind], st)
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		st := table.Merge(byKind[k])
+		fmt.Printf("    tables[%s]: cap=%d occ=%.2f inserts=%d evictions=%d resets=%d\n",
+			k, st.Capacity, st.Occupancy, st.Inserts, st.Evictions, st.Resets)
+	}
+}
+
 func printWorstSites(res sim.Result, top int) {
 	type siteRow struct {
 		pc uint32
@@ -292,7 +191,14 @@ func printWorstSites(res sim.Result, top int) {
 	for pc, st := range res.PerSite {
 		rows = append(rows, siteRow{pc, st})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].st.Misses > rows[j].st.Misses })
+	// Misses descending, PC ascending on ties: map iteration order must not
+	// leak into which equal-miss sites make the cut or how they print.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].st.Misses != rows[j].st.Misses {
+			return rows[i].st.Misses > rows[j].st.Misses
+		}
+		return rows[i].pc < rows[j].pc
+	})
 	if top > len(rows) {
 		top = len(rows)
 	}
@@ -300,26 +206,4 @@ func printWorstSites(res sim.Result, top int) {
 		fmt.Printf("    site %08x: %d/%d misses (%.1f%%)\n",
 			r.pc, r.st.Misses, r.st.Executed, 100*float64(r.st.Misses)/float64(r.st.Executed))
 	}
-}
-
-func parsePair(s string) (int, int, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("want \"p1,p2\", got %q", s)
-	}
-	var a, b int
-	if _, err := fmt.Sscanf(parts[0], "%d", &a); err != nil {
-		return 0, 0, err
-	}
-	if _, err := fmt.Sscanf(parts[1], "%d", &b); err != nil {
-		return 0, 0, err
-	}
-	return a, b, nil
-}
-
-func orDefault(s, def string) string {
-	if s == "" || s == "unbounded" {
-		return def
-	}
-	return s
 }

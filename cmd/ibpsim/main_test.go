@@ -2,21 +2,25 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/oocsb/ibp/internal/cli"
 	"github.com/oocsb/ibp/internal/trace"
 	"github.com/oocsb/ibp/internal/workload"
 )
 
 func baseOpts() options {
 	return options{
-		bench: "xlisp", n: 2000,
-		pred: "2lev", path: 2, histShare: 32, tabShare: 2,
-		precision: -1, scheme: "reverse", keyop: "xor",
-		table: "unbounded", update: "2bc", top: 3,
+		bench: "xlisp", n: 2000, top: 3,
+		pf: cli.PredictorFlags{
+			Pred: "2lev", Path: 2, HistShare: 32, TabShare: 2,
+			Precision: -1, Scheme: "reverse", KeyOp: "xor",
+			Table: "unbounded", Update: "2bc",
+		},
 	}
 }
 
@@ -28,15 +32,15 @@ func TestRunTwoLevel(t *testing.T) {
 
 func TestRunAllPredictorFamilies(t *testing.T) {
 	cases := []func(*options){
-		func(o *options) { o.pred = "btb" },
-		func(o *options) { o.pred = "btb-2bc"; o.table = "assoc2"; o.entries = 64 },
-		func(o *options) { o.pred = "tcache"; o.table = "tagless"; o.entries = 256 },
-		func(o *options) { o.pred = "ppm"; o.hybrid = "3,1"; o.table = "assoc2"; o.entries = 256 },
-		func(o *options) { o.pred = "shared"; o.hybrid = "3,1"; o.table = "assoc4"; o.entries = 256 },
-		func(o *options) { o.hybrid = "3,1"; o.table = "assoc4"; o.entries = 256 },
-		func(o *options) { o.table = "assoc4"; o.entries = 128; o.shadow = true; o.sites = true },
-		func(o *options) { o.precision = 0; o.table = "exact" },
-		func(o *options) { o.update = "always"; o.keyop = "concat" },
+		func(o *options) { o.pf.Pred = "btb" },
+		func(o *options) { o.pf.Pred = "btb-2bc"; o.pf.Table = "assoc2"; o.pf.Entries = 64 },
+		func(o *options) { o.pf.Pred = "tcache"; o.pf.Table = "tagless"; o.pf.Entries = 256 },
+		func(o *options) { o.pf.Pred = "ppm"; o.pf.Hybrid = "3,1"; o.pf.Table = "assoc2"; o.pf.Entries = 256 },
+		func(o *options) { o.pf.Pred = "shared"; o.pf.Hybrid = "3,1"; o.pf.Table = "assoc4"; o.pf.Entries = 256 },
+		func(o *options) { o.pf.Hybrid = "3,1"; o.pf.Table = "assoc4"; o.pf.Entries = 256 },
+		func(o *options) { o.pf.Table = "assoc4"; o.pf.Entries = 128; o.shadow = true; o.sites = true },
+		func(o *options) { o.pf.Precision = 0; o.pf.Table = "exact" },
+		func(o *options) { o.pf.Update = "always"; o.pf.KeyOp = "concat" },
 		func(o *options) { o.warmup = 500 },
 	}
 	for i, mod := range cases {
@@ -82,14 +86,14 @@ func TestRunTraceFile(t *testing.T) {
 
 func TestBadOptions(t *testing.T) {
 	cases := []func(*options){
-		func(o *options) { o.pred = "nonesuch" },
+		func(o *options) { o.pf.Pred = "nonesuch" },
 		func(o *options) { o.bench = "nonesuch" },
-		func(o *options) { o.scheme = "nonesuch" },
-		func(o *options) { o.keyop = "nonesuch" },
-		func(o *options) { o.update = "nonesuch" },
-		func(o *options) { o.hybrid = "3" },
-		func(o *options) { o.hybrid = "a,b" },
-		func(o *options) { o.pred = "ppm" }, // ppm without -hybrid
+		func(o *options) { o.pf.Scheme = "nonesuch" },
+		func(o *options) { o.pf.KeyOp = "nonesuch" },
+		func(o *options) { o.pf.Update = "nonesuch" },
+		func(o *options) { o.pf.Hybrid = "3" },
+		func(o *options) { o.pf.Hybrid = "a,b" },
+		func(o *options) { o.pf.Pred = "ppm" }, // ppm without -hybrid
 		func(o *options) { o.traceFile = "/nonexistent"; o.bench = "" },
 	}
 	for i, mod := range cases {
@@ -150,10 +154,49 @@ func TestCorruptTraceFile(t *testing.T) {
 // os.Exit from a helper.
 func TestBadTableConfig(t *testing.T) {
 	o := baseOpts()
-	o.pred = "btb"
-	o.table = "nonesuch"
-	o.entries = 64
+	o.pf.Pred = "btb"
+	o.pf.Table = "nonesuch"
+	o.pf.Entries = 64
 	if err := realMain(o); err == nil {
 		t.Fatal("unknown table kind accepted")
+	}
+}
+
+// TestStatsOutputDeterministic pins the -stats satellite fix: per-kind
+// merged table lines print in sorted kind order, so repeated runs of a
+// hybrid (whose components hold differently-kinded tables) are byte-equal.
+func TestStatsOutputDeterministic(t *testing.T) {
+	var first string
+	for run := 0; run < 5; run++ {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := os.Stdout
+		os.Stdout = w
+		o := baseOpts()
+		o.n = 1000
+		o.stats = true
+		o.pf.Hybrid = "3,1"
+		o.pf.Table = "assoc4"
+		o.pf.Entries = 128
+		errRun := realMain(o)
+		w.Close()
+		os.Stdout = old
+		out, _ := io.ReadAll(r)
+		r.Close()
+		if errRun != nil {
+			t.Fatal(errRun)
+		}
+		if run == 0 {
+			first = string(out)
+			if !strings.Contains(first, "tables[assoc4]:") {
+				t.Fatalf("no per-kind stats line in output:\n%s", first)
+			}
+			continue
+		}
+		if string(out) != first {
+			t.Fatalf("run %d output differs:\n%s\n--- vs ---\n%s", run, out, first)
+		}
 	}
 }

@@ -109,22 +109,7 @@ func Profile(tr trace.Trace) []SiteProfile {
 			p.Entropy -= f * math.Log2(f)
 		}
 		p.Dominance = float64(maxCount) / float64(s.total)
-		// Conditional entropy H(next | prev) over observed transitions.
-		prevTotals := make(map[uint32]int)
-		for k, c := range s.trans {
-			prevTotals[uint32(k>>32)] += c
-		}
-		transitions := 0
-		for _, c := range s.trans {
-			transitions += c
-		}
-		if transitions > 0 {
-			for k, c := range s.trans {
-				pPrev := float64(prevTotals[uint32(k>>32)]) / float64(transitions)
-				pCond := float64(c) / float64(prevTotals[uint32(k>>32)])
-				p.CondEntropy -= pPrev * pCond * math.Log2(pCond)
-			}
-		}
+		p.CondEntropy = condEntropy(s.trans)
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -134,6 +119,28 @@ func Profile(tr trace.Trace) []SiteProfile {
 		return out[i].PC < out[j].PC
 	})
 	return out
+}
+
+// condEntropy computes the first-order conditional entropy H(next | prev) in
+// bits from a transition count map keyed prev<<32|cur. Zero transitions (a
+// site executed at most once) yield zero entropy.
+func condEntropy(trans map[uint64]int) float64 {
+	prevTotals := make(map[uint32]int)
+	total := 0
+	for k, c := range trans {
+		prevTotals[uint32(k>>32)] += c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for k, c := range trans {
+		pPrev := float64(prevTotals[uint32(k>>32)]) / float64(total)
+		pCond := float64(c) / float64(prevTotals[uint32(k>>32)])
+		h -= pPrev * pCond * math.Log2(pCond)
+	}
+	return h
 }
 
 // Breakdown aggregates a profile: for each class, the number of sites and

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/oocsb/ibp/internal/ptrace"
+)
+
+// Miss classes. Every post-warmup mispredicted event falls into exactly one:
+//
+//   - cold: the predictor had never seen this (branch, history pattern) pair
+//     and had no entry to predict from — the compulsory misses of a finite
+//     warmup, plus genuinely novel history contexts.
+//   - conflict: the pattern had been seen before but its entry was gone at
+//     predict time — capacity or conflict evictions in a bounded table.
+//   - alias: the table hit but predicted the wrong target — either two
+//     history patterns folded onto the same entry (history aliasing after
+//     precision truncation or interleaving) or the entry's training lagged a
+//     target change.
+//   - meta: a hybrid's metapredictor chose a component that was wrong while
+//     another component was right — the mispredict is steering, not capacity.
+const (
+	MissCold     = "cold"
+	MissConflict = "conflict"
+	MissAlias    = "alias"
+	MissMeta     = "meta"
+)
+
+// MissClasses lists the miss class names in reporting order.
+func MissClasses() []string {
+	return []string{MissCold, MissConflict, MissAlias, MissMeta}
+}
+
+// ClassifyMiss buckets one mispredicted event. patternSeen reports whether
+// the event's (PC, Pattern) pair had occurred earlier in the stream —
+// Attribute tracks this; callers replaying events themselves must do the
+// same. Metapredictor mis-steers take precedence: a hybrid that had the
+// right answer available misses for a different reason than one that did
+// not, whatever the chosen component's table did.
+func ClassifyMiss(ev ptrace.Event, patternSeen bool) string {
+	switch {
+	case ev.AltCorrect:
+		return MissMeta
+	case !ev.TableHit && !patternSeen:
+		return MissCold
+	case !ev.TableHit:
+		return MissConflict
+	default:
+		return MissAlias
+	}
+}
+
+// BranchProfile aggregates one static branch site's behaviour over a
+// captured event stream.
+type BranchProfile struct {
+	// PC is the branch site address.
+	PC uint32
+	// Executed and Misses count post-warmup events only.
+	Executed int
+	Misses   int
+	// Targets is the site's polymorphism degree: distinct actual targets
+	// observed (warmup included — it is a property of the trace, not of
+	// the measurement window).
+	Targets int
+	// TransitionEntropy is the first-order conditional entropy
+	// H(next target | previous target) in bits; low values mean the
+	// target sequence is cyclic and path-predictable.
+	TransitionEntropy float64
+	// ByClass counts the site's misses per miss class.
+	ByClass map[string]int
+}
+
+// MissRate is Misses/Executed, 0 for an unexecuted site.
+func (p BranchProfile) MissRate() float64 {
+	if p.Executed == 0 {
+		return 0
+	}
+	return float64(p.Misses) / float64(p.Executed)
+}
+
+// Attribution is the whole-stream aggregate Attribute produces.
+type Attribution struct {
+	// Executed and Misses count post-warmup events.
+	Executed int
+	Misses   int
+	// ByClass counts all misses per miss class.
+	ByClass map[string]int
+	// Branches holds one profile per site, sorted by descending misses
+	// (ties by ascending PC, so reports are deterministic).
+	Branches []BranchProfile
+}
+
+// MissRate is Misses/Executed, 0 for an empty capture.
+func (a Attribution) MissRate() float64 {
+	if a.Executed == 0 {
+		return 0
+	}
+	return float64(a.Misses) / float64(a.Executed)
+}
+
+// Top returns the first n branch profiles (fewer if the stream had fewer
+// sites) — the top mispredicting branches.
+func (a Attribution) Top(n int) []BranchProfile {
+	if n > len(a.Branches) {
+		n = len(a.Branches)
+	}
+	return a.Branches[:n]
+}
+
+// Attribute classifies every post-warmup miss in an event stream and folds
+// the events into per-branch profiles. Events must be in stream order
+// (ptrace.EventSink.Events returns them oldest-first). Warmup events train
+// the pattern-seen set and the per-site target statistics but are excluded
+// from execution and miss counts, mirroring how sim.Result excludes warmup.
+//
+// Classification degrades gracefully on sampled or wrapped captures: a
+// pattern whose first occurrence was dropped is classified as if unseen, so
+// prefer a complete capture (sink.Complete()) when the classes matter.
+func Attribute(events []ptrace.Event) Attribution {
+	type patKey struct {
+		pc  uint32
+		pat uint64
+	}
+	type siteState struct {
+		prof    BranchProfile
+		targets map[uint32]struct{}
+		trans   map[uint64]int
+		prev    uint32
+		seen    bool
+	}
+	patterns := make(map[patKey]struct{})
+	sites := make(map[uint32]*siteState)
+	agg := Attribution{ByClass: make(map[string]int)}
+
+	for _, ev := range events {
+		s := sites[ev.PC]
+		if s == nil {
+			s = &siteState{
+				prof:    BranchProfile{PC: ev.PC, ByClass: make(map[string]int)},
+				targets: make(map[uint32]struct{}),
+				trans:   make(map[uint64]int),
+			}
+			sites[ev.PC] = s
+		}
+		s.targets[ev.Actual] = struct{}{}
+		if s.seen {
+			s.trans[uint64(s.prev)<<32|uint64(ev.Actual)]++
+		}
+		s.prev, s.seen = ev.Actual, true
+
+		k := patKey{ev.PC, ev.Pattern}
+		_, patSeen := patterns[k]
+		patterns[k] = struct{}{}
+
+		if ev.Warmup {
+			continue
+		}
+		s.prof.Executed++
+		agg.Executed++
+		if !ev.Miss {
+			continue
+		}
+		s.prof.Misses++
+		agg.Misses++
+		c := ClassifyMiss(ev, patSeen)
+		s.prof.ByClass[c]++
+		agg.ByClass[c]++
+	}
+
+	agg.Branches = make([]BranchProfile, 0, len(sites))
+	for _, s := range sites {
+		s.prof.Targets = len(s.targets)
+		s.prof.TransitionEntropy = condEntropy(s.trans)
+		agg.Branches = append(agg.Branches, s.prof)
+	}
+	sort.Slice(agg.Branches, func(i, j int) bool {
+		if agg.Branches[i].Misses != agg.Branches[j].Misses {
+			return agg.Branches[i].Misses > agg.Branches[j].Misses
+		}
+		return agg.Branches[i].PC < agg.Branches[j].PC
+	})
+	return agg
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/oocsb/ibp/internal/ptrace"
+)
+
+func ev(pc uint32, pattern uint64, actual uint32, miss, warmup, tableHit, altCorrect bool) ptrace.Event {
+	return ptrace.Event{
+		PC: pc, Pattern: pattern, Actual: actual,
+		Miss: miss, Warmup: warmup, TableHit: tableHit, AltCorrect: altCorrect,
+		HasPred: tableHit,
+	}
+}
+
+func TestClassifyMissPrecedence(t *testing.T) {
+	cases := []struct {
+		name    string
+		e       ptrace.Event
+		patSeen bool
+		want    string
+	}{
+		{"meta wins over everything", ev(1, 1, 1, true, false, false, true), false, MissMeta},
+		{"cold: no hit, pattern never seen", ev(1, 1, 1, true, false, false, false), false, MissCold},
+		{"conflict: no hit, pattern seen before", ev(1, 1, 1, true, false, false, false), true, MissConflict},
+		{"alias: hit with wrong target", ev(1, 1, 1, true, false, true, false), true, MissAlias},
+		{"alias even on first-seen pattern", ev(1, 1, 1, true, false, true, false), false, MissAlias},
+	}
+	for _, c := range cases {
+		if got := ClassifyMiss(c.e, c.patSeen); got != c.want {
+			t.Errorf("%s: got %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAttributeCountsAndClasses(t *testing.T) {
+	events := []ptrace.Event{
+		// Warmup: trains pattern 0xA at site 0x100, excluded from counts.
+		ev(0x100, 0xA, 0x200, true, true, false, false),
+		// Cold miss: pattern 0xB unseen, no table hit.
+		ev(0x100, 0xB, 0x200, true, false, false, false),
+		// Conflict miss: pattern 0xA was seen (in warmup) but entry gone.
+		ev(0x100, 0xA, 0x204, true, false, false, false),
+		// Alias miss: table hit, wrong target.
+		ev(0x100, 0xA, 0x200, true, false, true, false),
+		// Meta miss at a second site.
+		ev(0x140, 0xC, 0x300, true, false, true, true),
+		// Correct predictions.
+		ev(0x100, 0xA, 0x200, false, false, true, false),
+		ev(0x140, 0xC, 0x300, false, false, true, false),
+	}
+	a := Attribute(events)
+	if a.Executed != 6 || a.Misses != 4 {
+		t.Fatalf("executed/misses = %d/%d, want 6/4", a.Executed, a.Misses)
+	}
+	want := map[string]int{MissCold: 1, MissConflict: 1, MissAlias: 1, MissMeta: 1}
+	for _, c := range MissClasses() {
+		if a.ByClass[c] != want[c] {
+			t.Errorf("class %s: got %d, want %d", c, a.ByClass[c], want[c])
+		}
+	}
+	if len(a.Branches) != 2 {
+		t.Fatalf("got %d branch profiles, want 2", len(a.Branches))
+	}
+	top := a.Branches[0]
+	if top.PC != 0x100 || top.Misses != 3 || top.Executed != 4 {
+		t.Errorf("top branch = %+v, want PC 0x100 with 3/4", top)
+	}
+	if top.Targets != 2 {
+		t.Errorf("site 0x100 saw %d targets, want 2 (warmup counts toward polymorphism)", top.Targets)
+	}
+	if got := top.MissRate(); got != 0.75 {
+		t.Errorf("miss rate %v, want 0.75", got)
+	}
+}
+
+func TestAttributeDeterministicOrder(t *testing.T) {
+	// Three sites with equal misses: order must fall back to ascending PC.
+	var events []ptrace.Event
+	for _, pc := range []uint32{0x300, 0x100, 0x200} {
+		events = append(events, ev(pc, 1, 0x900, true, false, true, false))
+	}
+	for run := 0; run < 10; run++ {
+		a := Attribute(events)
+		for i, wantPC := range []uint32{0x100, 0x200, 0x300} {
+			if a.Branches[i].PC != wantPC {
+				t.Fatalf("run %d: branch %d has PC %#x, want %#x", run, i, a.Branches[i].PC, wantPC)
+			}
+		}
+	}
+}
+
+func TestAttributeTransitionEntropy(t *testing.T) {
+	// A strict 2-cycle has zero conditional entropy despite 2 targets.
+	var cyclic []ptrace.Event
+	for i := 0; i < 40; i++ {
+		cyclic = append(cyclic, ev(0x100, 1, 0x200+uint32(i%2)*4, false, false, true, false))
+	}
+	a := Attribute(cyclic)
+	if p := a.Branches[0]; p.Targets != 2 || p.TransitionEntropy > 1e-9 {
+		t.Errorf("cyclic site: targets=%d entropy=%v, want 2 and ~0", p.Targets, p.TransitionEntropy)
+	}
+	// Alternating pairs (A A B B ...) give H(next|prev) of 1 bit.
+	var noisy []ptrace.Event
+	for i := 0; i < 40; i++ {
+		noisy = append(noisy, ev(0x100, 1, 0x200+uint32((i/2)%2)*4, false, false, true, false))
+	}
+	if p := Attribute(noisy).Branches[0]; p.TransitionEntropy < 0.9 {
+		t.Errorf("alternating-pairs entropy %v, want ~1 bit", p.TransitionEntropy)
+	}
+}
+
+func TestTopClamps(t *testing.T) {
+	a := Attribute([]ptrace.Event{ev(1, 1, 1, false, false, true, false)})
+	if got := a.Top(10); len(got) != 1 {
+		t.Errorf("Top(10) over 1 site returned %d", len(got))
+	}
+	if got := a.Top(0); len(got) != 0 {
+		t.Errorf("Top(0) returned %d", len(got))
+	}
+}

@@ -1,0 +1,173 @@
+// Package cli holds the flag-level predictor construction shared by the
+// command-line tools: ibpsim and ibpreport accept the same
+// -pred/-p/-table/... surface and must build bit-identical predictors from
+// it, so the mapping lives once, here.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"github.com/oocsb/ibp/internal/bits"
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/history"
+	"github.com/oocsb/ibp/internal/table"
+)
+
+// PredictorFlags describes one predictor configuration as the tools expose
+// it. Zero value is not useful — call Register to install the defaults.
+type PredictorFlags struct {
+	Pred      string
+	Path      int
+	HistShare int
+	TabShare  int
+	Precision int
+	Scheme    string
+	KeyOp     string
+	Table     string
+	Entries   int
+	Update    string
+	Hybrid    string
+}
+
+// Register declares the predictor flags on fs with their defaults.
+func (f *PredictorFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Pred, "pred", "2lev", "predictor family: 2lev, btb, btb-2bc, tcache, ppm, shared")
+	fs.IntVar(&f.Path, "p", 3, "path length")
+	fs.IntVar(&f.HistShare, "s", 32, "history sharing exponent (2=per-branch, 32=global)")
+	fs.IntVar(&f.TabShare, "hshare", 2, "history table sharing exponent (full-precision mode)")
+	fs.IntVar(&f.Precision, "b", core.AutoPrecision, "bits per history target (-1 auto, 0 full precision)")
+	fs.StringVar(&f.Scheme, "scheme", "reverse", "pattern layout: concat, straight, reverse, pingpong")
+	fs.StringVar(&f.KeyOp, "keyop", "xor", "address folding: xor or concat")
+	fs.StringVar(&f.Table, "table", "unbounded", "table: exact, unbounded, tagless, assoc1/2/4, fullassoc")
+	fs.IntVar(&f.Entries, "entries", 0, "table entries for bounded tables")
+	fs.StringVar(&f.Update, "update", "2bc", "target update rule: 2bc or always")
+	fs.StringVar(&f.Hybrid, "hybrid", "", "dual-path hybrid \"p1,p2\" (overrides -p)")
+}
+
+// Build constructs the predictor the flags describe.
+func (f PredictorFlags) Build() (core.Predictor, error) {
+	switch f.Pred {
+	case "btb":
+		tb, err := f.boundedTable()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBTB(tb, core.UpdateAlways), nil
+	case "btb-2bc":
+		tb, err := f.boundedTable()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBTB(tb, core.UpdateTwoMiss), nil
+	case "tcache":
+		entries := f.Entries
+		if entries == 0 {
+			entries = 512
+		}
+		return core.NewTargetCache(9, orDefault(f.Table, "tagless"), entries)
+	case "ppm":
+		p1, p2, err := ParsePair(f.Hybrid)
+		if err != nil {
+			return nil, fmt.Errorf("ppm needs -hybrid p1,p2: %w", err)
+		}
+		return core.NewCascade([]int{p1, p2}, f.Table, f.Entries)
+	case "shared":
+		p1, p2, err := ParsePair(f.Hybrid)
+		if err != nil {
+			return nil, fmt.Errorf("shared needs -hybrid p1,p2: %w", err)
+		}
+		return core.NewSharedHybrid(p1, p2, f.Table, f.Entries)
+	case "2lev":
+		if f.Hybrid != "" {
+			p1, p2, err := ParsePair(f.Hybrid)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewDualPath(p1, p2, f.Table, f.Entries)
+		}
+		cfg, err := f.TwoLevelConfig()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewTwoLevel(cfg)
+	}
+	return nil, fmt.Errorf("unknown predictor %q", f.Pred)
+}
+
+// Unbounded returns the flags with the table widened to unbounded — the
+// shadow-twin configuration for capacity-miss attribution.
+func (f PredictorFlags) Unbounded() PredictorFlags {
+	f.Table = "unbounded"
+	f.Entries = 0
+	return f
+}
+
+// TwoLevelConfig maps the flags onto a core.Config for the 2lev family.
+func (f PredictorFlags) TwoLevelConfig() (core.Config, error) {
+	scheme, err := bits.ParseScheme(f.Scheme)
+	if err != nil {
+		return core.Config{}, err
+	}
+	var keyop history.KeyOp
+	switch f.KeyOp {
+	case "xor":
+		keyop = history.OpXor
+	case "concat":
+		keyop = history.OpConcat
+	default:
+		return core.Config{}, fmt.Errorf("unknown key op %q", f.KeyOp)
+	}
+	var update core.UpdateRule
+	switch f.Update {
+	case "2bc":
+		update = core.UpdateTwoMiss
+	case "always":
+		update = core.UpdateAlways
+	default:
+		return core.Config{}, fmt.Errorf("unknown update rule %q", f.Update)
+	}
+	return core.Config{
+		PathLength: f.Path,
+		HistShare:  f.HistShare,
+		TableShare: f.TabShare,
+		Precision:  f.Precision,
+		Scheme:     scheme,
+		KeyOp:      keyop,
+		TableKind:  f.Table,
+		Entries:    f.Entries,
+		Update:     update,
+	}, nil
+}
+
+// boundedTable builds the BTB's table, or nil for an unbounded one.
+func (f PredictorFlags) boundedTable() (table.Bounded, error) {
+	if f.Table == "" || f.Table == "unbounded" || f.Table == "exact" {
+		return nil, nil
+	}
+	return table.New(f.Table, f.Entries)
+}
+
+// ParsePair parses the "p1,p2" hybrid path-length argument.
+func ParsePair(s string) (int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want \"p1,p2\", got %q", s)
+	}
+	var a, b int
+	if _, err := fmt.Sscanf(parts[0], "%d", &a); err != nil {
+		return 0, 0, err
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &b); err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" || s == "unbounded" {
+		return def
+	}
+	return s
+}

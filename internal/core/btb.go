@@ -18,6 +18,10 @@ type BTB struct {
 	tab  table.Bounded
 	rule UpdateRule
 	name string
+
+	// Attribution recording (see core.Attributor); off by default.
+	attrib bool
+	att    AttribState
 }
 
 // NewBTB returns a BTB over the given table. A nil table means unbounded
@@ -40,9 +44,21 @@ func NewBTB(tab table.Bounded, rule UpdateRule) *BTB {
 // the two low bits are dropped).
 func (b *BTB) key(pc uint32) uint64 { return uint64(pc >> 2) }
 
+// probe looks up the branch's entry, recording attribution when enabled.
+func (b *BTB) probe(pc uint32) *table.Entry {
+	e := b.tab.Probe(b.key(pc))
+	if b.attrib {
+		b.att = AttribState{Pattern: b.key(pc), Component: -1, TableHit: e != nil}
+		if e != nil {
+			b.att.Conf = e.Conf
+		}
+	}
+	return e
+}
+
 // Predict implements Predictor.
 func (b *BTB) Predict(pc uint32) (uint32, bool) {
-	e := b.tab.Probe(b.key(pc))
+	e := b.probe(pc)
 	if e == nil {
 		return 0, false
 	}
@@ -52,7 +68,7 @@ func (b *BTB) Predict(pc uint32) (uint32, bool) {
 // PredictConf implements Component, so a BTB can serve as a hybrid
 // component (a BTB is the p=0 end of the path-length spectrum).
 func (b *BTB) PredictConf(pc uint32) (uint32, uint8, bool) {
-	e := b.tab.Probe(b.key(pc))
+	e := b.probe(pc)
 	if e == nil {
 		return 0, 0, false
 	}
@@ -63,14 +79,29 @@ func (b *BTB) PredictConf(pc uint32) (uint32, uint8, bool) {
 // the entry (the paper's hot loop previously paid a Probe in Predict and a
 // second Probe here).
 func (b *BTB) Update(pc, target uint32) {
+	var ev0 uint64
+	if b.attrib {
+		_, ev0, _ = b.tab.Counts()
+	}
 	e, found := b.tab.ProbeOrInsert(b.key(pc))
 	if !found {
 		e.Target = target
+		if b.attrib {
+			b.att.NewEntry = true
+			_, ev1, _ := b.tab.Counts()
+			b.att.Evicted = ev1 > ev0
+		}
 		return
 	}
 	correct := applyTarget(e, target, b.rule)
 	bumpConf(e, correct, confMax(2))
 }
+
+// SetAttribution implements Attributor.
+func (b *BTB) SetAttribution(on bool) { b.attrib = on }
+
+// Attribution implements Attributor.
+func (b *BTB) Attribution() AttribState { return b.att }
 
 // Name implements Predictor.
 func (b *BTB) Name() string { return b.name }

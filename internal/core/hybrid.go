@@ -29,6 +29,15 @@ type Component interface {
 type Hybrid struct {
 	comps []Component
 	name  string
+
+	// Attribution recording (see core.Attributor); off by default. While
+	// enabled, Predict keeps every component's prediction in the
+	// preallocated attPred/attOK so Update can detect metapredictor
+	// mis-steers (a non-chosen component that was right).
+	attrib  bool
+	att     AttribState
+	attPred []uint32
+	attOK   []bool
 }
 
 // NewHybrid returns a hybrid over the given components, with earlier
@@ -59,20 +68,77 @@ func (h *Hybrid) Predict(pc uint32) (uint32, bool) {
 		best     uint32
 		bestConf int = -1
 	)
-	for _, c := range h.comps {
-		if t, conf, ok := c.PredictConf(pc); ok && int(conf) > bestConf {
-			best, bestConf = t, int(conf)
+	if !h.attrib {
+		for _, c := range h.comps {
+			if t, conf, ok := c.PredictConf(pc); ok && int(conf) > bestConf {
+				best, bestConf = t, int(conf)
+			}
+		}
+		return best, bestConf >= 0
+	}
+	chosen := -1
+	for i, c := range h.comps {
+		t, conf, ok := c.PredictConf(pc)
+		h.attPred[i], h.attOK[i] = t, ok
+		if ok && int(conf) > bestConf {
+			best, bestConf, chosen = t, int(conf), i
+		}
+	}
+	h.att = AttribState{Component: int16(chosen)}
+	if chosen >= 0 {
+		h.att.Conf = uint8(bestConf)
+		h.att.TableHit = true
+		if a, ok := h.comps[chosen].(Attributor); ok {
+			ca := a.Attribution()
+			h.att.Pattern, h.att.TableHit = ca.Pattern, ca.TableHit
 		}
 	}
 	return best, bestConf >= 0
 }
 
-// Update implements Predictor: every component resolves the branch.
+// Update implements Predictor: every component resolves the branch. With
+// attribution enabled it additionally records whether a non-chosen component
+// had the right target (the metapredictor mis-steer signal) and how the
+// chosen component's table moved.
 func (h *Hybrid) Update(pc, target uint32) {
 	for _, c := range h.comps {
 		c.Update(pc, target)
 	}
+	if !h.attrib {
+		return
+	}
+	chosen := int(h.att.Component)
+	for i := range h.comps {
+		if i != chosen && h.attOK[i] && h.attPred[i] == target {
+			h.att.AltCorrect = true
+			break
+		}
+	}
+	if chosen >= 0 {
+		if a, ok := h.comps[chosen].(Attributor); ok {
+			ca := a.Attribution()
+			h.att.NewEntry, h.att.Evicted = ca.NewEntry, ca.Evicted
+		}
+	}
 }
+
+// SetAttribution implements Attributor, propagating to every component that
+// records attribution itself.
+func (h *Hybrid) SetAttribution(on bool) {
+	h.attrib = on
+	if on && h.attPred == nil {
+		h.attPred = make([]uint32, len(h.comps))
+		h.attOK = make([]bool, len(h.comps))
+	}
+	for _, c := range h.comps {
+		if a, ok := c.(Attributor); ok {
+			a.SetAttribution(on)
+		}
+	}
+}
+
+// Attribution implements Attributor.
+func (h *Hybrid) Attribution() AttribState { return h.att }
 
 // Name implements Predictor.
 func (h *Hybrid) Name() string { return h.name }

@@ -183,6 +183,12 @@ type TwoLevel struct {
 	memoReg   *history.Register
 	memoEntry *table.Entry
 	memoValid bool
+
+	// Attribution recording (see core.Attributor): disabled by default so
+	// the hot loop pays only a flag check; when enabled, probe and Update
+	// fill att with the detail of the current Predict/Update pair.
+	attrib bool
+	att    AttribState
 }
 
 // NewTwoLevel builds a predictor for the configuration.
@@ -247,6 +253,17 @@ func (t *TwoLevel) probe(pc uint32) *table.Entry {
 		e = t.tab.Probe(t.memoKey)
 	}
 	t.memoPC, t.memoReg, t.memoEntry, t.memoValid = pc, reg, e, true
+	if t.attrib {
+		t.att = AttribState{Component: -1, TableHit: e != nil}
+		if t.exact != nil {
+			t.att.Pattern = fnv64(t.keyBuf)
+		} else {
+			t.att.Pattern = t.memoKey
+		}
+		if e != nil {
+			t.att.Conf = e.Conf
+		}
+	}
 	return e
 }
 
@@ -280,7 +297,11 @@ func (t *TwoLevel) Update(pc, target uint32) {
 		reg   *history.Register
 		e     *table.Entry
 		found bool
+		ev0   uint64
 	)
+	if t.attrib && t.tab != nil {
+		_, ev0, _ = t.tab.Counts()
+	}
 	if t.memoValid && t.memoPC == pc {
 		reg, e, found = t.memoReg, t.memoEntry, t.memoEntry != nil
 		if !found {
@@ -303,6 +324,13 @@ func (t *TwoLevel) Update(pc, target uint32) {
 		e.Target = target
 	} else {
 		bumpConf(e, applyTarget(e, target, t.cfg.Update), t.max)
+	}
+	if t.attrib && !found {
+		t.att.NewEntry = true
+		if t.tab != nil {
+			_, ev1, _ := t.tab.Counts()
+			t.att.Evicted = ev1 > ev0
+		}
 	}
 	t.memoValid = false
 	if t.cfg.IncludeAddress {
@@ -349,6 +377,15 @@ func (t *TwoLevel) Patterns() int {
 	}
 	return -1
 }
+
+// SetAttribution implements Attributor: it enables per-prediction
+// attribution recording (off by default; recording costs a few stores per
+// branch, so the sweep hot paths never pay for it).
+func (t *TwoLevel) SetAttribution(on bool) { t.attrib = on }
+
+// Attribution implements Attributor: the detail recorded for the most
+// recent Predict→Update pair.
+func (t *TwoLevel) Attribution() AttribState { return t.att }
 
 // TableStats implements TableStatser.
 func (t *TwoLevel) TableStats() []table.Stats {

@@ -1,0 +1,204 @@
+// Package ptrace is the per-prediction event layer of the simulator: a
+// bounded, sampled capture of what happened on every dynamic indirect branch
+// — the branch site, the history pattern that indexed the table, the
+// predicted and resolved targets, whether the probe hit a live entry, whether
+// the update displaced one, and (for hybrids) which component the
+// metapredictor chose. Aggregate miss rates say *that* a predictor misses;
+// the event stream says *why* (cold start, eviction conflict, history
+// aliasing, metapredictor mis-steer), which internal/analysis turns into
+// per-branch attribution reports and cmd/ibpreport renders.
+//
+// The design point mirrors internal/telemetry's nop default: the nil
+// *EventSink is the disabled sink, Record on it is a nil check and nothing
+// else, and an enabled sink writes into a preallocated ring buffer — the
+// simulation hot loop never allocates on either path. A sink belongs to
+// exactly one simulation lane and is not safe for concurrent use.
+package ptrace
+
+// Event is one recorded prediction of a dynamic indirect branch. Fields are
+// ordered wide-to-narrow so the ring buffer packs densely.
+type Event struct {
+	// Seq is the 1-based index of the dynamic indirect branch within its
+	// simulation lane, warmup branches included.
+	Seq uint64
+	// Pattern is the key the prediction probed the target table with: the
+	// folded history pattern + branch address for two-level predictors, the
+	// word-aligned address for BTBs, a hash of the exact key in
+	// full-precision mode, and 0 when the predictor reports no attribution.
+	Pattern uint64
+	// PC is the branch site address.
+	PC uint32
+	// Predicted is the predicted target (0 when HasPred is false).
+	Predicted uint32
+	// Actual is the resolved target.
+	Actual uint32
+	// Component is the hybrid component index the metapredictor chose,
+	// -1 for non-hybrid predictors or when no component predicted.
+	Component int16
+	// Conf is the confidence counter of the predicting entry at probe time.
+	Conf uint8
+	// HasPred reports whether the predictor produced any target.
+	HasPred bool
+	// Miss reports a misprediction (wrong target or no prediction).
+	Miss bool
+	// Warmup marks branches inside the warmup window (they train the
+	// predictor and the classifier's pattern-seen set, but are excluded
+	// from miss accounting).
+	Warmup bool
+	// TableHit reports whether the predict-time probe found a live entry
+	// (for hybrids: in the chosen component's table).
+	TableHit bool
+	// Evicted reports that the post-resolution update allocated an entry
+	// by displacing a live one.
+	Evicted bool
+	// NewEntry reports that the update allocated a fresh entry (the probe
+	// missed and the table learned this pattern now).
+	NewEntry bool
+	// AltCorrect reports that a hybrid component other than the chosen one
+	// predicted the correct target — on a miss, the signature of
+	// metapredictor mis-steering.
+	AltCorrect bool
+}
+
+// Correct reports whether the prediction resolved correctly.
+func (e Event) Correct() bool { return !e.Miss }
+
+// DefaultCapacity is the ring size used when NewEventSink is given a
+// non-positive capacity: large enough to hold a full default-length
+// benchmark run (80k indirect branches) without wrapping.
+const DefaultCapacity = 1 << 17
+
+// EventSink captures sampled per-prediction events into a bounded ring
+// buffer. The nil *EventSink is the disabled sink: Record is a no-op and
+// every accessor returns zero values, so instrumented code holds a possibly-
+// nil sink and calls it unconditionally.
+//
+// A sink records every sampleEvery-th event offered (starting with the
+// first); once the ring is full the oldest events are overwritten, so a
+// full-trace capture needs capacity ≥ the number of counted branches and
+// sampleEvery == 1. Offered/Sampled/Dropped report what the capture covers.
+//
+// An EventSink belongs to one simulation lane; it is NOT safe for concurrent
+// use.
+type EventSink struct {
+	every   uint64
+	offered uint64
+	sampled uint64
+	buf     []Event
+	pos     int
+	full    bool
+}
+
+// NewEventSink returns a sink over a ring of the given capacity (<=0 selects
+// DefaultCapacity) recording every sampleEvery-th event (<=1 records all).
+func NewEventSink(capacity, sampleEvery int) *EventSink {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &EventSink{every: uint64(sampleEvery), buf: make([]Event, capacity)}
+}
+
+// Record offers one event to the sink. It never allocates; on the nil sink
+// it is a nil check and nothing else.
+func (s *EventSink) Record(ev Event) {
+	if s == nil {
+		return
+	}
+	o := s.offered
+	s.offered++
+	if s.every > 1 && o%s.every != 0 {
+		return
+	}
+	s.sampled++
+	s.buf[s.pos] = ev
+	s.pos++
+	if s.pos == len(s.buf) {
+		s.pos = 0
+		s.full = true
+	}
+}
+
+// Events returns the captured events oldest-first (a copy; the sink can keep
+// recording). Nil on the nil or empty sink.
+func (s *EventSink) Events() []Event {
+	if s == nil || (s.pos == 0 && !s.full) {
+		return nil
+	}
+	if !s.full {
+		return append([]Event(nil), s.buf[:s.pos]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.pos:]...)
+	out = append(out, s.buf[:s.pos]...)
+	return out
+}
+
+// Len returns the number of events currently held.
+func (s *EventSink) Len() int {
+	if s == nil {
+		return 0
+	}
+	if s.full {
+		return len(s.buf)
+	}
+	return s.pos
+}
+
+// Capacity returns the ring size (0 for the nil sink).
+func (s *EventSink) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.buf)
+}
+
+// SampleEvery returns the sampling stride (0 for the nil sink).
+func (s *EventSink) SampleEvery() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.every)
+}
+
+// Offered returns the number of events presented to Record.
+func (s *EventSink) Offered() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.offered
+}
+
+// Sampled returns the number of events that passed sampling (recorded,
+// though possibly since overwritten by ring wrap-around).
+func (s *EventSink) Sampled() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.sampled
+}
+
+// Dropped returns the number of sampled events lost to ring wrap-around.
+func (s *EventSink) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.sampled - uint64(s.Len())
+}
+
+// Complete reports whether the capture is lossless: every offered event was
+// sampled and none were overwritten. Classification quality degrades on
+// incomplete captures (the pattern-seen set has gaps).
+func (s *EventSink) Complete() bool {
+	return s != nil && s.every == 1 && s.Dropped() == 0
+}
+
+// Reset clears the capture (counters and ring) for reuse across runs.
+func (s *EventSink) Reset() {
+	if s == nil {
+		return
+	}
+	s.offered, s.sampled, s.pos, s.full = 0, 0, 0, false
+}

@@ -1,0 +1,136 @@
+package ptrace
+
+import (
+	"testing"
+)
+
+func TestNilSinkIsNoOp(t *testing.T) {
+	var s *EventSink
+	s.Record(Event{PC: 1}) // must not panic
+	if s.Events() != nil || s.Len() != 0 || s.Capacity() != 0 {
+		t.Error("nil sink leaked state")
+	}
+	if s.Offered() != 0 || s.Sampled() != 0 || s.Dropped() != 0 {
+		t.Error("nil sink counted")
+	}
+	if s.SampleEvery() != 0 {
+		t.Error("nil sink reports a stride")
+	}
+	if s.Complete() {
+		t.Error("nil sink claims a complete capture")
+	}
+	s.Reset() // must not panic
+}
+
+func TestRecordAndOrder(t *testing.T) {
+	s := NewEventSink(8, 1)
+	for i := 0; i < 5; i++ {
+		s.Record(Event{Seq: uint64(i + 1)})
+	}
+	evs := s.Events()
+	if len(evs) != 5 || s.Len() != 5 {
+		t.Fatalf("len = %d/%d, want 5", len(evs), s.Len())
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+	}
+	if !s.Complete() {
+		t.Error("lossless capture not reported Complete")
+	}
+}
+
+func TestRingWrapKeepsNewestOldestFirst(t *testing.T) {
+	s := NewEventSink(4, 1)
+	for i := 1; i <= 10; i++ {
+		s.Record(Event{Seq: uint64(i)})
+	}
+	evs := s.Events()
+	want := []uint64{7, 8, 9, 10}
+	if len(evs) != len(want) {
+		t.Fatalf("len = %d, want %d", len(evs), len(want))
+	}
+	for i, w := range want {
+		if evs[i].Seq != w {
+			t.Errorf("event %d: Seq %d, want %d", i, evs[i].Seq, w)
+		}
+	}
+	if s.Offered() != 10 || s.Sampled() != 10 || s.Dropped() != 6 {
+		t.Errorf("offered/sampled/dropped = %d/%d/%d, want 10/10/6",
+			s.Offered(), s.Sampled(), s.Dropped())
+	}
+	if s.Complete() {
+		t.Error("wrapped capture reported Complete")
+	}
+}
+
+func TestExactlyFullIsComplete(t *testing.T) {
+	s := NewEventSink(4, 1)
+	for i := 1; i <= 4; i++ {
+		s.Record(Event{Seq: uint64(i)})
+	}
+	if s.Dropped() != 0 || !s.Complete() {
+		t.Errorf("capacity-exact capture: dropped=%d complete=%v, want 0/true",
+			s.Dropped(), s.Complete())
+	}
+	if got := s.Events(); len(got) != 4 || got[0].Seq != 1 {
+		t.Errorf("events = %+v", got)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	s := NewEventSink(100, 3)
+	for i := 1; i <= 10; i++ {
+		s.Record(Event{Seq: uint64(i)})
+	}
+	evs := s.Events()
+	want := []uint64{1, 4, 7, 10} // first event, then every 3rd offered
+	if len(evs) != len(want) {
+		t.Fatalf("sampled %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i, w := range want {
+		if evs[i].Seq != w {
+			t.Errorf("event %d: Seq %d, want %d", i, evs[i].Seq, w)
+		}
+	}
+	if s.Offered() != 10 || s.Sampled() != 4 {
+		t.Errorf("offered/sampled = %d/%d, want 10/4", s.Offered(), s.Sampled())
+	}
+	if s.Complete() {
+		t.Error("sampled capture reported Complete")
+	}
+}
+
+func TestDefaultsAndReset(t *testing.T) {
+	s := NewEventSink(0, 0)
+	if s.Capacity() != DefaultCapacity || s.SampleEvery() != 1 {
+		t.Errorf("defaults: cap=%d every=%d", s.Capacity(), s.SampleEvery())
+	}
+	s.Record(Event{Seq: 1})
+	s.Reset()
+	if s.Len() != 0 || s.Offered() != 0 || s.Events() != nil {
+		t.Error("Reset did not clear the sink")
+	}
+	s.Record(Event{Seq: 9})
+	if got := s.Events(); len(got) != 1 || got[0].Seq != 9 {
+		t.Errorf("post-Reset capture wrong: %+v", got)
+	}
+}
+
+// TestRecordZeroAllocs pins the hot-path contract for both sink states: the
+// nil (disabled) sink and a live ring must record without allocating.
+func TestRecordZeroAllocs(t *testing.T) {
+	var nilSink *EventSink
+	if a := testing.AllocsPerRun(100, func() { nilSink.Record(Event{PC: 4}) }); a != 0 {
+		t.Errorf("nil sink Record allocates %v per op", a)
+	}
+	s := NewEventSink(64, 1)
+	if a := testing.AllocsPerRun(100, func() { s.Record(Event{PC: 4}) }); a != 0 {
+		t.Errorf("live sink Record allocates %v per op", a)
+	}
+	sampled := NewEventSink(64, 7)
+	if a := testing.AllocsPerRun(100, func() { sampled.Record(Event{PC: 4}) }); a != 0 {
+		t.Errorf("sampling sink Record allocates %v per op", a)
+	}
+}

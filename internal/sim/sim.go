@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/ptrace"
 	"github.com/oocsb/ibp/internal/table"
 	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
@@ -46,6 +47,15 @@ type Options struct {
 	// (cf. [ECP96]). 0 disables flushing. Requires a predictor
 	// implementing core.Resetter; others are left untouched.
 	FlushEvery int
+	// Events, when non-nil, receives one ptrace.Event per dynamic indirect
+	// branch (warmup included, sampling and ring bounds applied by the
+	// sink). Predictors implementing core.Attributor have attribution
+	// recording switched on for the run, enriching events with the history
+	// pattern, table hit/evict detail, and the hybrid component chosen;
+	// other predictors produce events with sim-visible fields only. Like a
+	// Shadow, a sink belongs to exactly one lane — it is not safe for
+	// concurrent use, so sharing one across RunBatch lanes is rejected.
+	Events *ptrace.EventSink
 }
 
 // SiteStats is the per-branch-site accounting collected when Options.Sites
@@ -199,6 +209,8 @@ type lane struct {
 	shadow    core.Predictor
 	shadowObs core.CondObserver
 	shadowRst core.Resetter
+	sink      *ptrace.EventSink
+	attrib    core.Attributor
 	opts      Options
 	seen      int
 	res       Result
@@ -223,6 +235,13 @@ func (l *lane) init(p core.Predictor, opts Options, m *runMetrics) {
 	l.res = Result{Warmup: opts.Warmup}
 	if opts.Sites {
 		l.res.PerSite = make(map[uint32]*SiteStats)
+	}
+	if opts.Events != nil {
+		l.sink = opts.Events
+		if a, ok := p.(core.Attributor); ok {
+			a.SetAttribution(true)
+			l.attrib = a
+		}
 	}
 	if m != nil {
 		if l.statser, _ = p.(core.TableStatser); l.statser != nil {
@@ -315,11 +334,14 @@ func (l *lane) runBlock(block []trace.Record) {
 			shadowCorrect = sok && st == r.Target
 		}
 		seen++
+		miss := !ok || pred != r.Target
+		if l.sink != nil {
+			l.emit(r, pred, ok, miss, seen)
+		}
 		if seen <= l.opts.Warmup {
 			continue
 		}
 		res.Executed++
-		miss := !ok || pred != r.Target
 		if miss {
 			res.Misses++
 			if !ok {
@@ -341,6 +363,31 @@ func (l *lane) runBlock(block []trace.Record) {
 			}
 		}
 	}
+}
+
+// emit offers one per-prediction event to the lane's sink, merging the
+// sim-visible outcome with the predictor's attribution detail when the
+// predictor records it. Kept out of runBlock so the hot loop's sink-disabled
+// cost stays at a single nil check.
+func (l *lane) emit(r trace.Record, pred uint32, ok, miss bool, seen int) {
+	ev := ptrace.Event{
+		Seq:       uint64(seen),
+		PC:        r.PC,
+		Predicted: pred,
+		Actual:    r.Target,
+		Component: -1,
+		HasPred:   ok,
+		Miss:      miss,
+		Warmup:    seen <= l.opts.Warmup,
+		TableHit:  ok,
+	}
+	if l.attrib != nil {
+		a := l.attrib.Attribution()
+		ev.Pattern, ev.Component, ev.Conf = a.Pattern, a.Component, a.Conf
+		ev.TableHit, ev.Evicted = a.TableHit, a.Evicted
+		ev.NewEntry, ev.AltCorrect = a.NewEntry, a.AltCorrect
+	}
+	l.sink.Record(ev)
 }
 
 // blockSize is how many trace records a lane processes per protected block;
@@ -367,6 +414,18 @@ const blockSize = 1 << 13
 func RunBatchEach(ctx context.Context, ps []core.Predictor, tr trace.Trace, opts []Options) ([]Result, error) {
 	if len(opts) != len(ps) {
 		return nil, fmt.Errorf("sim: %d predictors but %d option sets", len(ps), len(opts))
+	}
+	if len(opts) > 1 {
+		sinks := make(map[*ptrace.EventSink]int)
+		for i, o := range opts {
+			if o.Events == nil {
+				continue
+			}
+			if j, dup := sinks[o.Events]; dup {
+				return nil, fmt.Errorf("sim: lanes %d and %d share one Options.Events sink; a sink serves exactly one lane", j, i)
+			}
+			sinks[o.Events] = i
+		}
 	}
 	m := newRunMetrics(telemetry.Default())
 	lanes := make([]lane, len(ps))
@@ -430,11 +489,15 @@ func collect(lanes []lane, cancel error, m *runMetrics) ([]Result, error) {
 }
 
 // RunBatch is RunBatchEach with one shared Options value. Options.Shadow
-// must be nil unless there is exactly one lane — a shadow trains on its
-// lane's branches and cannot serve several lanes.
+// and Options.Events must be nil unless there is exactly one lane — a shadow
+// trains on (and a sink captures) one lane's branches and cannot serve
+// several lanes.
 func RunBatch(ctx context.Context, ps []core.Predictor, tr trace.Trace, opts Options) ([]Result, error) {
 	if opts.Shadow != nil && len(ps) > 1 {
 		return nil, fmt.Errorf("sim: one Options.Shadow cannot serve %d lanes; use RunBatchEach with a shadow per lane", len(ps))
+	}
+	if opts.Events != nil && len(ps) > 1 {
+		return nil, fmt.Errorf("sim: one Options.Events sink cannot serve %d lanes; use RunBatchEach with a sink per lane", len(ps))
 	}
 	all := make([]Options, len(ps))
 	for i := range all {

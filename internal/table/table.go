@@ -166,6 +166,11 @@ type Bounded interface {
 	Kind() string
 	// Stats returns the table's behaviour counters and current occupancy.
 	Stats() Stats
+	// Counts returns the raw insert/eviction/reset counters without
+	// computing occupancy. Unlike Stats — which walks the slot array for
+	// utilization — it is cheap enough for per-branch use: the attribution
+	// layer reads it around an update to detect whether the insert evicted.
+	Counts() (inserts, evictions, resets uint64)
 }
 
 func checkPow2(n int, what string) {
@@ -188,6 +193,12 @@ type Tagless struct {
 // table organization.
 type counters struct {
 	inserts, evictions, resets uint64
+}
+
+// counts returns the raw counter values; the Counts methods of the table
+// organizations delegate here.
+func (c *counters) counts() (inserts, evictions, resets uint64) {
+	return c.inserts, c.evictions, c.resets
 }
 
 // NewTagless returns a tagless table with the given number of entries
@@ -261,6 +272,9 @@ func (t *Tagless) Reset() {
 
 // Kind implements Bounded.
 func (t *Tagless) Kind() string { return "tagless" }
+
+// Counts implements Bounded.
+func (t *Tagless) Counts() (inserts, evictions, resets uint64) { return t.stats.counts() }
 
 // Stats implements Bounded.
 func (t *Tagless) Stats() Stats {
@@ -396,6 +410,9 @@ func (t *SetAssoc) Reset() {
 
 // Kind implements Bounded.
 func (t *SetAssoc) Kind() string { return fmt.Sprintf("assoc%d", t.ways) }
+
+// Counts implements Bounded.
+func (t *SetAssoc) Counts() (inserts, evictions, resets uint64) { return t.stats.counts() }
 
 // Stats implements Bounded.
 func (t *SetAssoc) Stats() Stats {
@@ -544,6 +561,9 @@ func (t *FullAssoc) Reset() {
 // Kind implements Bounded.
 func (t *FullAssoc) Kind() string { return "fullassoc" }
 
+// Counts implements Bounded.
+func (t *FullAssoc) Counts() (inserts, evictions, resets uint64) { return t.stats.counts() }
+
 // Stats implements Bounded.
 func (t *FullAssoc) Stats() Stats {
 	return Stats{
@@ -613,6 +633,9 @@ func (t *Unbounded64) Reset() {
 // Kind implements Bounded.
 func (t *Unbounded64) Kind() string { return "unbounded" }
 
+// Counts implements Bounded.
+func (t *Unbounded64) Counts() (inserts, evictions, resets uint64) { return t.stats.counts() }
+
 // Stats implements Bounded.
 func (t *Unbounded64) Stats() Stats {
 	return Stats{
@@ -677,6 +700,9 @@ func (t *UnboundedStr) Reset() {
 	clear(t.m)
 	t.stats.resets++
 }
+
+// Counts returns the raw behaviour counters (see Bounded.Counts).
+func (t *UnboundedStr) Counts() (inserts, evictions, resets uint64) { return t.stats.counts() }
 
 // Stats reports the exact table's behaviour counters (it is not a Bounded,
 // but predictors aggregate its stats the same way).
