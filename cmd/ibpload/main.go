@@ -1,0 +1,272 @@
+// Command ibpload drives an ibpserved instance: it replays generated
+// benchmark traces through M concurrent sessions and reports per-benchmark
+// miss rates plus aggregate throughput and frame-latency percentiles.
+//
+// Examples:
+//
+//	ibpload -addr 127.0.0.1:9670 -bench all -conns 4
+//	ibpload -addr 127.0.0.1:9670 -bench gcc -n 200000 -frame 4096
+//	ibpload -addr 127.0.0.1:9670 -bench all -pred btb-2bc -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/oocsb/ibp/internal/cli"
+	"github.com/oocsb/ibp/internal/serve"
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+type options struct {
+	addr    string
+	conns   int
+	bench   string
+	n       int
+	frame   int
+	window  int
+	warmup  int
+	events  bool
+	retries int
+	backoff time.Duration
+	timeout time.Duration
+	seed    int64
+	asJSON  bool
+
+	pf cli.PredictorFlags
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:9670", "ibpserved address")
+	flag.IntVar(&o.conns, "conns", 4, "concurrent sessions")
+	flag.StringVar(&o.bench, "bench", "all", "benchmark name or \"all\"")
+	flag.IntVar(&o.n, "n", 20000, "indirect branches per generated benchmark")
+	flag.IntVar(&o.frame, "frame", 2048, "records per frame (0 = server maximum)")
+	flag.IntVar(&o.window, "window", 0, "requested frame window (0 = server default)")
+	flag.IntVar(&o.warmup, "warmup", 0, "indirect branches excluded from accounting")
+	flag.BoolVar(&o.events, "events", false, "request per-branch outcome events")
+	flag.IntVar(&o.retries, "retries", 3, "dial retries per session")
+	flag.DurationVar(&o.backoff, "backoff", 100*time.Millisecond, "initial retry backoff (doubles per attempt)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "dial and per-frame I/O timeout")
+	flag.Int64Var(&o.seed, "seed", 1, "workload seed offset (added to each benchmark's suite seed)")
+	flag.BoolVar(&o.asJSON, "json", false, "emit one JSON document instead of the table")
+	o.pf.Register(flag.CommandLine)
+	flag.Parse()
+	if err := realMain(o); err != nil {
+		fmt.Fprintln(os.Stderr, "ibpload:", err)
+		os.Exit(1)
+	}
+}
+
+// benchResult is one session's outcome.
+type benchResult struct {
+	Benchmark string        `json:"benchmark"`
+	Predictor string        `json:"predictor"`
+	Records   int           `json:"records"`
+	Frames    int           `json:"frames"`
+	Executed  int           `json:"executed"`
+	Misses    int           `json:"misses"`
+	MissRate  float64       `json:"missRate"`
+	Drained   bool          `json:"drained,omitempty"`
+	Events    int           `json:"events,omitempty"`
+	Elapsed   time.Duration `json:"-"`
+	ElapsedMS float64       `json:"elapsedMs"`
+	Err       string        `json:"error,omitempty"`
+}
+
+// report is the aggregate -json document.
+type report struct {
+	Addr       string        `json:"addr"`
+	Conns      int           `json:"conns"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Records    int           `json:"records"`
+	Elapsed    string        `json:"elapsed"`
+	RecordsPS  float64       `json:"recordsPerSec"`
+	LatencyP50 float64       `json:"frameLatencyP50Ms"`
+	LatencyP95 float64       `json:"frameLatencyP95Ms"`
+	LatencyP99 float64       `json:"frameLatencyP99Ms"`
+	Failed     int           `json:"failed"`
+}
+
+func realMain(o options) error {
+	if err := o.pf.Validate(); err != nil {
+		return err
+	}
+	if err := cli.ValidateSeed(o.seed); err != nil {
+		return err
+	}
+	if o.conns <= 0 {
+		o.conns = 1
+	}
+
+	var cfgs []workload.Config
+	if o.bench == "all" {
+		cfgs = workload.Suite()
+	} else {
+		cfg, err := workload.ByName(o.bench)
+		if err != nil {
+			return err
+		}
+		cfgs = []workload.Config{cfg}
+	}
+	// -seed 1 replays the suite's canonical seeds; other values shift every
+	// benchmark deterministically.
+	for i := range cfgs {
+		cfgs[i].Seed += uint64(o.seed - 1)
+	}
+
+	// Round-robin the benchmarks over the connection workers; each worker
+	// runs its benchmarks sequentially, one session per benchmark.
+	var (
+		mu        sync.Mutex
+		results   []benchResult
+		latencies []time.Duration
+	)
+	jobs := make(chan workload.Config)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cfg := range jobs {
+				res, lats := runBenchmark(o, cfg)
+				mu.Lock()
+				results = append(results, res)
+				latencies = append(latencies, lats...)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, cfg := range cfgs {
+		jobs <- cfg
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(results, func(i, j int) bool { return results[i].Benchmark < results[j].Benchmark })
+	rep := report{Addr: o.addr, Conns: o.conns, Benchmarks: results, Elapsed: elapsed.String()}
+	for _, r := range results {
+		rep.Records += r.Records
+		if r.Err != "" {
+			rep.Failed++
+		}
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.RecordsPS = float64(rep.Records) / s
+	}
+	rep.LatencyP50 = percentileMS(latencies, 50)
+	rep.LatencyP95 = percentileMS(latencies, 95)
+	rep.LatencyP99 = percentileMS(latencies, 99)
+
+	if o.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printTable(rep)
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d sessions failed", rep.Failed, len(results))
+	}
+	return nil
+}
+
+// runBenchmark generates one benchmark trace and streams it through a fresh
+// session, collecting per-frame latencies.
+func runBenchmark(o options, cfg workload.Config) (benchResult, []time.Duration) {
+	res := benchResult{Benchmark: cfg.Name}
+	tr, err := cfg.Generate(o.n)
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	pf := o.pf
+	hello := serve.Hello{
+		Benchmark: cfg.Name,
+		Predictor: &pf,
+		Warmup:    o.warmup,
+		Events:    o.events,
+		Window:    o.window,
+	}
+	begin := time.Now()
+	c, err := serve.Dial(o.addr, hello, serve.DialOptions{
+		Timeout: o.timeout,
+		Retries: o.retries,
+		Backoff: o.backoff,
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	defer c.Close()
+	if o.events {
+		c.OnEvents = func(_ uint64, evs []serve.EventRec) { res.Events += len(evs) }
+	}
+	var lats []time.Duration
+	sum, err := c.Stream(tr, o.frame, func(_ serve.Ack, rtt time.Duration) {
+		if rtt > 0 {
+			lats = append(lats, rtt)
+		}
+	})
+	res.Elapsed = time.Since(begin)
+	res.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
+	if err != nil {
+		res.Err = err.Error()
+		return res, lats
+	}
+	res.Predictor = sum.Predictor
+	res.Records = sum.Records
+	res.Frames = sum.Frames
+	res.Executed = sum.Executed
+	res.Misses = sum.Misses
+	res.MissRate = sum.MissRate
+	res.Drained = sum.Drained
+	return res, lats
+}
+
+// percentileMS returns the p-th percentile of ds in milliseconds (nearest
+// rank on the sorted slice).
+func percentileMS(ds []time.Duration, p int) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func printTable(rep report) {
+	fmt.Printf("%-10s %-28s %10s %8s %10s %8s %9s %10s\n",
+		"benchmark", "predictor", "records", "frames", "executed", "misses", "miss%", "elapsed")
+	for _, r := range rep.Benchmarks {
+		if r.Err != "" {
+			fmt.Printf("%-10s FAILED: %s\n", r.Benchmark, r.Err)
+			continue
+		}
+		note := ""
+		if r.Drained {
+			note = " (drained)"
+		}
+		fmt.Printf("%-10s %-28s %10d %8d %10d %8d %8.2f%% %9.0fms%s\n",
+			r.Benchmark, r.Predictor, r.Records, r.Frames, r.Executed, r.Misses,
+			r.MissRate, r.ElapsedMS, note)
+	}
+	fmt.Printf("\n%d records in %s over %d conns — %.0f records/s; frame latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		rep.Records, rep.Elapsed, rep.Conns, rep.RecordsPS,
+		rep.LatencyP50, rep.LatencyP95, rep.LatencyP99)
+}

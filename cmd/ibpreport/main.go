@@ -143,6 +143,9 @@ func buildReport(o options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := o.pf.Validate(); err != nil {
+		return nil, err
+	}
 	probe, err := o.pf.Build()
 	if err != nil {
 		return nil, err

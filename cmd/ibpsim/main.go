@@ -117,6 +117,9 @@ func realMain(o options) error {
 		}{cfg.Name, cfg.MustGenerate(o.n)})
 	}
 
+	if err := o.pf.Validate(); err != nil {
+		return err
+	}
 	probe, err := o.pf.Build()
 	if err != nil {
 		return err

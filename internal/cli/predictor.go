@@ -46,6 +46,87 @@ func (f *PredictorFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Hybrid, "hybrid", "", "dual-path hybrid \"p1,p2\" (overrides -p)")
 }
 
+// FlagError is the typed rejection produced by flag validation: which flag,
+// what value, and why. Tools match it with errors.As to distinguish operator
+// mistakes (usage errors) from internal failures.
+type FlagError struct {
+	// Flag is the flag name without the leading dash.
+	Flag string
+	// Value is the rejected value, rendered.
+	Value string
+	// Reason says what range or vocabulary the value violated.
+	Reason string
+}
+
+func (e *FlagError) Error() string {
+	return fmt.Sprintf("invalid -%s value %q: %s", e.Flag, e.Value, e.Reason)
+}
+
+// MaxPathLength is the longest path-history length any predictor family
+// accepts (the two-level predictor's hard limit).
+const MaxPathLength = 64
+
+// predNames is the -pred vocabulary Build accepts.
+var predNames = map[string]bool{
+	"2lev": true, "btb": true, "btb-2bc": true,
+	"tcache": true, "ppm": true, "shared": true,
+}
+
+// validTableKind reports whether kind names a table organization any tool
+// accepts: the CLI's named kinds plus the assoc<2^k> family.
+func validTableKind(kind string) bool {
+	switch kind {
+	case "", "exact", "unbounded", "tagless", "fullassoc":
+		return true
+	}
+	var ways int
+	if _, err := fmt.Sscanf(kind, "assoc%d", &ways); err == nil && ways > 0 && ways&(ways-1) == 0 {
+		return true
+	}
+	return false
+}
+
+// Validate rejects out-of-range or unknown flag values with a *FlagError
+// before any predictor construction happens, so every tool reports the same
+// typed usage error for the same mistake. Build still performs its own
+// construction-time checks; Validate catches the errors worth a clean
+// message (unknown -pred, -p outside [0, MaxPathLength], unknown -table,
+// negative -entries, malformed -hybrid).
+func (f PredictorFlags) Validate() error {
+	if !predNames[f.Pred] {
+		return &FlagError{Flag: "pred", Value: f.Pred, Reason: "want 2lev, btb, btb-2bc, tcache, ppm, or shared"}
+	}
+	if f.Path < 0 || f.Path > MaxPathLength {
+		return &FlagError{Flag: "p", Value: fmt.Sprint(f.Path), Reason: fmt.Sprintf("path length must be in [0, %d]", MaxPathLength)}
+	}
+	if !validTableKind(f.Table) {
+		return &FlagError{Flag: "table", Value: f.Table, Reason: "want exact, unbounded, tagless, assoc<2^k>, or fullassoc"}
+	}
+	if f.Entries < 0 {
+		return &FlagError{Flag: "entries", Value: fmt.Sprint(f.Entries), Reason: "entry count cannot be negative"}
+	}
+	if f.Hybrid != "" {
+		p1, p2, err := ParsePair(f.Hybrid)
+		if err != nil {
+			return &FlagError{Flag: "hybrid", Value: f.Hybrid, Reason: `want "p1,p2"`}
+		}
+		if p1 < 0 || p1 > MaxPathLength || p2 < 0 || p2 > MaxPathLength {
+			return &FlagError{Flag: "hybrid", Value: f.Hybrid, Reason: fmt.Sprintf("component path lengths must be in [0, %d]", MaxPathLength)}
+		}
+	}
+	return nil
+}
+
+// ValidateSeed rejects non-positive workload seeds with a *FlagError: seed 0
+// is the generators' "unset" sentinel and negative seeds cannot survive the
+// uint64 conversion the generators perform.
+func ValidateSeed(seed int64) error {
+	if seed <= 0 {
+		return &FlagError{Flag: "seed", Value: fmt.Sprint(seed), Reason: "seed must be positive"}
+	}
+	return nil
+}
+
 // Build constructs the predictor the flags describe.
 func (f PredictorFlags) Build() (core.Predictor, error) {
 	switch f.Pred {

@@ -1,0 +1,94 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"testing"
+)
+
+// defaults returns the flags as Register would install them, by actually
+// registering on a throwaway FlagSet: the test exercises the same defaults
+// the tools ship.
+func defaults(t *testing.T) PredictorFlags {
+	t.Helper()
+	var f PredictorFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	f := defaults(t)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	if _, err := f.Build(); err != nil {
+		t.Fatalf("default flags failed to build: %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*PredictorFlags)
+		flag   string
+	}{
+		{"negative path", func(f *PredictorFlags) { f.Path = -1 }, "p"},
+		{"huge path", func(f *PredictorFlags) { f.Path = MaxPathLength + 1 }, "p"},
+		{"unknown table", func(f *PredictorFlags) { f.Table = "cuckoo" }, "table"},
+		{"non-pow2 assoc", func(f *PredictorFlags) { f.Table = "assoc3" }, "table"},
+		{"unknown pred", func(f *PredictorFlags) { f.Pred = "oracle" }, "pred"},
+		{"negative entries", func(f *PredictorFlags) { f.Entries = -4 }, "entries"},
+		{"malformed hybrid", func(f *PredictorFlags) { f.Hybrid = "3;1" }, "hybrid"},
+		{"hybrid out of range", func(f *PredictorFlags) { f.Hybrid = "3,99" }, "hybrid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := defaults(t)
+			tc.mutate(&f)
+			err := f.Validate()
+			if err == nil {
+				t.Fatal("invalid flags accepted")
+			}
+			var fe *FlagError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v is not a *FlagError", err)
+			}
+			if fe.Flag != tc.flag {
+				t.Fatalf("error names flag %q, want %q", fe.Flag, tc.flag)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsKnownShapes(t *testing.T) {
+	for _, mutate := range []func(*PredictorFlags){
+		func(f *PredictorFlags) { f.Table = "assoc4"; f.Entries = 512 },
+		func(f *PredictorFlags) { f.Table = "exact"; f.Path = 0 },
+		func(f *PredictorFlags) { f.Pred = "btb-2bc" },
+		func(f *PredictorFlags) { f.Hybrid = "3,1"; f.Table = "assoc4"; f.Entries = 1024 },
+		func(f *PredictorFlags) { f.Path = MaxPathLength },
+	} {
+		f := defaults(t)
+		mutate(&f)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("valid flags %+v rejected: %v", f, err)
+		}
+	}
+}
+
+func TestValidateSeed(t *testing.T) {
+	for _, seed := range []int64{0, -1, -1 << 40} {
+		err := ValidateSeed(seed)
+		var fe *FlagError
+		if !errors.As(err, &fe) || fe.Flag != "seed" {
+			t.Fatalf("seed %d: want *FlagError on -seed, got %v", seed, err)
+		}
+	}
+	if err := ValidateSeed(1); err != nil {
+		t.Fatalf("seed 1 rejected: %v", err)
+	}
+}

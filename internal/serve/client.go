@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// DialOptions controls connection establishment.
+type DialOptions struct {
+	// Timeout bounds each dial attempt and every subsequent frame read.
+	// Defaults to 30s.
+	Timeout time.Duration
+	// Retries is the number of re-dial attempts after a failed one.
+	Retries int
+	// Backoff is the sleep before the first retry; it doubles per attempt.
+	// Defaults to 100ms.
+	Backoff time.Duration
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Client is one prediction session against an ibpserved instance. It is not
+// safe for concurrent use; one Client drives one connection.
+type Client struct {
+	conn    net.Conn
+	fw      *trace.FrameWriter
+	fr      *trace.FrameReader
+	ack     HelloAck
+	timeout time.Duration
+
+	// OnEvents, when non-nil, receives the decoded per-branch outcomes of
+	// every events frame (sessions opened with Hello.Events). Called from
+	// Stream's receive goroutine.
+	OnEvents func(seq uint64, evs []EventRec)
+}
+
+// Dial connects, retrying with exponential backoff, and performs the
+// Hello/HelloAck handshake.
+func Dial(addr string, hello Hello, o DialOptions) (*Client, error) {
+	o = o.withDefaults()
+	backoff := o.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= o.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", addr, o.Timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c, err := handshake(conn, hello, o.Timeout)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			// A rejected Hello is deterministic; retrying cannot help.
+			var we *WireError
+			if errors.As(err, &we) {
+				break
+			}
+			continue
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("serve: dial %s: %w", addr, lastErr)
+}
+
+// handshake sends the preamble and Hello, then waits for the HelloAck.
+func handshake(conn net.Conn, hello Hello, timeout time.Duration) (*Client, error) {
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(append([]byte(Preamble), ProtocolVersion)); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		fw:      trace.NewFrameWriter(conn),
+		fr:      trace.NewFrameReader(conn, 1<<24),
+		timeout: timeout,
+	}
+	if err := c.fw.WriteFrame(FrameHello, marshalJSON(hello)); err != nil {
+		return nil, err
+	}
+	if err := c.fw.Flush(); err != nil {
+		return nil, err
+	}
+	f, err := c.fr.Next()
+	if err != nil {
+		return nil, fmt.Errorf("hello ack: %w", err)
+	}
+	switch f.Type {
+	case FrameHelloAck:
+		if err := unmarshalPayload(f.Payload, &c.ack); err != nil {
+			return nil, err
+		}
+	case FrameError:
+		var we WireError
+		if err := unmarshalPayload(f.Payload, &we); err != nil {
+			return nil, err
+		}
+		return nil, &we
+	default:
+		return nil, fmt.Errorf("serve: unexpected frame %#x during handshake", f.Type)
+	}
+	conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// Session returns the handshake result.
+func (c *Client) Session() HelloAck { return c.ack }
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Stream replays tr through the session in frames of recsPerFrame records
+// (<=0 picks the server's maximum), keeping at most the granted window of
+// frames unacknowledged, and returns the server's final Summary.
+//
+// onAck, when non-nil, observes every acknowledgement together with the
+// frame's round-trip time (send of the records frame to receipt of its ack).
+// A server-initiated drain ends the stream early: Stream stops sending and
+// returns the drain Summary (Drained=true) with a nil error — every frame
+// acknowledged up to that point is reflected in it.
+func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.Duration)) (Summary, error) {
+	if recsPerFrame <= 0 || recsPerFrame > c.ack.MaxFrameRecords {
+		recsPerFrame = c.ack.MaxFrameRecords
+	}
+	window := c.ack.Window
+	if window <= 0 {
+		window = 1
+	}
+
+	var (
+		mu        sync.Mutex
+		sendTimes = make(map[uint64]time.Time)
+	)
+	sem := make(chan struct{}, window)
+	sumCh := make(chan Summary, 1)
+	errCh := make(chan error, 1)
+
+	// Receive side: acks release window slots; events feed OnEvents; a
+	// summary or error ends the session.
+	go func() {
+		for {
+			c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+			f, err := c.fr.Next()
+			if err != nil {
+				errCh <- fmt.Errorf("serve: response stream: %w", err)
+				return
+			}
+			switch f.Type {
+			case FrameAck:
+				ack, err := decodeAck(f.Payload)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				sent, ok := sendTimes[ack.Seq]
+				delete(sendTimes, ack.Seq)
+				mu.Unlock()
+				if onAck != nil {
+					var rtt time.Duration
+					if ok {
+						rtt = time.Since(sent)
+					}
+					onAck(ack, rtt)
+				}
+				select {
+				case <-sem:
+				default: // ack for a frame the send side already gave up on
+				}
+			case FrameEvents:
+				seq, evs, err := decodeEvents(f.Payload, c.ack.MaxFrameRecords)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if c.OnEvents != nil {
+					c.OnEvents(seq, evs)
+				}
+			case FrameSummary:
+				var sum Summary
+				if err := unmarshalPayload(f.Payload, &sum); err != nil {
+					errCh <- err
+					return
+				}
+				sumCh <- sum
+				return
+			case FrameError:
+				var we WireError
+				if err := unmarshalPayload(f.Payload, &we); err != nil {
+					errCh <- err
+					return
+				}
+				errCh <- &we
+				return
+			default:
+				// Unknown server frame: skip (forward compatibility).
+			}
+		}
+	}()
+
+	finish := func() (Summary, error) {
+		select {
+		case sum := <-sumCh:
+			return sum, nil
+		case err := <-errCh:
+			return Summary{}, err
+		}
+	}
+
+	var seq uint64
+	payload := make([]byte, 0, recsPerFrame*16)
+	for start := 0; start < len(tr); start += recsPerFrame {
+		end := min(start+recsPerFrame, len(tr))
+		// Acquire a window slot — or learn the session ended early.
+		select {
+		case sem <- struct{}{}:
+		case sum := <-sumCh:
+			return sum, nil
+		case err := <-errCh:
+			return Summary{}, err
+		}
+		seq++
+		payload = appendRecordsFrame(payload[:0], seq, tr[start:end])
+		mu.Lock()
+		sendTimes[seq] = time.Now()
+		mu.Unlock()
+		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+		if err := c.fw.WriteFrame(FrameRecords, payload); err != nil {
+			return finish()
+		}
+		if err := c.fw.Flush(); err != nil {
+			return finish()
+		}
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if c.fw.WriteFrame(FrameDone, nil) == nil {
+		c.fw.Flush()
+	}
+	return finish()
+}

@@ -1,0 +1,35 @@
+package serve
+
+import "github.com/oocsb/ibp/internal/telemetry"
+
+// metrics is the serve layer's telemetry surface, resolved once per Server
+// against the process registry. Handles are nil (no-op) when telemetry is
+// disabled, so the serving path updates them unconditionally.
+type metrics struct {
+	sessionsActive  *telemetry.Gauge   // serve_sessions_active
+	sessionsTotal   *telemetry.Counter // serve_sessions_total
+	sessionsDropped *telemetry.Counter // serve_sessions_dropped_total
+	drains          *telemetry.Counter // serve_drains_total
+	frames          *telemetry.Counter // serve_frames_total
+	records         *telemetry.Counter // serve_records_total
+	acks            *telemetry.Counter // serve_acks_total
+	misses          *telemetry.Counter // serve_misses_total
+	panics          *telemetry.Counter // serve_panics_total
+	queueDepth      *telemetry.Gauge   // serve_shard_queue_depth
+}
+
+// newMetrics resolves the handles against r (nil handles when r is nil).
+func newMetrics(r *telemetry.Registry) *metrics {
+	return &metrics{
+		sessionsActive:  r.Gauge("serve_sessions_active"),
+		sessionsTotal:   r.Counter("serve_sessions_total"),
+		sessionsDropped: r.Counter("serve_sessions_dropped_total"),
+		drains:          r.Counter("serve_drains_total"),
+		frames:          r.Counter("serve_frames_total"),
+		records:         r.Counter("serve_records_total"),
+		acks:            r.Counter("serve_acks_total"),
+		misses:          r.Counter("serve_misses_total"),
+		panics:          r.Counter("serve_panics_total"),
+		queueDepth:      r.Gauge("serve_shard_queue_depth"),
+	}
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// outMsg is one frame queued for a session's writer goroutine.
+type outMsg struct {
+	typ     uint64
+	payload []byte
+	// final closes the connection after this frame flushes (the last frame
+	// of a session: Summary or Error).
+	final bool
+}
+
+// session is one client connection's state. The reader goroutine
+// (Server.handleConn) decodes frames and feeds the session's shard; the
+// shard worker owns the predictor and the accounting; the writer goroutine
+// owns the connection's write side. The worker-owned fields are never
+// touched by the other two goroutines.
+type session struct {
+	id   uint64
+	srv  *Server
+	conn net.Conn
+
+	hello    Hello
+	predName string
+	window   int
+	events   bool
+
+	// reader-owned
+	nextSeq uint64
+	shard   *shard
+
+	// shared
+	inflight atomic.Int32
+	dead     atomic.Bool
+	draining atomic.Bool
+	out      chan outMsg
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// worker-owned: the predictor and sim-equivalent accounting
+	pred     core.Predictor
+	condObs  core.CondObserver
+	seen     int
+	executed int
+	misses   int
+	noPred   int
+	frames   int
+	records  int
+	evBuf    []EventRec
+}
+
+func newSession(s *Server, conn net.Conn, pred core.Predictor, hello Hello, window int) *session {
+	sess := &session{
+		srv:      s,
+		conn:     conn,
+		hello:    hello,
+		pred:     pred,
+		predName: pred.Name(),
+		window:   window,
+		events:   hello.Events,
+		// Each processed frame queues at most two messages (events + ack);
+		// the handshake and final summary ride in the slack. The writer
+		// drains continuously, so the channel only fills when the client
+		// stops reading — which send turns into a shed session rather than
+		// a stalled shard.
+		out:  make(chan outMsg, 2*window+8),
+		stop: make(chan struct{}),
+	}
+	sess.condObs, _ = pred.(core.CondObserver)
+	return sess
+}
+
+// send queues a frame for the writer without ever blocking the caller (shard
+// workers must not stall on one slow client). A full queue means the client
+// stopped consuming acks faster than the window allows: the session is shed.
+func (sess *session) send(m outMsg) bool {
+	select {
+	case sess.out <- m:
+		return true
+	default:
+		sess.fail(CodeOverload, "response queue overflow: client not consuming acks")
+		return false
+	}
+}
+
+// fail marks the session dead exactly once and tears the connection down.
+// The session counts as dropped (it will never get a Summary).
+func (sess *session) fail(code, msg string) {
+	if !sess.dead.CompareAndSwap(false, true) {
+		return
+	}
+	sess.srv.m.sessionsDropped.Inc()
+	sess.srv.cfg.Log.Warn("session dropped", "session", sess.id, "code", code, "err", msg)
+	sess.srv.unregister(sess)
+	// Best effort: tell the client why. If the writer is gone or the queue
+	// is full the close alone has to do.
+	select {
+	case sess.out <- outMsg{typ: FrameError, payload: marshalJSON(&WireError{Code: code, Msg: msg}), final: true}:
+	default:
+		sess.stopOnce.Do(func() { close(sess.stop) })
+	}
+}
+
+// beginDrain marks the session draining and kicks its reader off the socket
+// (an immediate read deadline); the reader then queues the drain sentinel
+// behind any frames already accepted, so everything acknowledged — or about
+// to be — lands in the final summary.
+func (sess *session) beginDrain() {
+	sess.draining.Store(true)
+	sess.conn.SetReadDeadline(time.Now())
+}
+
+// hardClose cuts the session without ceremony (forced shutdown).
+func (sess *session) hardClose() {
+	sess.dead.Store(true)
+	sess.srv.unregister(sess)
+	sess.stopOnce.Do(func() { close(sess.stop) })
+}
+
+// writeLoop is the session's writer goroutine: it owns conn's write side,
+// flushing after draining whatever is queued.
+func (sess *session) writeLoop() {
+	fw := trace.NewFrameWriter(sess.conn)
+	flushAndMaybeClose := func(final bool) bool {
+		sess.conn.SetWriteDeadline(time.Now().Add(sess.srv.cfg.WriteTimeout))
+		if err := fw.Flush(); err != nil {
+			sess.fail(CodeOverload, fmt.Sprintf("write: %v", err))
+			sess.conn.Close()
+			return false
+		}
+		if final {
+			sess.conn.Close()
+		}
+		return !final
+	}
+	for {
+		select {
+		case m := <-sess.out:
+			final := m.final
+			fw.WriteFrame(m.typ, m.payload)
+			// Batch everything already queued into one flush.
+			for !final {
+				select {
+				case n := <-sess.out:
+					fw.WriteFrame(n.typ, n.payload)
+					final = n.final
+				default:
+					goto flush
+				}
+			}
+		flush:
+			if !flushAndMaybeClose(final) {
+				return
+			}
+		case <-sess.stop:
+			sess.conn.Close()
+			return
+		}
+	}
+}
+
+// readLoop decodes client frames until Done, drain, or failure, feeding the
+// session's shard. It owns nextSeq and the shard assignment.
+func (sess *session) readLoop(fr *trace.FrameReader) {
+	s := sess.srv
+	for {
+		if sess.dead.Load() {
+			return
+		}
+		if sess.draining.Load() {
+			break
+		}
+		sess.conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		// Re-check after arming the deadline: beginDrain sets the draining
+		// flag before it sets its immediate deadline, so whichever deadline
+		// write lands last, either this check breaks or the read times out
+		// at once — the reader can never sleep a full ReadTimeout into a
+		// drain.
+		if sess.draining.Load() {
+			break
+		}
+		f, err := fr.Next()
+		if err != nil {
+			if sess.draining.Load() {
+				break
+			}
+			if sess.dead.Load() {
+				return
+			}
+			if err == io.EOF {
+				sess.fail(CodeBadFrame, "client closed before Done")
+			} else {
+				sess.fail(CodeBadFrame, err.Error())
+			}
+			return
+		}
+		switch f.Type {
+		case FrameRecords:
+			seq, recs, err := decodeRecordsFrame(f.Payload, s.cfg.MaxFrameRecords)
+			if err != nil {
+				sess.fail(CodeBadFrame, err.Error())
+				return
+			}
+			if seq != sess.nextSeq+1 {
+				sess.fail(CodeBadSeq, fmt.Sprintf("frame seq %d, want %d", seq, sess.nextSeq+1))
+				return
+			}
+			sess.nextSeq = seq
+			if int(sess.inflight.Add(1)) > sess.window+1 {
+				// +1 of slack: the client legitimately sends the next frame
+				// the instant an ack is on the wire.
+				sess.fail(CodeOverLimit, fmt.Sprintf("window overflow: %d frames in flight, window %d", sess.inflight.Load(), sess.window))
+				return
+			}
+			if sess.shard == nil {
+				var pc uint32
+				if len(recs) > 0 {
+					pc = recs[0].PC
+				}
+				sess.shard = s.shardFor(pc)
+			}
+			if !s.enqueue(sess.shard, job{sess: sess, seq: seq, recs: recs}) {
+				return // hard stop
+			}
+		case FrameDone:
+			if sess.shard == nil {
+				// No records ever arrived; summarize from any shard.
+				sess.shard = s.shardFor(0)
+			}
+			s.enqueue(sess.shard, job{sess: sess, done: true})
+			return
+		default:
+			// Unknown-but-checksummed client frame: skip it, mirroring the
+			// trace format's forward-compatibility rule.
+		}
+	}
+	// Drain path: everything already queued will be processed; the sentinel
+	// asks the worker to summarize after it.
+	if sess.shard == nil {
+		sess.shard = s.shardFor(0)
+	}
+	s.enqueue(sess.shard, job{sess: sess, drain: true})
+}
+
+// processFrame runs one records frame through the session predictor with the
+// sim engine's exact accounting, then queues the (events and) ack frames.
+// A predictor panic is confined to this session, like a sim lane's.
+func (sess *session) processFrame(seq uint64, recs trace.Trace) {
+	defer func() {
+		if r := recover(); r != nil {
+			sess.srv.m.panics.Inc()
+			sess.fail(CodePredictor, fmt.Sprintf("predictor panicked: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	m := sess.srv.m
+	exec0, miss0 := sess.executed, sess.misses
+	evs := sess.evBuf[:0]
+	for _, r := range recs {
+		switch {
+		case r.Kind == trace.Cond:
+			if sess.condObs != nil {
+				sess.condObs.ObserveCond(r.PC, r.Target, r.Target != 0)
+			}
+			continue
+		case !r.Kind.Indirect():
+			continue
+		}
+		pred, ok := sess.pred.Predict(r.PC)
+		sess.pred.Update(r.PC, r.Target)
+		sess.seen++
+		miss := !ok || pred != r.Target
+		if sess.events {
+			evs = append(evs, EventRec{
+				PC:        r.PC,
+				Predicted: pred,
+				Actual:    r.Target,
+				HasPred:   ok,
+				Miss:      miss,
+				Warmup:    sess.seen <= sess.hello.Warmup,
+			})
+		}
+		if sess.seen <= sess.hello.Warmup {
+			continue
+		}
+		sess.executed++
+		if miss {
+			sess.misses++
+			if !ok {
+				sess.noPred++
+			}
+		}
+	}
+	sess.frames++
+	sess.records += len(recs)
+	m.frames.Inc()
+	m.records.Add(uint64(len(recs)))
+	m.misses.Add(uint64(sess.misses - miss0))
+	ack := Ack{
+		Seq:               seq,
+		Records:           len(recs),
+		Executed:          sess.executed - exec0,
+		Misses:            sess.misses - miss0,
+		TotalExecuted:     sess.executed,
+		TotalMisses:       sess.misses,
+		TotalNoPrediction: sess.noPred,
+	}
+	if sess.events {
+		payload := appendEvents(nil, seq, evs)
+		sess.evBuf = evs[:0] // keep the grown buffer for the next frame
+		if !sess.send(outMsg{typ: FrameEvents, payload: payload}) {
+			return
+		}
+	}
+	sess.inflight.Add(-1)
+	if sess.send(outMsg{typ: FrameAck, payload: appendAck(nil, ack)}) {
+		m.acks.Inc()
+	}
+}
+
+// emitSummary finishes the session: the final Summary frame reflects every
+// frame the worker processed (every acknowledged frame in particular), then
+// the writer closes the connection.
+func (sess *session) emitSummary(drained bool) {
+	if drained {
+		sess.srv.m.drains.Inc()
+	}
+	sum := Summary{
+		Session:      sess.id,
+		Benchmark:    sess.hello.Benchmark,
+		Predictor:    sess.predName,
+		Frames:       sess.frames,
+		Records:      sess.records,
+		Executed:     sess.executed,
+		Misses:       sess.misses,
+		NoPrediction: sess.noPred,
+		Warmup:       sess.hello.Warmup,
+		Drained:      drained,
+	}
+	if sum.Executed > 0 {
+		sum.MissRate = 100 * float64(sum.Misses) / float64(sum.Executed)
+	}
+	sess.srv.cfg.Log.Info("session summary", "session", sess.id,
+		"benchmark", sum.Benchmark, "frames", sum.Frames, "records", sum.Records,
+		"executed", sum.Executed, "misses", sum.Misses, "missRate", sum.MissRate,
+		"drained", drained)
+	sess.srv.unregister(sess)
+	sess.send(outMsg{typ: FrameSummary, payload: marshalJSON(sum), final: true})
+}

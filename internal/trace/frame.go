@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire framing
+//
+// The v2 trace format's length-framed, CRC32-checksummed section encoding
+// doubles as a network wire format: each frame is
+//
+//	type    uvarint
+//	length  uvarint            payload length in bytes
+//	payload length bytes
+//	crc32   4 bytes LE         IEEE CRC32 of the encoded type+length+payload
+//
+// FrameWriter and FrameReader expose that framing for stream protocols (the
+// internal/serve prediction service is the consumer), and AppendRecords /
+// DecodeRecords expose the count-prefixed record-chunk codec used for
+// secRecords payloads, so a network frame carries branch records in exactly
+// the bytes a v2 trace file would. Frame type numbers are the protocol's
+// business; the file decoder's section types (1..3) are reserved.
+
+// Frame is one decoded, checksum-verified wire frame.
+type Frame struct {
+	// Type is the frame type tag.
+	Type uint64
+	// Payload is the frame body, freshly allocated per frame; holding it
+	// across Next calls is safe.
+	Payload []byte
+	// Start is the byte offset of the frame's first byte, counted from
+	// where the FrameReader started.
+	Start int64
+}
+
+// FrameWriter emits checksummed frames onto a stream. It buffers; callers
+// decide flush points (a network writer flushes after each response batch).
+type FrameWriter struct {
+	bw *bufio.Writer
+}
+
+// NewFrameWriter returns a FrameWriter over w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{bw: bufio.NewWriter(w)}
+}
+
+// WriteFrame appends one frame to the stream buffer.
+func (fw *FrameWriter) WriteFrame(typ uint64, payload []byte) error {
+	return writeSection(fw.bw, typ, payload)
+}
+
+// Flush writes any buffered frames to the underlying stream.
+func (fw *FrameWriter) Flush() error { return fw.bw.Flush() }
+
+// FrameReader decodes checksummed frames from a stream. Any framing or
+// checksum violation is reported as a *CorruptError (matching ErrCorrupt);
+// a clean end of stream between frames is io.EOF.
+type FrameReader struct {
+	s sectionScanner
+}
+
+// NewFrameReader returns a FrameReader over r. maxPayload bounds the payload
+// size a frame may declare (<= 0 selects the trace format's default limit),
+// so a hostile length can never force a huge allocation.
+func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 {
+		maxPayload = maxSectionPayload
+	}
+	return &FrameReader{s: sectionScanner{br: bufio.NewReader(r), max: maxPayload}}
+}
+
+// Next reads and verifies the next frame. It returns io.EOF untouched only
+// at a clean frame boundary; any other failure is a *CorruptError locating
+// the damage.
+func (fr *FrameReader) Next() (Frame, error) {
+	sec, err := fr.s.next()
+	if err == io.EOF {
+		return Frame{Start: sec.start}, io.EOF
+	}
+	if err != nil {
+		return Frame{Start: sec.start}, corrupt(0, sec.start, "wire frame", err)
+	}
+	return Frame{Type: sec.typ, Payload: sec.payload, Start: sec.start}, nil
+}
+
+// Offset returns the stream offset of the next unread byte.
+func (fr *FrameReader) Offset() int64 { return fr.s.off }
+
+// AppendRecords appends the count-prefixed delta-encoding of recs to buf and
+// returns the extended slice. Delta state starts at zero, so every encoded
+// chunk decodes independently (the same property v2 file chunks have).
+func AppendRecords(buf []byte, recs []Record) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	var prevPC, prevTgt uint32
+	for _, r := range recs {
+		buf = putRecord(buf, r, prevPC, prevTgt)
+		prevPC, prevTgt = r.PC, r.Target
+	}
+	return buf
+}
+
+// DecodeRecords decodes a payload produced by AppendRecords. maxRecords
+// bounds the count the payload may declare (<= 0 selects the v2 file chunk
+// limit); trailing bytes after the declared records are rejected. Failures
+// wrap ErrBadFormat or describe the truncation.
+func DecodeRecords(payload []byte, maxRecords int) (Trace, error) {
+	if maxRecords <= 0 {
+		maxRecords = chunkRecords
+	}
+	tr, err := decodeChunk(payload, maxRecords)
+	if err != nil {
+		return nil, fmt.Errorf("trace: records payload: %w", err)
+	}
+	return tr, nil
+}

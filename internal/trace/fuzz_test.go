@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"io"
 	"testing"
 )
 
@@ -86,5 +87,64 @@ func FuzzRead(f *testing.F) {
 			t.Fatalf("lenient decoded %d records, strict %d", len(salvaged), len(tr))
 		}
 		roundTrip(t, tr, "accepted trace")
+	})
+}
+
+// FuzzWireFrame drives the exported wire-frame decode path — the framing the
+// network prediction service (internal/serve) reads straight off untrusted
+// sockets — over arbitrary bytes: the frame scanner and the records-payload
+// codec must never panic, every accepted frame must be ErrCorrupt-clean, and
+// every accepted records payload must re-encode to identical bytes.
+func FuzzWireFrame(f *testing.F) {
+	// Clean frame streams (empty payload, records payload, several frames)
+	// plus damaged prefixes.
+	sample := genTrace(64)
+	var clean bytes.Buffer
+	fw := NewFrameWriter(&clean)
+	fw.WriteFrame(16, nil)
+	fw.WriteFrame(17, AppendRecords(nil, sample))
+	fw.WriteFrame(18, []byte(`{"benchmark":"gcc"}`))
+	fw.Flush()
+	f.Add(clean.Bytes())
+	f.Add(AppendRecords(nil, sample))
+	f.Add([]byte{0x11, 0x01, 0x00})
+	f.Add([]byte{})
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data), 1<<16)
+		for {
+			frame, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("frame error is not ErrCorrupt: %v", err)
+				}
+				break
+			}
+			// Whatever the payload, decoding it as records must not panic,
+			// and an accepted decode must survive a re-encode/decode cycle
+			// unchanged (varints may be non-canonical on the wire, so byte
+			// identity is not required — record identity is).
+			recs, derr := DecodeRecords(frame.Payload, 4096)
+			if derr != nil {
+				continue
+			}
+			back, rerr := DecodeRecords(AppendRecords(nil, recs), 4096)
+			if rerr != nil {
+				t.Fatalf("re-encoded records failed to decode: %v", rerr)
+			}
+			if len(back) != len(recs) {
+				t.Fatalf("round trip decoded %d records, want %d", len(back), len(recs))
+			}
+			for i := range recs {
+				if back[i] != recs[i] {
+					t.Fatalf("record %d: %+v != %+v", i, back[i], recs[i])
+				}
+			}
+		}
 	})
 }

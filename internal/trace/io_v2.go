@@ -147,6 +147,7 @@ func writeV2(w io.Writer, t Trace) error {
 type sectionScanner struct {
 	br  *bufio.Reader
 	off int64 // offset of the next unread byte, from the start of sections
+	max int   // payload size limit; 0 means maxSectionPayload
 }
 
 // section is one decoded, checksum-verified frame.
@@ -192,7 +193,11 @@ func (s *sectionScanner) next() (section, error) {
 	if err != nil {
 		return sec, fmt.Errorf("section length: %w", noEOF(err))
 	}
-	if plen > maxSectionPayload {
+	limit := uint64(maxSectionPayload)
+	if s.max > 0 {
+		limit = uint64(s.max)
+	}
+	if plen > limit {
 		return sec, fmt.Errorf("%w: section payload %d bytes", ErrBadFormat, plen)
 	}
 	sec.payload = make([]byte, plen)
@@ -222,14 +227,15 @@ func noEOF(err error) error {
 	return err
 }
 
-// decodeChunk decodes one secRecords payload (delta state starts at zero).
-func decodeChunk(payload []byte) (Trace, error) {
+// decodeChunk decodes one records payload (delta state starts at zero),
+// rejecting chunks that declare more than max records.
+func decodeChunk(payload []byte, max int) (Trace, error) {
 	br := bytes.NewReader(payload)
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("chunk count: %w", noEOF(err))
 	}
-	if n > chunkRecords {
+	if n > uint64(max) {
 		return nil, fmt.Errorf("%w: chunk of %d records", ErrBadFormat, n)
 	}
 	out := make(Trace, 0, n)
@@ -282,7 +288,7 @@ func readV2(br *bufio.Reader, strict bool) (Trace, error) {
 				out = make(Trace, 0, preallocCount(n))
 			}
 		case secRecords:
-			chunk, err := decodeChunk(sec.payload)
+			chunk, err := decodeChunk(sec.payload, chunkRecords)
 			if err != nil {
 				return fail(sec.start, "records section", err)
 			}

@@ -32,4 +32,10 @@ go test -run '^$' -bench "$bench" -benchtime "$benchtime" . | tee "$raw"
 go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime "$benchtime" \
   ./internal/sim | tee -a "$raw"
 
+# Serve-path throughput: the loopback end-to-end benchmark (framing,
+# checksums, shard hand-off, prediction, ack stream) lands in the same
+# snapshot so a wire-layer regression shows up next to the engine numbers.
+go test -run '^$' -bench '^BenchmarkServeLoopback$' -benchtime "$benchtime" \
+  ./internal/serve | tee -a "$raw"
+
 go run ./cmd/ibpsweep -benchjson "$out" -benchraw "$raw" -run "$run" -n "$n"
