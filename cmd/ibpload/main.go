@@ -7,6 +7,7 @@
 //	ibpload -addr 127.0.0.1:9670 -bench all -conns 4
 //	ibpload -addr 127.0.0.1:9670 -bench gcc -n 200000 -frame 4096
 //	ibpload -addr 127.0.0.1:9670 -bench all -pred btb-2bc -json
+//	ibpload -addr 127.0.0.1:9680 -router -bench all -conns 8
 package main
 
 import (
@@ -37,6 +38,7 @@ type options struct {
 	timeout time.Duration
 	seed    int64
 	asJSON  bool
+	router  bool
 
 	pf cli.PredictorFlags
 }
@@ -56,6 +58,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "dial and per-frame I/O timeout")
 	flag.Int64Var(&o.seed, "seed", 1, "workload seed offset (added to each benchmark's suite seed)")
 	flag.BoolVar(&o.asJSON, "json", false, "emit one JSON document instead of the table")
+	flag.BoolVar(&o.router, "router", false, "target an ibprouter ingress: require per-session placement info and report failovers")
 	o.pf.Register(flag.CommandLine)
 	flag.Parse()
 	if err := realMain(o); err != nil {
@@ -75,6 +78,9 @@ type benchResult struct {
 	MissRate  float64       `json:"missRate"`
 	Drained   bool          `json:"drained,omitempty"`
 	Events    int           `json:"events,omitempty"`
+	Backend   string        `json:"backend,omitempty"`
+	Failovers int           `json:"failovers,omitempty"`
+	Replayed  int           `json:"replayedFrames,omitempty"`
 	Elapsed   time.Duration `json:"-"`
 	ElapsedMS float64       `json:"elapsedMs"`
 	Err       string        `json:"error,omitempty"`
@@ -82,16 +88,18 @@ type benchResult struct {
 
 // report is the aggregate -json document.
 type report struct {
-	Addr       string        `json:"addr"`
-	Conns      int           `json:"conns"`
-	Benchmarks []benchResult `json:"benchmarks"`
-	Records    int           `json:"records"`
-	Elapsed    string        `json:"elapsed"`
-	RecordsPS  float64       `json:"recordsPerSec"`
-	LatencyP50 float64       `json:"frameLatencyP50Ms"`
-	LatencyP95 float64       `json:"frameLatencyP95Ms"`
-	LatencyP99 float64       `json:"frameLatencyP99Ms"`
-	Failed     int           `json:"failed"`
+	Addr           string        `json:"addr"`
+	Conns          int           `json:"conns"`
+	Benchmarks     []benchResult `json:"benchmarks"`
+	Records        int           `json:"records"`
+	Elapsed        string        `json:"elapsed"`
+	RecordsPS      float64       `json:"recordsPerSec"`
+	LatencyP50     float64       `json:"frameLatencyP50Ms"`
+	LatencyP95     float64       `json:"frameLatencyP95Ms"`
+	LatencyP99     float64       `json:"frameLatencyP99Ms"`
+	Failed         int           `json:"failed"`
+	Failovers      int           `json:"failovers"`
+	ReplayedFrames int           `json:"replayedFrames"`
 }
 
 func realMain(o options) error {
@@ -155,6 +163,8 @@ func realMain(o options) error {
 	rep := report{Addr: o.addr, Conns: o.conns, Benchmarks: results, Elapsed: elapsed.String()}
 	for _, r := range results {
 		rep.Records += r.Records
+		rep.Failovers += r.Failovers
+		rep.ReplayedFrames += r.Replayed
 		if r.Err != "" {
 			rep.Failed++
 		}
@@ -231,6 +241,15 @@ func runBenchmark(o options, cfg workload.Config) (benchResult, []time.Duration)
 	res.Misses = sum.Misses
 	res.MissRate = sum.MissRate
 	res.Drained = sum.Drained
+	if sum.Router != nil {
+		res.Backend = sum.Router.Backend
+		res.Failovers = sum.Router.Failovers
+		res.Replayed = sum.Router.ReplayedFrames
+	} else if o.router {
+		// -router promises cluster semantics; a summary without placement
+		// info means the address is a plain ibpserved.
+		res.Err = "no router placement info in summary (is the address an ibprouter?)"
+	}
 	return res, lats
 }
 
@@ -269,4 +288,8 @@ func printTable(rep report) {
 	fmt.Printf("\n%d records in %s over %d conns — %.0f records/s; frame latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
 		rep.Records, rep.Elapsed, rep.Conns, rep.RecordsPS,
 		rep.LatencyP50, rep.LatencyP95, rep.LatencyP99)
+	if rep.Failovers > 0 || rep.ReplayedFrames > 0 {
+		fmt.Printf("%d failovers, %d frames replayed — every summary above is still bit-identical\n",
+			rep.Failovers, rep.ReplayedFrames)
+	}
 }

@@ -41,6 +41,7 @@ type options struct {
 	metricsAddr  string
 	summaryJSON  string
 	logLevel     string
+	tag          string
 
 	pf cli.PredictorFlags
 }
@@ -59,6 +60,7 @@ func main() {
 	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics and /vars on this address")
 	flag.StringVar(&o.summaryJSON, "summaryjson", "", "write a JSON run summary to this file on exit")
 	flag.StringVar(&o.logLevel, "log", "info", "structured log level: debug, info, warn, error, off")
+	flag.StringVar(&o.tag, "tag", "", "instance label for logs and the run summary (useful under a cluster router)")
 	o.pf.Register(flag.CommandLine)
 	flag.Parse()
 	if err := realMain(o); err != nil {
@@ -71,6 +73,7 @@ func main() {
 // drain and archive the run's counters.
 type runSummary struct {
 	Addr     string             `json:"addr"`
+	Tag      string             `json:"tag,omitempty"`
 	Graceful bool               `json:"graceful"`
 	Signal   string             `json:"signal,omitempty"`
 	Uptime   string             `json:"uptime"`
@@ -83,6 +86,9 @@ func realMain(o options) error {
 		return err
 	}
 	log := telemetry.NewLogger(os.Stderr, level)
+	if o.tag != "" {
+		log = log.With("tag", o.tag)
+	}
 	if err := o.pf.Validate(); err != nil {
 		return err
 	}
@@ -127,7 +133,7 @@ func realMain(o options) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
-	sum := runSummary{Addr: ln.Addr().String()}
+	sum := runSummary{Addr: ln.Addr().String(), Tag: o.tag}
 	select {
 	case err := <-serveErr:
 		return fmt.Errorf("serve: %w", err)

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/oocsb/ibp/internal/faultio"
+	"github.com/oocsb/ibp/internal/serve"
+	"github.com/oocsb/ibp/internal/workload"
+)
+
+// buildServed compiles the real ibpserved binary once per test run, so the
+// failover test can SIGKILL an actual backend process — not a polite
+// in-process Close, but the way production backends actually die.
+var (
+	servedOnce sync.Once
+	servedBin  string
+	servedErr  error
+)
+
+func servedBinary(t *testing.T) string {
+	t.Helper()
+	servedOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ibp-cluster-test")
+		if err != nil {
+			servedErr = err
+			return
+		}
+		servedBin = filepath.Join(dir, "ibpserved")
+		cmd := exec.Command("go", "build", "-o", servedBin, "github.com/oocsb/ibp/cmd/ibpserved")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			servedErr = fmt.Errorf("build ibpserved: %v\n%s", err, out)
+		}
+	})
+	if servedErr != nil {
+		t.Fatal(servedErr)
+	}
+	return servedBin
+}
+
+// spawnServed starts an ibpserved process on an ephemeral port and returns
+// its command handle and listen address (parsed from its startup line).
+func spawnServed(t *testing.T) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(servedBinary(t), "-addr", "127.0.0.1:0", "-log", "warn", "-shards", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "ibpserved: listening on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("ibpserved did not report a listen address")
+		return nil, ""
+	}
+}
+
+// TestRouterFailoverBitIdentical is the golden failover test: real backend
+// processes, a real SIGKILL mid-session under concurrent load, and the
+// requirement that every client still receives a Summary bit-identical to
+// an uninterrupted local sim.Run. This is the journal/replay invariant,
+// proved end to end.
+func TestRouterFailoverBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns backend processes")
+	}
+	proc1, b1 := spawnServed(t)
+	proc2, b2 := spawnServed(t)
+	procs := map[string]*exec.Cmd{b1: proc1, b2: proc2}
+
+	r, addr := startRouter(t, []string{b1, b2}, nil)
+
+	const (
+		n      = 30000
+		warmup = 64
+		frame  = 96 // small frames so the kill always lands mid-stream
+	)
+	cfgs := workload.Suite()
+	if len(cfgs) < 3 {
+		t.Fatalf("suite has %d benchmarks, need >= 3", len(cfgs))
+	}
+
+	// Every session parks at its third ack until the killer has SIGKILLed
+	// the most loaded backend, guaranteeing the kill lands while all
+	// sessions are mid-stream.
+	ready := make(chan struct{}, len(cfgs))
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		for range cfgs {
+			select {
+			case <-ready:
+			case <-time.After(30 * time.Second):
+				t.Error("sessions never reached the kill point")
+				return
+			}
+		}
+		var victim string
+		most := 0
+		for _, st := range r.BackendStatuses() {
+			if st.Sessions > most {
+				victim, most = st.Addr, st.Sessions
+			}
+		}
+		if victim == "" {
+			t.Error("no backend had attached sessions to kill")
+			return
+		}
+		t.Logf("SIGKILL backend %s (%d sessions)", victim, most)
+		if err := procs[victim].Process.Kill(); err != nil {
+			t.Errorf("kill %s: %v", victim, err)
+		}
+	}()
+
+	type outcome struct {
+		name string
+		sum  serve.Summary
+		err  error
+	}
+	results := make(chan outcome, len(cfgs))
+	for _, cfg := range cfgs {
+		go func(name string) {
+			tr := suiteTrace(t, name, n)
+			c, err := serve.Dial(addr, serve.Hello{Benchmark: name, Warmup: warmup},
+				serve.DialOptions{Timeout: 60 * time.Second, Retries: 2})
+			if err != nil {
+				results <- outcome{name: name, err: err}
+				return
+			}
+			defer c.Close()
+			var parkOnce sync.Once
+			sum, err := c.Stream(tr, frame, func(a serve.Ack, _ time.Duration) {
+				if a.Seq >= 3 {
+					parkOnce.Do(func() {
+						ready <- struct{}{}
+						<-killDone
+					})
+				}
+			})
+			results <- outcome{name: name, sum: sum, err: err}
+		}(cfg.Name)
+	}
+
+	failovers := 0
+	replayed := 0
+	for range cfgs {
+		res := <-results
+		if res.err != nil {
+			t.Errorf("%s: %v", res.name, res.err)
+			continue
+		}
+		checkSummary(t, res.name, res.sum, suiteTrace(t, res.name, n), warmup)
+		if res.sum.Router != nil {
+			failovers += res.sum.Router.Failovers
+			replayed += res.sum.Router.ReplayedFrames
+		}
+	}
+	if failovers < 1 {
+		t.Errorf("total failovers %d after SIGKILL, want >= 1", failovers)
+	}
+	if replayed < 1 {
+		t.Errorf("total replayed frames %d after SIGKILL, want >= 1", replayed)
+	}
+}
+
+// TestRouterChaosMatrix drives the failure matrix through faultio network
+// faults: a backend behind a faulty link dies in assorted ways (clean cut,
+// byte-budget drop, RST) while a healthy backend survives. Every session
+// must end in a bit-identical summary — the faults may cost failovers but
+// never correctness — and the router must not leak goroutines.
+func TestRouterChaosMatrix(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	cases := []struct {
+		name  string
+		fault faultio.ProxyConfig
+		sever bool // cut the live links mid-stream instead of waiting for the fault
+	}{
+		{name: "sever", fault: faultio.ProxyConfig{}, sever: true},
+		{name: "drop-after-bytes", fault: faultio.ProxyConfig{DropAfterBytes: 96 << 10}},
+		{name: "drop-rst", fault: faultio.ProxyConfig{DropAfterBytes: 64 << 10, RST: true}},
+		{name: "slow-link", fault: faultio.ProxyConfig{Latency: 200 * time.Microsecond, LatencyJitter: 100 * time.Microsecond, ChunkBytes: 4096}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, healthy := startServe(t)
+			_, shaky := startServe(t)
+			proxy, err := faultio.NewProxy(shaky, tc.fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer proxy.Close()
+
+			r, addr := startRouter(t, []string{proxy.Addr(), healthy}, nil)
+			defer r.Close()
+
+			const (
+				n      = 10000
+				warmup = 32
+				frame  = 128
+			)
+			names := []string{"gcc", "perl", "go"}
+			var severOnce sync.Once
+			type outcome struct {
+				name string
+				sum  serve.Summary
+				err  error
+			}
+			results := make(chan outcome, len(names))
+			for _, name := range names {
+				go func(name string) {
+					tr := suiteTrace(t, name, n)
+					c, err := serve.Dial(addr, serve.Hello{Benchmark: name, Warmup: warmup},
+						serve.DialOptions{Timeout: 30 * time.Second, Retries: 2})
+					if err != nil {
+						results <- outcome{name: name, err: err}
+						return
+					}
+					defer c.Close()
+					sum, err := c.Stream(tr, frame, func(a serve.Ack, _ time.Duration) {
+						if tc.sever && a.Seq == 5 {
+							severOnce.Do(proxy.Sever)
+						}
+					})
+					results <- outcome{name: name, sum: sum, err: err}
+				}(name)
+			}
+			for range names {
+				res := <-results
+				if res.err != nil {
+					t.Errorf("%s: %v", res.name, res.err)
+					continue
+				}
+				checkSummary(t, res.name, res.sum, suiteTrace(t, res.name, n), warmup)
+			}
+		})
+	}
+
+	// Routers, backends, and proxies are closed by the t.Run cleanups above;
+	// every goroutine they started must unwind. Generous settle loop: probes
+	// and connection teardown are asynchronous.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+4 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d live, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}

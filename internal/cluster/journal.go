@@ -1,0 +1,82 @@
+package cluster
+
+import "fmt"
+
+// journal is a session's replay log: every records frame the client has sent,
+// retained as the exact FrameRecords payload that went over the wire. It is
+// the failover centerpiece — as long as the journal still holds the complete
+// prefix (base == 1), a dead backend's session can be rebuilt bit-identically
+// on a survivor by replaying frames 1..max in order through a fresh
+// predictor, because prediction is deterministic in the record stream.
+//
+// The journal is bounded: payloads of frames the backend has acknowledged
+// become evictable, and are dropped oldest-first once retained bytes exceed
+// the budget. Unacknowledged payloads are never evicted (they are bounded by
+// the client window regardless). Eviction is a one-way door: once any acked
+// payload is gone the prefix is incomplete, replayable() turns false, and a
+// later backend death honestly fails the session instead of silently
+// resuming with corrupted predictor state.
+type journal struct {
+	base    uint64   // seq of frames[0]; 1 until eviction
+	frames  [][]byte // frames[i] is the payload of seq base+uint64(i)
+	bytes   int64    // retained payload bytes
+	budget  int64    // eviction threshold; <=0 means unbounded
+	acked   uint64   // highest backend-acknowledged seq
+	evicted int      // payloads evicted so far
+}
+
+func newJournal(budget int64) *journal {
+	return &journal{base: 1, budget: budget}
+}
+
+// append records the payload of the next records frame. Frames must arrive
+// in seq order with no gaps — the client-facing reader enforces the protocol
+// order before calling.
+func (j *journal) append(seq uint64, payload []byte) error {
+	if want := j.base + uint64(len(j.frames)); seq != want {
+		return fmt.Errorf("cluster: journal append seq %d, want %d", seq, want)
+	}
+	j.frames = append(j.frames, payload)
+	j.bytes += int64(len(payload))
+	return nil
+}
+
+// max returns the highest journaled seq (0 when empty and nothing evicted).
+func (j *journal) max() uint64 { return j.base + uint64(len(j.frames)) - 1 }
+
+// get returns the payload for seq, or nil when seq is outside the retained
+// range (evicted or not yet received).
+func (j *journal) get(seq uint64) []byte {
+	if seq < j.base || seq > j.max() || len(j.frames) == 0 {
+		return nil
+	}
+	return j.frames[seq-j.base]
+}
+
+// ack marks seq acknowledged by the backend and evicts acked payloads
+// oldest-first while the retained bytes exceed the budget. It returns the
+// number of payloads and payload bytes evicted by this call.
+func (j *journal) ack(seq uint64) (frames int, bytes int64) {
+	if seq > j.acked {
+		j.acked = seq
+	}
+	for j.budget > 0 && j.bytes > j.budget && j.base <= j.acked && len(j.frames) > 0 {
+		n := int64(len(j.frames[0]))
+		j.bytes -= n
+		bytes += n
+		j.frames[0] = nil
+		j.frames = j.frames[1:]
+		j.base++
+		j.evicted++
+		frames++
+	}
+	return frames, bytes
+}
+
+// replayable reports whether the complete session prefix is still retained.
+func (j *journal) replayable() bool { return j.evicted == 0 }
+
+// retained returns the number of retained frames and their payload bytes.
+func (j *journal) retained() (frames int, bytes int64) {
+	return len(j.frames), j.bytes
+}

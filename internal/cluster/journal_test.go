@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mustAppend(t *testing.T, j *journal, seq uint64, payload []byte) {
+	t.Helper()
+	if err := j.append(seq, payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalOrderAndLookup(t *testing.T) {
+	j := newJournal(0) // default-free: <=0 budget is unbounded here
+	if err := j.append(2, []byte("x")); err == nil {
+		t.Fatal("gap append accepted")
+	}
+	mustAppend(t, j, 1, []byte("a"))
+	mustAppend(t, j, 2, []byte("bb"))
+	if err := j.append(2, []byte("dup")); err == nil {
+		t.Fatal("duplicate append accepted")
+	}
+	if got := j.max(); got != 2 {
+		t.Fatalf("max %d, want 2", got)
+	}
+	if !bytes.Equal(j.get(1), []byte("a")) || !bytes.Equal(j.get(2), []byte("bb")) {
+		t.Fatal("lookup returned wrong payloads")
+	}
+	if j.get(3) != nil || j.get(0) != nil {
+		t.Fatal("out-of-range lookup returned a payload")
+	}
+	if frames, b := j.retained(); frames != 2 || b != 3 {
+		t.Fatalf("retained (%d, %d), want (2, 3)", frames, b)
+	}
+}
+
+func TestJournalEvictionIsOneWay(t *testing.T) {
+	j := newJournal(5)
+	mustAppend(t, j, 1, []byte("aaa"))
+	mustAppend(t, j, 2, []byte("bbb")) // 6 bytes retained, over the 5 budget
+
+	// Nothing acked yet: nothing may be evicted, replay stays possible.
+	if f, _ := j.ack(0); f != 0 {
+		t.Fatalf("evicted %d unacked frames", f)
+	}
+	if !j.replayable() {
+		t.Fatal("journal not replayable before any eviction")
+	}
+
+	// Ack frame 1: it becomes evictable and the budget forces it out.
+	f, b := j.ack(1)
+	if f != 1 || b != 3 {
+		t.Fatalf("ack evicted (%d, %d), want (1, 3)", f, b)
+	}
+	if j.replayable() {
+		t.Fatal("journal still claims replayable after eviction")
+	}
+	if j.get(1) != nil {
+		t.Fatal("evicted payload still retrievable")
+	}
+	if !bytes.Equal(j.get(2), []byte("bbb")) {
+		t.Fatal("unacked payload evicted")
+	}
+	if got := j.max(); got != 2 {
+		t.Fatalf("max %d after eviction, want 2", got)
+	}
+}
+
+func TestJournalUnackedNeverEvicted(t *testing.T) {
+	j := newJournal(1)
+	for seq := uint64(1); seq <= 10; seq++ {
+		mustAppend(t, j, seq, []byte("payload"))
+	}
+	// Ack 4: frames 1..4 are evictable; 5..10 must survive any budget.
+	j.ack(4)
+	for seq := uint64(5); seq <= 10; seq++ {
+		if j.get(seq) == nil {
+			t.Fatalf("unacked frame %d evicted", seq)
+		}
+	}
+	if j.get(4) != nil {
+		t.Fatal("acked frame survived a 1-byte budget")
+	}
+}
+
+func TestJournalUnboundedNeverEvicts(t *testing.T) {
+	j := newJournal(-1)
+	for seq := uint64(1); seq <= 100; seq++ {
+		mustAppend(t, j, seq, make([]byte, 1024))
+	}
+	if f, _ := j.ack(100); f != 0 {
+		t.Fatalf("unbounded journal evicted %d frames", f)
+	}
+	if !j.replayable() {
+		t.Fatal("unbounded journal not replayable")
+	}
+}

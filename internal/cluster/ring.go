@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The placement ring lifts the serve package's FNV-1a shard pinning one
+// level up: inside one ibpserved process a session is pinned to a shard by
+// the FNV-1a hash of its first record's PC, and across the cluster a session
+// is pinned to a backend by the same hash looked up on a consistent-hash
+// ring. Each backend contributes VirtualNodes points (FNV-1a of
+// "addr#vnode"), so membership changes move only ~1/N of the keyspace and a
+// failover walks to the next distinct backend clockwise — a deterministic
+// candidate order every router instance agrees on.
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	hash uint32
+	b    *backend
+}
+
+// ring is an immutable consistent-hash ring; the Router rebuilds it on
+// membership change and swaps it under its lock.
+type ring struct {
+	points []ringPoint
+}
+
+// fnv32 is FNV-1a over b.
+func fnv32(b []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return h
+}
+
+// hashPC mixes a PC exactly like serve's shard pinning: FNV-1a over its four
+// little-endian bytes.
+func hashPC(pc uint32) uint32 {
+	var b [4]byte
+	b[0] = byte(pc)
+	b[1] = byte(pc >> 8)
+	b[2] = byte(pc >> 16)
+	b[3] = byte(pc >> 24)
+	return fnv32(b[:])
+}
+
+// buildRing constructs the ring over backends with vnodes points each.
+func buildRing(backends []*backend, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &ring{points: make([]ringPoint, 0, len(backends)*vnodes)}
+	for _, b := range backends {
+		for v := 0; v < vnodes; v++ {
+			h := fnv32(fmt.Appendf(nil, "%s#%d", b.addr, v))
+			r.points = append(r.points, ringPoint{hash: h, b: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].b.addr < r.points[j].b.addr // deterministic tie-break
+	})
+	return r
+}
+
+// candidates returns every distinct backend in ring-walk order starting at
+// pc's hash point: the first entry owns the session, the rest are the
+// failover order. The slice is freshly allocated per call.
+func (r *ring) candidates(pc uint32) []*backend {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashPC(pc)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]*backend, 0, 4)
+	seen := make(map[*backend]struct{}, 4)
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.b]; dup {
+			continue
+		}
+		seen[p.b] = struct{}{}
+		out = append(out, p.b)
+	}
+	return out
+}

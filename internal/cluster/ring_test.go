@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringOf(addrs ...string) (*ring, []*backend) {
+	bs := make([]*backend, len(addrs))
+	for i, a := range addrs {
+		bs[i] = newBackend(a, StateUp)
+	}
+	return buildRing(bs, 64), bs
+}
+
+// TestRingDeterministic: two rings over the same membership agree on every
+// placement and on the full failover order — the property that lets any
+// router (or a restarted one) re-derive where a session lives.
+func TestRingDeterministic(t *testing.T) {
+	addrs := []string{"10.0.0.1:9670", "10.0.0.2:9670", "10.0.0.3:9670"}
+	r1, _ := ringOf(addrs...)
+	r2, _ := ringOf(addrs[2], addrs[0], addrs[1]) // same membership, different order
+
+	for pc := uint32(0); pc < 4096; pc += 7 {
+		c1 := r1.candidates(pc)
+		c2 := r2.candidates(pc)
+		if len(c1) != len(addrs) || len(c2) != len(addrs) {
+			t.Fatalf("pc %#x: candidate walks cover %d/%d backends, want %d", pc, len(c1), len(c2), len(addrs))
+		}
+		for i := range c1 {
+			if c1[i].addr != c2[i].addr {
+				t.Fatalf("pc %#x: walk diverges at %d: %s vs %s", pc, i, c1[i].addr, c2[i].addr)
+			}
+		}
+	}
+}
+
+// TestRingStability: removing one backend must not move sessions between
+// surviving backends — consistent hashing's defining property.
+func TestRingStability(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1", "d:1"}
+	full, _ := ringOf(addrs...)
+	reduced, _ := ringOf(addrs[:3]...) // drop d:1
+
+	moved := 0
+	total := 0
+	for pc := uint32(1); pc < 1<<16; pc += 131 {
+		total++
+		before := full.candidates(pc)[0].addr
+		after := reduced.candidates(pc)[0].addr
+		if before == "d:1" {
+			continue // its keys must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d placements on surviving backends moved after removing one member", moved, total)
+	}
+}
+
+// TestRingSpread: 64 vnodes per backend keep the keyspace roughly balanced.
+func TestRingSpread(t *testing.T) {
+	r, bs := ringOf("a:1", "b:1", "c:1")
+	counts := map[*backend]int{}
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		counts[r.candidates(uint32(i*2654435761))[0]]++
+	}
+	for _, b := range bs {
+		share := float64(counts[b]) / samples
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("backend %s owns %.0f%% of the keyspace", b.addr, 100*share)
+		}
+	}
+}
+
+// TestRingWalkDistinct: the candidate walk never repeats a backend.
+func TestRingWalkDistinct(t *testing.T) {
+	r, _ := ringOf("a:1", "b:1", "c:1", "d:1", "e:1")
+	for pc := uint32(0); pc < 1000; pc++ {
+		seen := map[string]bool{}
+		for _, b := range r.candidates(pc) {
+			if seen[b.addr] {
+				t.Fatalf("pc %d: backend %s repeated in walk", pc, b.addr)
+			}
+			seen[b.addr] = true
+		}
+	}
+}
+
+// TestRingMatchesServeSharding: hashPC is FNV-1a over the PC's four
+// little-endian bytes — the same mix serve uses for shard pinning.
+func TestRingMatchesServeSharding(t *testing.T) {
+	for _, pc := range []uint32{0, 1, 0xdeadbeef, 0xffffffff} {
+		var b [4]byte
+		for i := range b {
+			b[i] = byte(pc >> (8 * i))
+		}
+		if got, want := hashPC(pc), fnv32(b[:]); got != want {
+			t.Fatalf("hashPC(%#x) = %#x, want %#x", pc, got, want)
+		}
+	}
+	// Pin a few known FNV-1a values so a quiet hash change cannot slip by
+	// (it would silently re-place every session in a mixed-version fleet).
+	if got := fnv32([]byte("")); got != 2166136261 {
+		t.Fatalf("fnv32 offset basis %d", got)
+	}
+	if got := fnv32([]byte("a")); got != 0xe40c292c {
+		t.Fatalf("fnv32(\"a\") = %#x, want 0xe40c292c", got)
+	}
+}
+
+// TestRingEmpty: an empty ring yields no candidates rather than panicking.
+func TestRingEmpty(t *testing.T) {
+	r := buildRing(nil, 64)
+	if got := r.candidates(42); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+}
+
+func BenchmarkRingCandidates(b *testing.B) {
+	addrs := make([]string, 8)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("10.0.0.%d:9670", i+1)
+	}
+	r, _ := ringOf(addrs...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.candidates(uint32(i))
+	}
+}

@@ -1,0 +1,574 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/oocsb/ibp/internal/serve"
+	"github.com/oocsb/ibp/internal/trace"
+)
+
+// Router-originated error codes, in the serve.WireError code namespace.
+const (
+	// CodeNoBackend: no placeable backend accepted the session.
+	CodeNoBackend = "no-backend"
+	// CodeFailoverLost: the backend died and the journal had already
+	// evicted part of the session prefix, so a lossless replay is
+	// impossible. The router fails the session honestly instead of
+	// resuming with corrupted predictor state.
+	CodeFailoverLost = "failover-lost"
+)
+
+// errSessionOver is connect's signal that the session already received its
+// final frame (a deterministic backend rejection was relayed).
+var errSessionOver = errors.New("cluster: session over")
+
+// outFrame is one frame queued for the client writer. final marks the
+// session's last frame; the writer closes the connection after flushing it.
+type outFrame struct {
+	typ     uint64
+	payload []byte
+	final   bool
+}
+
+// proxySession is one client connection routed through the cluster. Three
+// goroutines run it:
+//
+//   - the reader (handleConn's goroutine) parses client frames, journals
+//     records payloads, and flags Done or client loss;
+//   - the writer drains out to the client connection, batching frames per
+//     flush like serve's session writer;
+//   - the forwarder owns backend placement: it dials a backend, then pumps —
+//     a sender streaming journal frames forward and a receiver relaying
+//     acks/events back — and on backend death loops around to a survivor,
+//     replaying the journaled prefix.
+//
+// Correctness hinges on the journal invariant (see journal): as long as the
+// complete prefix is retained, a replacement backend that replays frames
+// 1..max through a fresh predictor reaches bit-identical state, because
+// prediction is deterministic in the record stream. The relayedThrough
+// watermark suppresses the duplicate acks/events a replay produces, so the
+// client sees each seq acknowledged exactly once.
+type proxySession struct {
+	id     uint64
+	r      *Router
+	conn   net.Conn
+	hello  serve.Hello
+	window int // granted client window
+
+	mu         sync.Mutex
+	j          *journal
+	done       bool // client sent Done
+	clientGone bool // client connection failed before Done
+	placed     bool
+	placedPC   uint32
+	curConn    io.Closer // live backend client (for Router.Close kicks)
+
+	// relayedThrough is the highest ack seq relayed to the client; acks and
+	// events at or below it are replay duplicates and are suppressed.
+	relayedThrough atomic.Uint64
+
+	notify chan struct{} // collapsed reader→forwarder signal
+	out    chan outFrame // writer queue
+	closed chan struct{}
+	close1 sync.Once
+
+	finalQueued atomic.Bool // a final frame has been queued (exactly-once)
+	dropped     atomic.Bool // counted in router_sessions_dropped_total
+
+	// Owned by the forwarder/sender chain (attempts are sequenced by
+	// wg.Wait, which establishes happens-before between them).
+	maxSent   uint64 // highest seq ever sent to any backend
+	failovers int
+	replayed  atomic.Int64 // frames re-sent during replays
+}
+
+func (sess *proxySession) signal() {
+	select {
+	case sess.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (sess *proxySession) isClosed() bool {
+	select {
+	case <-sess.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// close tears the session down: wakes the writer (which owns closing the
+// client connection), severs the live backend connection, and unregisters.
+// Idempotent; safe from any goroutine.
+func (sess *proxySession) close() {
+	sess.close1.Do(func() {
+		close(sess.closed)
+		sess.mu.Lock()
+		bc := sess.curConn
+		sess.mu.Unlock()
+		if bc != nil {
+			bc.Close()
+		}
+		sess.r.unregister(sess)
+	})
+}
+
+// setCurConn records the live backend connection so close (and backend
+// kicks) can sever it. If the session already closed, the new connection is
+// severed immediately.
+func (sess *proxySession) setCurConn(c io.Closer) {
+	sess.mu.Lock()
+	sess.curConn = c
+	sess.mu.Unlock()
+	if c != nil && sess.isClosed() {
+		c.Close()
+	}
+}
+
+// replayable reports whether the journal still holds the complete prefix.
+func (sess *proxySession) replayable() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.j.replayable()
+}
+
+// markDropped counts the session once in router_sessions_dropped_total.
+func (sess *proxySession) markDropped() {
+	if sess.dropped.CompareAndSwap(false, true) {
+		sess.r.m.sessionsDropped.Inc()
+	}
+}
+
+// relay queues a frame for the client, blocking for backpressure. It
+// returns false when the session closed (or a final frame already went out
+// and this one is final too).
+func (sess *proxySession) relay(typ uint64, payload []byte, final bool) bool {
+	if final && !sess.finalQueued.CompareAndSwap(false, true) {
+		return false
+	}
+	select {
+	case sess.out <- outFrame{typ, payload, final}:
+		return true
+	case <-sess.closed:
+		return false
+	}
+}
+
+// failClient ends the session with a WireError, if no final frame went out
+// yet. Non-blocking: a client that stopped reading gets a hard close.
+func (sess *proxySession) failClient(code, msg string) {
+	if !sess.finalQueued.CompareAndSwap(false, true) {
+		return
+	}
+	sess.markDropped()
+	sess.r.log.Warn("session failed", "session", sess.id, "code", code, "err", msg)
+	payload, _ := json.Marshal(&serve.WireError{Code: code, Msg: msg})
+	select {
+	case sess.out <- outFrame{serve.FrameError, payload, true}:
+	default:
+		sess.close()
+	}
+}
+
+// writeLoop drains out to the client connection, mirroring serve's batched
+// session writer: every queued frame joins the current flush. It owns the
+// client connection's close — after a final frame's flush, or on session
+// close (draining anything already queued first, so an early close cannot
+// drop a queued Summary).
+func (sess *proxySession) writeLoop() {
+	defer sess.r.connWG.Done()
+	fw := trace.NewFrameWriter(sess.conn)
+	flush := func() error {
+		sess.conn.SetWriteDeadline(time.Now().Add(sess.r.cfg.WriteTimeout))
+		return fw.Flush()
+	}
+	finish := func() {
+		flush()
+		sess.conn.Close()
+		sess.close()
+	}
+	for {
+		select {
+		case m := <-sess.out:
+			final := m.final
+			fw.WriteFrame(m.typ, m.payload)
+			for !final {
+				select {
+				case n := <-sess.out:
+					fw.WriteFrame(n.typ, n.payload)
+					final = n.final
+					continue
+				default:
+				}
+				break
+			}
+			if final {
+				finish()
+				return
+			}
+			if err := flush(); err != nil {
+				sess.conn.Close()
+				sess.close()
+				return
+			}
+		case <-sess.closed:
+			// Deliver anything already queued before closing.
+			for {
+				select {
+				case m := <-sess.out:
+					fw.WriteFrame(m.typ, m.payload)
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			sess.conn.Close()
+			return
+		}
+	}
+}
+
+// readLoop parses client frames until Done, a protocol violation, or client
+// loss. Records payloads are journaled verbatim (the frame reader allocates
+// a fresh payload per frame, so retaining them is safe).
+func (sess *proxySession) readLoop(fr *trace.FrameReader) {
+	r := sess.r
+	var nextSeq uint64
+	for {
+		if sess.isClosed() {
+			return
+		}
+		sess.conn.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout))
+		f, err := fr.Next()
+		if err != nil {
+			sess.mu.Lock()
+			done := sess.done
+			if !done {
+				sess.clientGone = true
+			}
+			sess.mu.Unlock()
+			if !done && !sess.isClosed() {
+				sess.markDropped()
+				r.log.Warn("client connection lost", "session", sess.id, "err", err)
+			}
+			sess.signal()
+			return
+		}
+		switch f.Type {
+		case serve.FrameRecords:
+			seq, n := binary.Uvarint(f.Payload)
+			if n <= 0 {
+				sess.failClient(serve.CodeBadFrame, "records frame without seq")
+				return
+			}
+			if seq != nextSeq+1 {
+				sess.failClient(serve.CodeBadSeq, fmt.Sprintf("frame seq %d, want %d", seq, nextSeq+1))
+				return
+			}
+			nextSeq = seq
+			if seq-sess.relayedThrough.Load() > uint64(sess.window)+1 {
+				sess.failClient(serve.CodeOverLimit, fmt.Sprintf("more than %d frames in flight", sess.window))
+				return
+			}
+			sess.mu.Lock()
+			if !sess.placed {
+				// Placement key: the first record's PC, decoded once here.
+				recs, derr := trace.DecodeRecords(f.Payload[n:], r.cfg.MaxFrameRecords)
+				if derr != nil {
+					sess.mu.Unlock()
+					sess.failClient(serve.CodeBadFrame, derr.Error())
+					return
+				}
+				if len(recs) > 0 {
+					sess.placedPC = recs[0].PC
+				}
+				sess.placed = true
+			}
+			jerr := sess.j.append(seq, f.Payload)
+			sess.mu.Unlock()
+			if jerr != nil {
+				sess.failClient(serve.CodeBadSeq, jerr.Error())
+				return
+			}
+			r.m.frames.Inc()
+			r.m.journalBytes.Add(float64(len(f.Payload)))
+			sess.signal()
+		case serve.FrameDone:
+			sess.mu.Lock()
+			sess.done = true
+			sess.mu.Unlock()
+			sess.signal()
+			return
+		default:
+			// Ignore unknown client frame types for forward compatibility,
+			// like serve's session reader.
+		}
+	}
+}
+
+// awaitPlacement blocks until the session has a placement key (first records
+// frame decoded), the client finished an empty session (Done with no
+// records: place by pc 0), or there is nothing left to do.
+func (sess *proxySession) awaitPlacement() (pc uint32, ok bool) {
+	for {
+		sess.mu.Lock()
+		placed, done, gone := sess.placed, sess.done, sess.clientGone
+		pc = sess.placedPC
+		sess.mu.Unlock()
+		switch {
+		case placed:
+			return pc, true
+		case done:
+			return 0, true
+		case gone:
+			return 0, false
+		}
+		select {
+		case <-sess.notify:
+		case <-sess.closed:
+			return 0, false
+		}
+	}
+}
+
+// forward owns the session's backend side: place, pump, and on backend loss
+// fail over — dial the next ring candidate and replay the journaled prefix.
+func (sess *proxySession) forward() {
+	defer sess.r.connWG.Done()
+	defer func() {
+		// If a final frame is queued the writer finishes and closes; a
+		// session ending without one (client loss) is torn down here.
+		if !sess.finalQueued.Load() {
+			sess.close()
+		}
+	}()
+	pc, ok := sess.awaitPlacement()
+	if !ok {
+		return
+	}
+	var avoid *backend
+	for {
+		if sess.isClosed() {
+			return
+		}
+		b, bc, err := sess.r.connectSession(sess, pc, avoid)
+		if err == errSessionOver {
+			return
+		}
+		if err != nil {
+			sess.failClient(CodeNoBackend, fmt.Sprintf("no backend accepted the session: %v", err))
+			return
+		}
+		res := sess.pump(b, bc)
+		bc.Close()
+		b.detach(sess)
+		sess.setCurConn(nil)
+		if res == pumpTerminal {
+			return
+		}
+		// Backend lost mid-session. Replay onto a survivor if the journal
+		// still holds the complete prefix.
+		if sess.isClosed() {
+			return
+		}
+		sess.mu.Lock()
+		replayOK := sess.j.replayable()
+		gone := sess.clientGone && !sess.done
+		sess.mu.Unlock()
+		if gone {
+			return // client vanished too; nothing to preserve
+		}
+		if !replayOK {
+			sess.r.m.replayLost.Inc()
+			sess.failClient(CodeFailoverLost,
+				"backend lost after journal eviction; lossless replay impossible")
+			return
+		}
+		sess.failovers++
+		sess.r.m.failovers.Inc()
+		sess.r.log.Info("session failover", "session", sess.id,
+			"from", b.addr, "failovers", sess.failovers)
+		avoid = b
+	}
+}
+
+type pumpResult int
+
+const (
+	pumpTerminal pumpResult = iota // session finished (final frame queued) or client gone
+	pumpRetry                      // backend lost; fail over
+)
+
+// pump runs one backend attempt: a sender goroutine streams journal frames
+// (from seq 1 — a replay on every attempt after the first) and Done, while
+// the receiver relays acks and events past the relayedThrough watermark and
+// terminates on the backend's Summary or WireError.
+func (sess *proxySession) pump(b *backend, bc *serve.Client) pumpResult {
+	r := sess.r
+	window := bc.Session().Window
+	if window < 1 {
+		window = 1
+	}
+	// Backend-side in-flight window, released one slot per ack received.
+	sem := make(chan struct{}, window)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	stopSender := func() { abortOnce.Do(func() { close(abort) }) }
+	defer stopSender()
+
+	var senderSawGone atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // sender
+		defer wg.Done()
+		next := uint64(1)
+		for {
+			sess.mu.Lock()
+			payload := sess.j.get(next)
+			doneAll := sess.done && next > sess.j.max()
+			gone := sess.clientGone && !sess.done
+			sess.mu.Unlock()
+			switch {
+			case payload != nil:
+				select {
+				case sem <- struct{}{}:
+				case <-abort:
+					return
+				case <-sess.closed:
+					return
+				}
+				if next <= sess.maxSent {
+					sess.replayed.Add(1)
+					r.m.replayedFrames.Inc()
+				} else {
+					sess.maxSent = next
+				}
+				if bc.WriteFrame(serve.FrameRecords, payload) != nil || bc.Flush() != nil {
+					return // receiver sees the conn error
+				}
+				next++
+			case doneAll:
+				bc.WriteFrame(serve.FrameDone, nil)
+				bc.Flush()
+				return
+			case gone:
+				// No Summary is coming from the client's perspective; wake
+				// the receiver out of its read so the attempt ends.
+				senderSawGone.Store(true)
+				bc.Close()
+				return
+			default:
+				select {
+				case <-sess.notify:
+				case <-abort:
+					return
+				case <-sess.closed:
+					return
+				}
+			}
+		}
+	}()
+
+	result := pumpRetry
+recv:
+	for {
+		f, err := bc.ReadFrame(0)
+		if err != nil {
+			if senderSawGone.Load() || sess.isClosed() {
+				result = pumpTerminal
+			} else {
+				b.noteSessionError(r)
+				result = pumpRetry
+			}
+			break recv
+		}
+		switch f.Type {
+		case serve.FrameAck:
+			seq, n := binary.Uvarint(f.Payload)
+			if n <= 0 {
+				b.noteSessionError(r)
+				break recv // corrupt ack; treat as backend loss
+			}
+			select {
+			case <-sem:
+			default:
+			}
+			sess.mu.Lock()
+			evFrames, evBytes := sess.j.ack(seq)
+			sess.mu.Unlock()
+			if evFrames > 0 {
+				r.m.journalEvicted.Add(uint64(evFrames))
+				r.m.journalBytes.Add(-float64(evBytes))
+			}
+			if seq > sess.relayedThrough.Load() {
+				if !sess.relay(serve.FrameAck, f.Payload, false) {
+					result = pumpTerminal
+					break recv
+				}
+				sess.relayedThrough.Store(seq)
+				r.m.acksRelayed.Inc()
+			}
+		case serve.FrameEvents:
+			// Events for a frame precede its ack, so the ack watermark also
+			// identifies replay-duplicate event frames.
+			seq, n := binary.Uvarint(f.Payload)
+			if n > 0 && seq > sess.relayedThrough.Load() {
+				if !sess.relay(serve.FrameEvents, f.Payload, false) {
+					result = pumpTerminal
+					break recv
+				}
+			}
+		case serve.FrameSummary:
+			var sum serve.Summary
+			if json.Unmarshal(f.Payload, &sum) != nil {
+				b.noteSessionError(r)
+				break recv
+			}
+			sess.mu.Lock()
+			done := sess.done
+			sess.mu.Unlock()
+			if sum.Drained || !done {
+				// The backend drained (its own SIGTERM) before the session
+				// finished: its summary covers only a prefix. Discard it
+				// and migrate — the replay makes the cut invisible.
+				break recv
+			}
+			sum.Session = sess.id
+			sum.Router = &serve.RouterInfo{
+				Backend:        b.addr,
+				Failovers:      sess.failovers,
+				ReplayedFrames: int(sess.replayed.Load()),
+			}
+			payload, _ := json.Marshal(sum)
+			sess.relay(serve.FrameSummary, payload, true)
+			result = pumpTerminal
+			break recv
+		case serve.FrameError:
+			var we serve.WireError
+			if json.Unmarshal(f.Payload, &we) != nil || we.Code == serve.CodeOverload {
+				// Overload is a transient shed: another backend may accept.
+				break recv
+			}
+			// Deterministic rejection — a replay would fail identically, so
+			// relay the backend's verdict as the session's final frame.
+			sess.markDropped()
+			sess.relay(serve.FrameError, f.Payload, true)
+			result = pumpTerminal
+			break recv
+		}
+	}
+	stopSender()
+	bc.Close() // wakes a sender blocked in a write
+	wg.Wait()
+	return result
+}

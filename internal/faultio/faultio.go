@@ -1,8 +1,11 @@
-// Package faultio provides fault-injecting io.Reader and io.Writer wrappers
-// for testing the robustness of stream codecs: readers that fail or truncate
-// after a byte budget, readers that flip bits mid-stream, and writers that
-// fail or perform short writes. The trace format's corruption-recovery tests
-// are the primary consumer.
+// Package faultio provides fault injection for robustness tests at two
+// levels: io.Reader and io.Writer wrappers for stream codecs (readers that
+// fail or truncate after a byte budget, readers that flip bits mid-stream,
+// writers that fail or perform short writes — the trace format's
+// corruption-recovery tests are the primary consumer), and a network fault
+// Proxy that forwards TCP connections while injecting drops, latency,
+// partial writes, and abrupt resets (the cluster router's chaos matrix is
+// the primary consumer).
 package faultio
 
 import (

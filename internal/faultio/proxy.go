@@ -1,0 +1,225 @@
+package faultio
+
+import (
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyConfig selects the faults a Proxy injects into the links it carries.
+// The zero value is a transparent TCP proxy.
+type ProxyConfig struct {
+	// DropAfterBytes severs a link once that many payload bytes have been
+	// forwarded across it (both directions combined). The byte at the
+	// boundary is forwarded, then the link dies — so a drop landing inside
+	// a wire frame produces exactly the mid-frame truncation a crashed peer
+	// leaves behind. Zero never drops.
+	DropAfterBytes int64
+	// RST severs links abruptly (SO_LINGER 0, so the peer sees a connection
+	// reset) instead of a clean FIN. Applies to DropAfterBytes cuts and to
+	// Sever/Close.
+	RST bool
+	// Latency delays every forwarded chunk; LatencyJitter adds a uniform
+	// extra in [0, LatencyJitter). Zero forwards immediately.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// ChunkBytes caps the bytes moved per write, splitting large frames
+	// into many small partial writes. Zero forwards whole reads.
+	ChunkBytes int
+	// Seed makes the latency jitter reproducible; zero derives one from a
+	// shared sequence so two proxies in one test still differ.
+	Seed int64
+}
+
+// Proxy is a fault-injecting TCP proxy for chaos tests: it listens on a
+// loopback port, forwards every accepted connection to Target, and injects
+// the configured faults into the byte streams. It is safe for use by any
+// package's tests (the cluster chaos matrix is the primary consumer):
+// placing one between a client and a server — or between the ibprouter and a
+// backend — simulates slow networks, flaky links, and peers that die
+// mid-frame, without touching either endpoint.
+type Proxy struct {
+	Target string
+	cfg    ProxyConfig
+
+	ln     net.Listener
+	mu     sync.Mutex
+	links  map[*proxyLink]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+var proxySeq atomic.Int64
+
+// NewProxy starts a proxy for target on an ephemeral loopback port.
+func NewProxy(target string, cfg ProxyConfig) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x1bf00d + proxySeq.Add(1)
+	}
+	p := &Proxy{Target: target, cfg: cfg, ln: ln, links: make(map[*proxyLink]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Links reports the number of live proxied connections.
+func (p *Proxy) Links() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.links)
+}
+
+// Sever cuts every live link (with RST when configured) while continuing to
+// accept new connections — the "backend process died and came right back"
+// shape.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	links := make([]*proxyLink, 0, len(p.links))
+	for l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	for _, l := range links {
+		l.sever()
+	}
+}
+
+// Close stops accepting, severs every live link, and waits for the pumps to
+// exit. Safe to call more than once.
+func (p *Proxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.Sever()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.Target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		l := &proxyLink{p: p, down: conn, up: up}
+		l.budget.Store(p.cfg.DropAfterBytes)
+		p.mu.Lock()
+		if p.closed.Load() {
+			p.mu.Unlock()
+			l.sever()
+			continue
+		}
+		p.links[l] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go l.pump(l.down, l.up, p.cfg.Seed*2+1)
+		go l.pump(l.up, l.down, p.cfg.Seed*2+2)
+	}
+}
+
+// proxyLink is one proxied connection pair. Both directions share the drop
+// budget, so the cut lands at a single well-defined total byte count.
+type proxyLink struct {
+	p        *Proxy
+	down, up net.Conn // client side, target side
+	budget   atomic.Int64
+	severed  atomic.Bool
+	pumps    atomic.Int32
+}
+
+// sever kills both sides of the link exactly once.
+func (l *proxyLink) sever() {
+	if !l.severed.CompareAndSwap(false, true) {
+		return
+	}
+	if l.p.cfg.RST {
+		if tc, ok := l.down.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		if tc, ok := l.up.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+	}
+	l.down.Close()
+	l.up.Close()
+	l.p.mu.Lock()
+	delete(l.p.links, l)
+	l.p.mu.Unlock()
+}
+
+// pump copies src to dst through the fault pipeline until the link dies.
+func (l *proxyLink) pump(src, dst net.Conn, seed int64) {
+	defer l.p.wg.Done()
+	// Once both directions are finished (clean FINs included) the link is
+	// gone: close what remains and drop it from the live set.
+	defer func() {
+		if l.pumps.Add(1) == 2 {
+			l.sever()
+		}
+	}()
+	cfg := l.p.cfg
+	rng := rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x9e3779b97f4a7c15))
+	readBuf := 32 << 10
+	if cfg.ChunkBytes > 0 && cfg.ChunkBytes < readBuf {
+		readBuf = cfg.ChunkBytes
+	}
+	buf := make([]byte, readBuf)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if cfg.Latency > 0 || cfg.LatencyJitter > 0 {
+				d := cfg.Latency
+				if cfg.LatencyJitter > 0 {
+					d += time.Duration(rng.Int64N(int64(cfg.LatencyJitter)))
+				}
+				time.Sleep(d)
+			}
+			out := buf[:n]
+			if cfg.DropAfterBytes > 0 {
+				left := l.budget.Add(-int64(n))
+				if left <= 0 {
+					// Forward exactly up to the boundary, then cut.
+					keep := int64(n) + left
+					if keep > 0 {
+						dst.Write(out[:keep])
+					}
+					l.sever()
+					return
+				}
+			}
+			if _, err := dst.Write(out); err != nil {
+				l.sever()
+				return
+			}
+		}
+		if err != nil {
+			if err == io.EOF && !l.severed.Load() {
+				// Clean half-close: propagate the FIN, let the other
+				// direction finish.
+				if tc, ok := dst.(*net.TCPConn); ok {
+					tc.CloseWrite()
+					return
+				}
+			}
+			l.sever()
+			return
+		}
+	}
+}

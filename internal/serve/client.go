@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -17,9 +19,15 @@ type DialOptions struct {
 	Timeout time.Duration
 	// Retries is the number of re-dial attempts after a failed one.
 	Retries int
-	// Backoff is the sleep before the first retry; it doubles per attempt.
-	// Defaults to 100ms.
+	// Backoff is the sleep before the first retry; it doubles per attempt
+	// up to MaxBackoff. Defaults to 100ms.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff. Defaults to 2s.
+	MaxBackoff time.Duration
+
+	// sleep is the backoff sleeper, a test seam. The default honors
+	// context cancellation mid-sleep.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -29,7 +37,35 @@ func (o DialOptions) withDefaults() DialOptions {
 	if o.Backoff <= 0 {
 		o.Backoff = 100 * time.Millisecond
 	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Backoff > o.MaxBackoff {
+		o.Backoff = o.MaxBackoff
+	}
+	if o.sleep == nil {
+		o.sleep = sleepContext
+	}
 	return o
+}
+
+// sleepContext sleeps for d or until ctx is cancelled, whichever comes
+// first, returning ctx.Err() on cancellation.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jitter spreads d by ±20% so a fleet of clients (or a router's failover
+// storm) does not retry in lockstep.
+func jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
 }
 
 // Client is one prediction session against an ibpserved instance. It is not
@@ -48,17 +84,35 @@ type Client struct {
 }
 
 // Dial connects, retrying with exponential backoff, and performs the
-// Hello/HelloAck handshake.
+// Hello/HelloAck handshake. It is DialContext with a background context.
 func Dial(addr string, hello Hello, o DialOptions) (*Client, error) {
+	return DialContext(context.Background(), addr, hello, o)
+}
+
+// DialContext connects, retrying with capped, ±20%-jittered exponential
+// backoff, and performs the Hello/HelloAck handshake. Cancelling ctx aborts
+// the dial immediately, including mid-backoff; the returned error then
+// matches ctx.Err(). A Hello the server rejects (a *WireError) is
+// deterministic and short-circuits the retry loop.
+func DialContext(ctx context.Context, addr string, hello Hello, o DialOptions) (*Client, error) {
 	o = o.withDefaults()
 	backoff := o.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= o.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			if err := o.sleep(ctx, jitter(backoff)); err != nil {
+				if lastErr != nil {
+					return nil, fmt.Errorf("serve: dial %s: %w (last attempt: %v)", addr, err, lastErr)
+				}
+				return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+			}
+			backoff = min(backoff*2, o.MaxBackoff)
 		}
-		conn, err := net.DialTimeout("tcp", addr, o.Timeout)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+		}
+		d := net.Dialer{Timeout: o.Timeout}
+		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err != nil {
 			lastErr = err
 			continue
@@ -124,6 +178,37 @@ func (c *Client) Session() HelloAck { return c.ack }
 
 // Close tears the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Raw frame relay
+//
+// A relay (the ibprouter cluster ingress) speaks the session protocol on
+// behalf of another client: it forwards records frames it did not generate
+// and interprets acks it will not consume. These methods expose the
+// connection at frame granularity for that use; they must not be mixed with
+// Stream, which owns the connection's read side from its own goroutine.
+
+// WriteFrame buffers one raw protocol frame. Flush sends it.
+func (c *Client) WriteFrame(typ uint64, payload []byte) error {
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	return c.fw.WriteFrame(typ, payload)
+}
+
+// Flush writes all buffered frames with the dial timeout as write deadline.
+func (c *Client) Flush() error {
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	return c.fw.Flush()
+}
+
+// ReadFrame reads the next server frame. A non-zero deadline bounds the
+// wait; zero blocks until a frame arrives or the connection dies.
+func (c *Client) ReadFrame(deadline time.Duration) (trace.Frame, error) {
+	if deadline > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(deadline))
+	} else {
+		c.conn.SetReadDeadline(time.Time{})
+	}
+	return c.fr.Next()
+}
 
 // Stream replays tr through the session in frames of recsPerFrame records
 // (<=0 picks the server's maximum), keeping at most the granted window of

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// deadAddr reserves a loopback port and releases it, yielding an address
+// that refuses connections (nothing re-binds it during the test).
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDialBackoffSchedule pins the retry schedule: exponential from Backoff,
+// capped at MaxBackoff, each sleep jittered within ±20%.
+func TestDialBackoffSchedule(t *testing.T) {
+	addr := deadAddr(t)
+	var sleeps []time.Duration
+	o := DialOptions{
+		Timeout:    200 * time.Millisecond,
+		Retries:    5,
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 40 * time.Millisecond,
+		sleep: func(_ context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			return nil // don't actually wait: the schedule is what's under test
+		},
+	}
+	if _, err := DialContext(context.Background(), addr, Hello{}, o); err == nil {
+		t.Fatal("dial against a dead address succeeded")
+	}
+	want := []time.Duration{10, 20, 40, 40, 40} // ms, pre-jitter
+	if len(sleeps) != len(want) {
+		t.Fatalf("%d backoff sleeps for %d retries, want %d", len(sleeps), o.Retries, len(want))
+	}
+	for i, s := range sleeps {
+		base := want[i] * time.Millisecond
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if s < lo || s > hi {
+			t.Errorf("sleep %d = %v outside jitter bounds [%v, %v]", i, s, lo, hi)
+		}
+	}
+}
+
+// TestDialWireErrorShortCircuit: a Hello the server rejects is deterministic,
+// so the retry loop must stop after the first attempt — no backoff sleeps, no
+// useless re-dials.
+func TestDialWireErrorShortCircuit(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	bad := defaultFlags()
+	bad.Path = -3
+	sleeps := 0
+	o := DialOptions{
+		Timeout: 5 * time.Second,
+		Retries: 5,
+		Backoff: time.Millisecond,
+		sleep: func(_ context.Context, d time.Duration) error {
+			sleeps++
+			return nil
+		},
+	}
+	_, err := DialContext(context.Background(), addr, Hello{Predictor: &bad}, o)
+	var we *WireError
+	if !errors.As(err, &we) || we.Code != CodeBadHello {
+		t.Fatalf("want bad-hello WireError, got %v", err)
+	}
+	if sleeps != 0 {
+		t.Fatalf("%d backoff sleeps after a deterministic rejection, want 0", sleeps)
+	}
+}
+
+// TestDialContextCancelDuringBackoff: cancellation mid-backoff aborts the
+// dial immediately rather than sleeping out the schedule.
+func TestDialContextCancelDuringBackoff(t *testing.T) {
+	addr := deadAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := DialContext(ctx, addr, Hello{}, DialOptions{
+		Timeout: 200 * time.Millisecond,
+		Retries: 3,
+		Backoff: 10 * time.Second, // would dominate the test if not interrupted
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep was not interrupted", elapsed)
+	}
+}
+
+// TestDialContextAlreadyCancelled: a cancelled context never dials at all.
+func TestDialContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := DialContext(ctx, deadAddr(t), Hello{}, DialOptions{Retries: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

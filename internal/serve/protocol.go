@@ -151,6 +151,21 @@ type Summary struct {
 	// the client sent Done; every acknowledged frame is still included in
 	// the totals above.
 	Drained bool `json:"drained,omitempty"`
+	// Router is attached by the ibprouter cluster ingress when the session
+	// was placed through it; sessions served directly leave it nil.
+	Router *RouterInfo `json:"router,omitempty"`
+}
+
+// RouterInfo is the cluster router's addition to a Summary: where the
+// session ended up and what the failover machinery did to keep it alive.
+type RouterInfo struct {
+	// Backend is the address of the backend that delivered the Summary.
+	Backend string `json:"backend"`
+	// Failovers counts mid-session backend replacements (each one a
+	// journal replay onto a survivor).
+	Failovers int `json:"failovers"`
+	// ReplayedFrames counts records frames re-sent during those replays.
+	ReplayedFrames int `json:"replayedFrames,omitempty"`
 }
 
 // WireError is the payload of a FrameError.

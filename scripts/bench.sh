@@ -38,4 +38,10 @@ go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime "$benchtime" 
 go test -run '^$' -bench '^BenchmarkServeLoopback$' -benchtime "$benchtime" \
   ./internal/serve | tee -a "$raw"
 
+# Cluster-path throughput: the same stream through ibprouter's full path
+# (journaling, relay, a 2-backend fleet) — the router's overhead relative to
+# BenchmarkServeLoopback is the number to watch.
+go test -run '^$' -bench '^BenchmarkRouterLoopback$' -benchtime "$benchtime" \
+  ./internal/cluster | tee -a "$raw"
+
 go run ./cmd/ibpsweep -benchjson "$out" -benchraw "$raw" -run "$run" -n "$n"
