@@ -37,6 +37,10 @@ type benchReport struct {
 	// GoTest carries parsed `go test -bench` results when scripts/bench.sh
 	// passes the raw output via -benchraw.
 	GoTest []goTestBench `json:"go_test,omitempty"`
+	// Loadgen carries an ibpload run's end-to-end numbers (throughput and
+	// frame-latency percentiles over real sockets) when scripts/bench.sh
+	// passes its JSON report via -loadjson.
+	Loadgen *loadgenBench `json:"loadgen,omitempty"`
 }
 
 type predictorBench struct {
@@ -53,9 +57,24 @@ type experimentBench struct {
 }
 
 type goTestBench struct {
-	Name string  `json:"name"`
-	Iter int     `json:"iterations"`
-	NsOp float64 `json:"ns_per_op"`
+	Name      string  `json:"name"`
+	Iter      int     `json:"iterations"`
+	NsOp      float64 `json:"ns_per_op"`
+	RecordsPS float64 `json:"records_per_s,omitempty"`
+	AllocsOp  float64 `json:"allocs_per_op,omitempty"`
+}
+
+// loadgenBench is the subset of ibpload's JSON report that belongs in the
+// snapshot; field names mirror the ibpload report so the file parses as-is.
+type loadgenBench struct {
+	Addr       string  `json:"addr"`
+	Conns      int     `json:"conns"`
+	Records    int     `json:"records"`
+	RecordsPS  float64 `json:"recordsPerSec"`
+	LatencyP50 float64 `json:"frameLatencyP50Ms"`
+	LatencyP95 float64 `json:"frameLatencyP95Ms"`
+	LatencyP99 float64 `json:"frameLatencyP99Ms"`
+	Failed     int     `json:"failed"`
 }
 
 // benchPredictors are the throughput subjects, mirroring the Predictor*
@@ -133,7 +152,22 @@ func parseGoTestBench(path string) ([]goTestBench, error) {
 		if err1 != nil || err2 != nil || fields[3] != "ns/op" {
 			continue
 		}
-		out = append(out, goTestBench{Name: fields[0], Iter: iter, NsOp: ns})
+		gt := goTestBench{Name: fields[0], Iter: iter, NsOp: ns}
+		// Trailing value/unit pairs: custom b.ReportMetric units (records/s)
+		// and -benchmem columns (allocs/op).
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "records/s":
+				gt.RecordsPS = v
+			case "allocs/op":
+				gt.AllocsOp = v
+			}
+		}
+		out = append(out, gt)
 	}
 	return out, sc.Err()
 }
@@ -141,7 +175,7 @@ func parseGoTestBench(path string) ([]goTestBench, error) {
 // runBenchJSON produces the benchmark snapshot: predictor throughput, wall
 // times for the selected experiments, and (optionally) embedded go-test
 // results, written atomically to outPath.
-func runBenchJSON(ctx context.Context, outPath, benchRaw string, selected []experiment.Experiment, traceLen int) error {
+func runBenchJSON(ctx context.Context, outPath, benchRaw, loadJSON string, selected []experiment.Experiment, traceLen int) error {
 	rep := benchReport{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
@@ -195,6 +229,18 @@ func runBenchJSON(ctx context.Context, outPath, benchRaw string, selected []expe
 			return fmt.Errorf("parsing %s: %w", benchRaw, err)
 		}
 		rep.GoTest = gt
+	}
+
+	if loadJSON != "" {
+		data, err := os.ReadFile(loadJSON)
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", loadJSON, err)
+		}
+		var lg loadgenBench
+		if err := json.Unmarshal(data, &lg); err != nil {
+			return fmt.Errorf("parsing %s: %w", loadJSON, err)
+		}
+		rep.Loadgen = &lg
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -169,6 +169,7 @@ type options struct {
 	resume    bool
 	benchJSON string
 	benchRaw  string
+	loadJSON  string
 
 	progress    bool   // live status line on stderr
 	metricsAddr string // serve /metrics + /vars here
@@ -186,6 +187,7 @@ func main() {
 	flag.BoolVar(&o.resume, "resume", false, "skip experiments already journaled in the -csv dir's manifest")
 	flag.StringVar(&o.benchJSON, "benchjson", "", "write a benchmark snapshot (predictor ns/branch + experiment wall-times) to this JSON file instead of printing tables")
 	flag.StringVar(&o.benchRaw, "benchraw", "", "with -benchjson: embed parsed `go test -bench` output from this file")
+	flag.StringVar(&o.loadJSON, "loadjson", "", "with -benchjson: embed an ibpload -json report (throughput + latency percentiles) from this file")
 	flag.BoolVar(&o.progress, "progress", false, "render a live cells-done/total + miss-rate + ETA line on stderr")
 	flag.StringVar(&o.metricsAddr, "metrics", "", "serve telemetry at this address (/metrics Prometheus text, /vars JSON)")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof at this address")
@@ -279,7 +281,7 @@ func realMain(ctx context.Context, o options) error {
 		}
 	}
 	if o.benchJSON != "" {
-		return runBenchJSON(ctx, o.benchJSON, o.benchRaw, selected, o.traceLen)
+		return runBenchJSON(ctx, o.benchJSON, o.benchRaw, o.loadJSON, selected, o.traceLen)
 	}
 
 	ectx := experiment.NewContext(o.traceLen).WithContext(ctx)

@@ -160,6 +160,7 @@ type Router struct {
 	m        *metrics
 	predName string
 	log      *slog.Logger
+	pool     *trace.BufferPool // frame payload buffers, shared by all sessions
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -196,6 +197,7 @@ func New(cfg Config) (*Router, error) {
 		m:        newMetrics(telemetry.Default()),
 		predName: pred.Name(),
 		log:      cfg.Log,
+		pool:     trace.NewBufferPool(),
 		ctx:      ctx,
 		cancel:   cancel,
 		backends: make(map[string]*backend, len(cfg.Backends)),
@@ -328,19 +330,22 @@ func (r *Router) handleConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	fr := trace.NewFrameReader(conn, r.cfg.MaxFramePayload)
+	fr := trace.NewPooledFrameReader(conn, r.cfg.MaxFramePayload, r.pool)
 	f, err := fr.Next()
 	if err != nil {
 		r.rejectConn(conn, serve.CodeBadFrame, err.Error())
 		return
 	}
 	if f.Type != serve.FrameHello {
+		f.Release()
 		r.rejectConn(conn, serve.CodeBadHello, fmt.Sprintf("first frame type %#x, want hello", f.Type))
 		return
 	}
 	var hello serve.Hello
-	if err := json.Unmarshal(f.Payload, &hello); err != nil {
-		r.rejectConn(conn, serve.CodeBadHello, err.Error())
+	uerr := json.Unmarshal(f.Payload, &hello)
+	f.Release()
+	if uerr != nil {
+		r.rejectConn(conn, serve.CodeBadHello, uerr.Error())
 		return
 	}
 	// Resolve the predictor locally so the HelloAck can announce its name,
@@ -405,14 +410,15 @@ func (r *Router) handleConn(conn net.Conn) {
 		MaxFrameRecords: r.cfg.MaxFrameRecords,
 		Events:          hello.Events,
 	})
-	sess.relay(serve.FrameHelloAck, ackPayload, false)
+	sess.relay(serve.FrameHelloAck, ackPayload, nil, false)
 	r.log.Info("session open", "session", sess.id, "benchmark", hello.Benchmark,
 		"predictor", pred.Name(), "window", window)
 	sess.readLoop(fr)
 }
 
-// unregister removes the session from the live set exactly once and settles
-// its journal's contribution to the byte gauge.
+// unregister removes the session from the live set exactly once, returns the
+// journal's retained buffers to the pool, and settles its contribution to
+// the byte gauge.
 func (r *Router) unregister(sess *proxySession) {
 	r.mu.Lock()
 	_, live := r.sessions[sess]
@@ -423,7 +429,7 @@ func (r *Router) unregister(sess *proxySession) {
 	}
 	r.m.sessionsActive.Add(-1)
 	sess.mu.Lock()
-	_, bytes := sess.j.retained()
+	bytes := sess.j.releaseAll()
 	sess.mu.Unlock()
 	if bytes > 0 {
 		r.m.journalBytes.Add(-float64(bytes))
@@ -489,7 +495,7 @@ func (r *Router) connectSession(sess *proxySession, pc uint32, avoid *backend) (
 					// every backend would refuse identically.
 					sess.markDropped()
 					payload, _ := json.Marshal(we)
-					sess.relay(serve.FrameError, payload, true)
+					sess.relay(serve.FrameError, payload, nil, true)
 					return nil, nil, errSessionOver
 				}
 				lastErr = err

@@ -348,3 +348,60 @@ func BenchmarkRouterLoopback(b *testing.B) {
 		b.ReportMetric(float64(b.N*len(tr))/elapsed.Seconds(), "records/s")
 	}
 }
+
+// BenchmarkRouterScaling measures aggregate throughput through one router as
+// the loopback backend fleet grows, with as many concurrent clients as
+// backends. On a multi-core host the records/s column should scale close to
+// linearly until the router's own relay loop saturates; the gap from linear
+// is the router overhead satellite the bench snapshot tracks.
+func BenchmarkRouterScaling(b *testing.B) {
+	for _, backends := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends=%d", backends), func(b *testing.B) {
+			addrs := make([]string, backends)
+			for i := range addrs {
+				_, addrs[i] = startServe(b)
+			}
+			_, addr := startRouter(b, addrs, nil)
+			tr := suiteTrace(b, "gcc", 20000)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errc := make(chan error, backends)
+			for w := 0; w < backends; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						c, err := serve.Dial(addr, serve.Hello{Benchmark: "gcc"},
+							serve.DialOptions{Timeout: 30 * time.Second})
+						if err != nil {
+							errc <- err
+							return
+						}
+						sum, err := c.Stream(tr, 2048, nil)
+						c.Close()
+						if err != nil {
+							errc <- err
+							return
+						}
+						if sum.Records != len(tr) {
+							errc <- fmt.Errorf("summary records %d, want %d", sum.Records, len(tr))
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			if elapsed := b.Elapsed(); elapsed > 0 {
+				b.ReportMetric(float64(b.N*backends*len(tr))/elapsed.Seconds(), "records/s")
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/oocsb/ibp/internal/trace"
+)
 
 // journal is a session's replay log: every records frame the client has sent,
 // retained as the exact FrameRecords payload that went over the wire. It is
@@ -16,27 +20,40 @@ import "fmt"
 // payload is gone the prefix is incomplete, replayable() turns false, and a
 // later backend death honestly fails the session instead of silently
 // resuming with corrupted predictor state.
+//
+// Payloads arrive borrowed from the router's frame-buffer pool: append takes
+// over the frame's reference, and the journal releases it on eviction or
+// releaseAll. A sender that writes a payload outside the session lock must
+// Retain the buffer returned by get for the duration of the write.
 type journal struct {
 	base    uint64   // seq of frames[0]; 1 until eviction
-	frames  [][]byte // frames[i] is the payload of seq base+uint64(i)
+	frames  []jframe // frames[i] holds the payload of seq base+uint64(i)
 	bytes   int64    // retained payload bytes
 	budget  int64    // eviction threshold; <=0 means unbounded
 	acked   uint64   // highest backend-acknowledged seq
 	evicted int      // payloads evicted so far
 }
 
+// jframe is one journaled payload and the pooled buffer backing it (nil for
+// unpooled payloads, e.g. in tests).
+type jframe struct {
+	payload []byte
+	buf     *trace.PooledBuf
+}
+
 func newJournal(budget int64) *journal {
 	return &journal{base: 1, budget: budget}
 }
 
-// append records the payload of the next records frame. Frames must arrive
-// in seq order with no gaps — the client-facing reader enforces the protocol
-// order before calling.
-func (j *journal) append(seq uint64, payload []byte) error {
+// append records the payload of the next records frame, taking ownership of
+// buf (the frame's pool reference); on error the caller keeps it. Frames must
+// arrive in seq order with no gaps — the client-facing reader enforces the
+// protocol order before calling.
+func (j *journal) append(seq uint64, payload []byte, buf *trace.PooledBuf) error {
 	if want := j.base + uint64(len(j.frames)); seq != want {
 		return fmt.Errorf("cluster: journal append seq %d, want %d", seq, want)
 	}
-	j.frames = append(j.frames, payload)
+	j.frames = append(j.frames, jframe{payload: payload, buf: buf})
 	j.bytes += int64(len(payload))
 	return nil
 }
@@ -44,33 +61,53 @@ func (j *journal) append(seq uint64, payload []byte) error {
 // max returns the highest journaled seq (0 when empty and nothing evicted).
 func (j *journal) max() uint64 { return j.base + uint64(len(j.frames)) - 1 }
 
-// get returns the payload for seq, or nil when seq is outside the retained
-// range (evicted or not yet received).
-func (j *journal) get(seq uint64) []byte {
-	if seq < j.base || seq > j.max() || len(j.frames) == 0 {
-		return nil
+// get returns the payload for seq and its backing buffer, or nil when seq is
+// outside the retained range (evicted, released, or not yet received). The
+// buffer reference stays the journal's; a caller using the payload after
+// dropping the session lock must Retain/Release around the use.
+func (j *journal) get(seq uint64) ([]byte, *trace.PooledBuf) {
+	if seq < j.base || len(j.frames) == 0 || seq > j.max() {
+		return nil, nil
 	}
-	return j.frames[seq-j.base]
+	f := j.frames[seq-j.base]
+	return f.payload, f.buf
 }
 
 // ack marks seq acknowledged by the backend and evicts acked payloads
-// oldest-first while the retained bytes exceed the budget. It returns the
-// number of payloads and payload bytes evicted by this call.
+// oldest-first while the retained bytes exceed the budget, returning their
+// buffers to the pool. It returns the number of payloads and payload bytes
+// evicted by this call.
 func (j *journal) ack(seq uint64) (frames int, bytes int64) {
 	if seq > j.acked {
 		j.acked = seq
 	}
 	for j.budget > 0 && j.bytes > j.budget && j.base <= j.acked && len(j.frames) > 0 {
-		n := int64(len(j.frames[0]))
+		n := int64(len(j.frames[0].payload))
 		j.bytes -= n
 		bytes += n
-		j.frames[0] = nil
+		j.frames[0].buf.Release()
+		j.frames[0] = jframe{}
 		j.frames = j.frames[1:]
 		j.base++
 		j.evicted++
 		frames++
 	}
 	return frames, bytes
+}
+
+// releaseAll drops every retained payload and returns the byte count it
+// released. It is the session's teardown path: afterwards get returns nil for
+// every seq, so a racing sender (which always checks get under the session
+// lock) can never touch a recycled buffer.
+func (j *journal) releaseAll() (bytes int64) {
+	for i := range j.frames {
+		j.frames[i].buf.Release()
+		j.frames[i] = jframe{}
+	}
+	bytes = j.bytes
+	j.frames = nil
+	j.bytes = 0
+	return bytes
 }
 
 // replayable reports whether the complete session prefix is still retained.

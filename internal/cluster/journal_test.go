@@ -7,28 +7,34 @@ import (
 
 func mustAppend(t *testing.T, j *journal, seq uint64, payload []byte) {
 	t.Helper()
-	if err := j.append(seq, payload); err != nil {
+	if err := j.append(seq, payload, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestJournalOrderAndLookup(t *testing.T) {
 	j := newJournal(0) // default-free: <=0 budget is unbounded here
-	if err := j.append(2, []byte("x")); err == nil {
+	if err := j.append(2, []byte("x"), nil); err == nil {
 		t.Fatal("gap append accepted")
 	}
 	mustAppend(t, j, 1, []byte("a"))
 	mustAppend(t, j, 2, []byte("bb"))
-	if err := j.append(2, []byte("dup")); err == nil {
+	if err := j.append(2, []byte("dup"), nil); err == nil {
 		t.Fatal("duplicate append accepted")
 	}
 	if got := j.max(); got != 2 {
 		t.Fatalf("max %d, want 2", got)
 	}
-	if !bytes.Equal(j.get(1), []byte("a")) || !bytes.Equal(j.get(2), []byte("bb")) {
+	if p1, _ := j.get(1); !bytes.Equal(p1, []byte("a")) {
 		t.Fatal("lookup returned wrong payloads")
 	}
-	if j.get(3) != nil || j.get(0) != nil {
+	if p2, _ := j.get(2); !bytes.Equal(p2, []byte("bb")) {
+		t.Fatal("lookup returned wrong payloads")
+	}
+	if p3, _ := j.get(3); p3 != nil {
+		t.Fatal("out-of-range lookup returned a payload")
+	}
+	if p0, _ := j.get(0); p0 != nil {
 		t.Fatal("out-of-range lookup returned a payload")
 	}
 	if frames, b := j.retained(); frames != 2 || b != 3 {
@@ -57,10 +63,10 @@ func TestJournalEvictionIsOneWay(t *testing.T) {
 	if j.replayable() {
 		t.Fatal("journal still claims replayable after eviction")
 	}
-	if j.get(1) != nil {
+	if p1, _ := j.get(1); p1 != nil {
 		t.Fatal("evicted payload still retrievable")
 	}
-	if !bytes.Equal(j.get(2), []byte("bbb")) {
+	if p2, _ := j.get(2); !bytes.Equal(p2, []byte("bbb")) {
 		t.Fatal("unacked payload evicted")
 	}
 	if got := j.max(); got != 2 {
@@ -76,11 +82,11 @@ func TestJournalUnackedNeverEvicted(t *testing.T) {
 	// Ack 4: frames 1..4 are evictable; 5..10 must survive any budget.
 	j.ack(4)
 	for seq := uint64(5); seq <= 10; seq++ {
-		if j.get(seq) == nil {
+		if p, _ := j.get(seq); p == nil {
 			t.Fatalf("unacked frame %d evicted", seq)
 		}
 	}
-	if j.get(4) != nil {
+	if p4, _ := j.get(4); p4 != nil {
 		t.Fatal("acked frame survived a 1-byte budget")
 	}
 }

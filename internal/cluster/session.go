@@ -30,11 +30,14 @@ const (
 // final frame (a deterministic backend rejection was relayed).
 var errSessionOver = errors.New("cluster: session over")
 
-// outFrame is one frame queued for the client writer. final marks the
-// session's last frame; the writer closes the connection after flushing it.
+// outFrame is one frame queued for the client writer. buf, when non-nil, is
+// the payload's pooled buffer; the writer releases it once the bytes are
+// batched. final marks the session's last frame; the writer closes the
+// connection after flushing it.
 type outFrame struct {
 	typ     uint64
 	payload []byte
+	buf     *trace.PooledBuf
 	final   bool
 }
 
@@ -148,17 +151,21 @@ func (sess *proxySession) markDropped() {
 	}
 }
 
-// relay queues a frame for the client, blocking for backpressure. It
-// returns false when the session closed (or a final frame already went out
-// and this one is final too).
-func (sess *proxySession) relay(typ uint64, payload []byte, final bool) bool {
+// relay queues a frame for the client, blocking for backpressure. buf is the
+// payload's pooled buffer (nil for unpooled payloads): on success its
+// reference moves to the writer, on failure relay releases it. It returns
+// false when the session closed (or a final frame already went out and this
+// one is final too).
+func (sess *proxySession) relay(typ uint64, payload []byte, buf *trace.PooledBuf, final bool) bool {
 	if final && !sess.finalQueued.CompareAndSwap(false, true) {
+		buf.Release()
 		return false
 	}
 	select {
-	case sess.out <- outFrame{typ, payload, final}:
+	case sess.out <- outFrame{typ, payload, buf, final}:
 		return true
 	case <-sess.closed:
+		buf.Release()
 		return false
 	}
 }
@@ -173,38 +180,54 @@ func (sess *proxySession) failClient(code, msg string) {
 	sess.r.log.Warn("session failed", "session", sess.id, "code", code, "err", msg)
 	payload, _ := json.Marshal(&serve.WireError{Code: code, Msg: msg})
 	select {
-	case sess.out <- outFrame{serve.FrameError, payload, true}:
+	case sess.out <- outFrame{typ: serve.FrameError, payload: payload, final: true}:
 	default:
 		sess.close()
 	}
 }
 
 // writeLoop drains out to the client connection, mirroring serve's batched
-// session writer: every queued frame joins the current flush. It owns the
+// session writer: every queued frame joins the current flush, and the whole
+// batch goes out in one vectored write — relayed backend frames (acks,
+// events) are forwarded from their borrowed buffers without re-encoding, and
+// the batcher releases each buffer once its bytes are out. It owns the
 // client connection's close — after a final frame's flush, or on session
 // close (draining anything already queued first, so an early close cannot
 // drop a queued Summary).
 func (sess *proxySession) writeLoop() {
 	defer sess.r.connWG.Done()
-	fw := trace.NewFrameWriter(sess.conn)
+	var fb trace.FrameBatcher
 	flush := func() error {
 		sess.conn.SetWriteDeadline(time.Now().Add(sess.r.cfg.WriteTimeout))
-		return fw.Flush()
+		return fb.Flush(sess.conn)
+	}
+	// drainReleases returns late stragglers' buffers to the pool after the
+	// session is over (best-effort: a relay racing close may still enqueue).
+	drainRelease := func() {
+		for {
+			select {
+			case m := <-sess.out:
+				m.buf.Release()
+			default:
+				return
+			}
+		}
 	}
 	finish := func() {
 		flush()
 		sess.conn.Close()
 		sess.close()
+		drainRelease()
 	}
 	for {
 		select {
 		case m := <-sess.out:
 			final := m.final
-			fw.WriteFrame(m.typ, m.payload)
+			fb.Add(m.typ, m.payload, m.buf)
 			for !final {
 				select {
 				case n := <-sess.out:
-					fw.WriteFrame(n.typ, n.payload)
+					fb.Add(n.typ, n.payload, n.buf)
 					final = n.final
 					continue
 				default:
@@ -218,6 +241,7 @@ func (sess *proxySession) writeLoop() {
 			if err := flush(); err != nil {
 				sess.conn.Close()
 				sess.close()
+				drainRelease()
 				return
 			}
 		case <-sess.closed:
@@ -225,7 +249,7 @@ func (sess *proxySession) writeLoop() {
 			for {
 				select {
 				case m := <-sess.out:
-					fw.WriteFrame(m.typ, m.payload)
+					fb.Add(m.typ, m.payload, m.buf)
 					continue
 				default:
 				}
@@ -239,8 +263,9 @@ func (sess *proxySession) writeLoop() {
 }
 
 // readLoop parses client frames until Done, a protocol violation, or client
-// loss. Records payloads are journaled verbatim (the frame reader allocates
-// a fresh payload per frame, so retaining them is safe).
+// loss. Records payloads are journaled verbatim and stay in their borrowed
+// frame buffers end to end: the journal takes over each frame's pool
+// reference, and the sender forwards the same bytes to the backend.
 func (sess *proxySession) readLoop(fr *trace.FrameReader) {
 	r := sess.r
 	var nextSeq uint64
@@ -268,35 +293,42 @@ func (sess *proxySession) readLoop(fr *trace.FrameReader) {
 		case serve.FrameRecords:
 			seq, n := binary.Uvarint(f.Payload)
 			if n <= 0 {
+				f.Release()
 				sess.failClient(serve.CodeBadFrame, "records frame without seq")
 				return
 			}
 			if seq != nextSeq+1 {
+				f.Release()
 				sess.failClient(serve.CodeBadSeq, fmt.Sprintf("frame seq %d, want %d", seq, nextSeq+1))
 				return
 			}
 			nextSeq = seq
 			if seq-sess.relayedThrough.Load() > uint64(sess.window)+1 {
+				f.Release()
 				sess.failClient(serve.CodeOverLimit, fmt.Sprintf("more than %d frames in flight", sess.window))
 				return
 			}
 			sess.mu.Lock()
 			if !sess.placed {
-				// Placement key: the first record's PC, decoded once here.
-				recs, derr := trace.DecodeRecords(f.Payload[n:], r.cfg.MaxFrameRecords)
-				if derr != nil {
+				// Placement key: the first record's PC. The peek reads one
+				// field; only a chunk it cannot parse gets the full decode,
+				// for the decoder's exact verdict (an empty chunk is legal
+				// and places by pc 0).
+				if pc, ok := trace.PeekFirstPC(f.Payload[n:]); ok {
+					sess.placedPC = pc
+				} else if _, derr := trace.DecodeRecords(f.Payload[n:], r.cfg.MaxFrameRecords); derr != nil {
 					sess.mu.Unlock()
+					f.Release()
 					sess.failClient(serve.CodeBadFrame, derr.Error())
 					return
 				}
-				if len(recs) > 0 {
-					sess.placedPC = recs[0].PC
-				}
 				sess.placed = true
 			}
-			jerr := sess.j.append(seq, f.Payload)
+			// The journal takes over the frame's buffer reference.
+			jerr := sess.j.append(seq, f.Payload, f.Buffer())
 			sess.mu.Unlock()
 			if jerr != nil {
+				f.Release()
 				sess.failClient(serve.CodeBadSeq, jerr.Error())
 				return
 			}
@@ -304,6 +336,7 @@ func (sess *proxySession) readLoop(fr *trace.FrameReader) {
 			r.m.journalBytes.Add(float64(len(f.Payload)))
 			sess.signal()
 		case serve.FrameDone:
+			f.Release()
 			sess.mu.Lock()
 			sess.done = true
 			sess.mu.Unlock()
@@ -312,6 +345,7 @@ func (sess *proxySession) readLoop(fr *trace.FrameReader) {
 		default:
 			// Ignore unknown client frame types for forward compatibility,
 			// like serve's session reader.
+			f.Release()
 		}
 	}
 }
@@ -434,17 +468,22 @@ func (sess *proxySession) pump(b *backend, bc *serve.Client) pumpResult {
 		next := uint64(1)
 		for {
 			sess.mu.Lock()
-			payload := sess.j.get(next)
+			payload, pbuf := sess.j.get(next)
 			doneAll := sess.done && next > sess.j.max()
 			gone := sess.clientGone && !sess.done
+			// The journal's reference can be evicted the moment the lock
+			// drops; a private one keeps the bytes alive across the write.
+			pbuf.Retain()
 			sess.mu.Unlock()
 			switch {
 			case payload != nil:
 				select {
 				case sem <- struct{}{}:
 				case <-abort:
+					pbuf.Release()
 					return
 				case <-sess.closed:
+					pbuf.Release()
 					return
 				}
 				if next <= sess.maxSent {
@@ -453,7 +492,12 @@ func (sess *proxySession) pump(b *backend, bc *serve.Client) pumpResult {
 				} else {
 					sess.maxSent = next
 				}
-				if bc.WriteFrame(serve.FrameRecords, payload) != nil || bc.Flush() != nil {
+				err := bc.WriteFrame(serve.FrameRecords, payload)
+				if err == nil {
+					err = bc.Flush()
+				}
+				pbuf.Release()
+				if err != nil {
 					return // receiver sees the conn error
 				}
 				next++
@@ -496,6 +540,7 @@ recv:
 		case serve.FrameAck:
 			seq, n := binary.Uvarint(f.Payload)
 			if n <= 0 {
+				f.Release()
 				b.noteSessionError(r)
 				break recv // corrupt ack; treat as backend loss
 			}
@@ -511,26 +556,34 @@ recv:
 				r.m.journalBytes.Add(-float64(evBytes))
 			}
 			if seq > sess.relayedThrough.Load() {
-				if !sess.relay(serve.FrameAck, f.Payload, false) {
+				// The ack payload relays as-is; its buffer reference moves
+				// to the client writer.
+				if !sess.relay(serve.FrameAck, f.Payload, f.Buffer(), false) {
 					result = pumpTerminal
 					break recv
 				}
 				sess.relayedThrough.Store(seq)
 				r.m.acksRelayed.Inc()
+			} else {
+				f.Release() // replay duplicate, suppressed
 			}
 		case serve.FrameEvents:
 			// Events for a frame precede its ack, so the ack watermark also
 			// identifies replay-duplicate event frames.
 			seq, n := binary.Uvarint(f.Payload)
 			if n > 0 && seq > sess.relayedThrough.Load() {
-				if !sess.relay(serve.FrameEvents, f.Payload, false) {
+				if !sess.relay(serve.FrameEvents, f.Payload, f.Buffer(), false) {
 					result = pumpTerminal
 					break recv
 				}
+			} else {
+				f.Release()
 			}
 		case serve.FrameSummary:
 			var sum serve.Summary
-			if json.Unmarshal(f.Payload, &sum) != nil {
+			uerr := json.Unmarshal(f.Payload, &sum)
+			f.Release()
+			if uerr != nil {
 				b.noteSessionError(r)
 				break recv
 			}
@@ -550,21 +603,24 @@ recv:
 				ReplayedFrames: int(sess.replayed.Load()),
 			}
 			payload, _ := json.Marshal(sum)
-			sess.relay(serve.FrameSummary, payload, true)
+			sess.relay(serve.FrameSummary, payload, nil, true)
 			result = pumpTerminal
 			break recv
 		case serve.FrameError:
 			var we serve.WireError
 			if json.Unmarshal(f.Payload, &we) != nil || we.Code == serve.CodeOverload {
 				// Overload is a transient shed: another backend may accept.
+				f.Release()
 				break recv
 			}
 			// Deterministic rejection — a replay would fail identically, so
 			// relay the backend's verdict as the session's final frame.
 			sess.markDropped()
-			sess.relay(serve.FrameError, f.Payload, true)
+			sess.relay(serve.FrameError, f.Payload, f.Buffer(), true)
 			result = pumpTerminal
 			break recv
+		default:
+			f.Release()
 		}
 	}
 	stopSender()

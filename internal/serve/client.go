@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -67,6 +68,11 @@ func sleepContext(ctx context.Context, d time.Duration) error {
 func jitter(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
 }
+
+// clientPool backs every Client's frame payloads and encode buffers; shared
+// process-wide so a fleet of connections (ibpload, the router) recycles one
+// set of buffers.
+var clientPool = trace.NewBufferPool()
 
 // Client is one prediction session against an ibpserved instance. It is not
 // safe for concurrent use; one Client drives one connection.
@@ -142,7 +148,7 @@ func handshake(conn net.Conn, hello Hello, timeout time.Duration) (*Client, erro
 	c := &Client{
 		conn:    conn,
 		fw:      trace.NewFrameWriter(conn),
-		fr:      trace.NewFrameReader(conn, 1<<24),
+		fr:      trace.NewPooledFrameReader(conn, 1<<24, clientPool),
 		timeout: timeout,
 	}
 	if err := c.fw.WriteFrame(FrameHello, marshalJSON(hello)); err != nil {
@@ -155,6 +161,7 @@ func handshake(conn net.Conn, hello Hello, timeout time.Duration) (*Client, erro
 	if err != nil {
 		return nil, fmt.Errorf("hello ack: %w", err)
 	}
+	defer f.Release()
 	switch f.Type {
 	case FrameHelloAck:
 		if err := unmarshalPayload(f.Payload, &c.ack); err != nil {
@@ -200,7 +207,9 @@ func (c *Client) Flush() error {
 }
 
 // ReadFrame reads the next server frame. A non-zero deadline bounds the
-// wait; zero blocks until a frame arrives or the connection dies.
+// wait; zero blocks until a frame arrives or the connection dies. The
+// frame's payload is borrowed from the client buffer pool: the caller owns
+// it and must Release (or Retain/Copy) it — see trace.Frame.
 func (c *Client) ReadFrame(deadline time.Duration) (trace.Frame, error) {
 	if deadline > 0 {
 		c.conn.SetReadDeadline(time.Now().Add(deadline))
@@ -246,9 +255,12 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 				errCh <- fmt.Errorf("serve: response stream: %w", err)
 				return
 			}
+			// Every arm decodes what it needs before the borrowed payload
+			// goes back to the pool here.
 			switch f.Type {
 			case FrameAck:
 				ack, err := decodeAck(f.Payload)
+				f.Release()
 				if err != nil {
 					errCh <- err
 					return
@@ -270,6 +282,7 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 				}
 			case FrameEvents:
 				seq, evs, err := decodeEvents(f.Payload, c.ack.MaxFrameRecords)
+				f.Release()
 				if err != nil {
 					errCh <- err
 					return
@@ -279,7 +292,9 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 				}
 			case FrameSummary:
 				var sum Summary
-				if err := unmarshalPayload(f.Payload, &sum); err != nil {
+				err := unmarshalPayload(f.Payload, &sum)
+				f.Release()
+				if err != nil {
 					errCh <- err
 					return
 				}
@@ -287,7 +302,9 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 				return
 			case FrameError:
 				var we WireError
-				if err := unmarshalPayload(f.Payload, &we); err != nil {
+				err := unmarshalPayload(f.Payload, &we)
+				f.Release()
+				if err != nil {
 					errCh <- err
 					return
 				}
@@ -295,6 +312,7 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 				return
 			default:
 				// Unknown server frame: skip (forward compatibility).
+				f.Release()
 			}
 		}
 	}()
@@ -308,29 +326,53 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 		}
 	}
 
-	var seq uint64
-	payload := make([]byte, 0, recsPerFrame*16)
+	// Encode buffer from the shared pool instead of a per-call allocation;
+	// 16 bytes covers any record's worst-case encoding (4 varints).
+	encBuf := clientPool.Get(recsPerFrame*16 + 2*binary.MaxVarintLen64)
+	defer encBuf.Release()
+	payload := encBuf.Bytes()[:0]
+	var seqNum uint64
 	for start := 0; start < len(tr); start += recsPerFrame {
 		end := min(start+recsPerFrame, len(tr))
-		// Acquire a window slot — or learn the session ended early.
+		// Acquire a window slot. When none is free, flush buffered frames
+		// first — the server cannot ack what is still sitting in our write
+		// buffer — then wait (or learn the session ended early). The fast
+		// path leaves frames buffered, so a full window's worth of frames
+		// coalesces into a few large writes.
 		select {
 		case sem <- struct{}{}:
-		case sum := <-sumCh:
-			return sum, nil
-		case err := <-errCh:
-			return Summary{}, err
+		default:
+			c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+			if err := c.fw.Flush(); err != nil {
+				return finish()
+			}
+			select {
+			case sem <- struct{}{}:
+			case sum := <-sumCh:
+				return sum, nil
+			case err := <-errCh:
+				return Summary{}, err
+			}
 		}
-		seq++
-		payload = appendRecordsFrame(payload[:0], seq, tr[start:end])
-		mu.Lock()
-		sendTimes[seq] = time.Now()
-		mu.Unlock()
+		seqNum++
+		payload = appendRecordsFrame(payload[:0], seqNum, tr[start:end])
+		if onAck != nil {
+			// RTT bookkeeping only when someone is listening: the map and
+			// clock reads are pure overhead otherwise.
+			mu.Lock()
+			sendTimes[seqNum] = time.Now()
+			mu.Unlock()
+		}
 		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
 		if err := c.fw.WriteFrame(FrameRecords, payload); err != nil {
 			return finish()
 		}
-		if err := c.fw.Flush(); err != nil {
-			return finish()
+		if onAck != nil {
+			// Per-frame flush keeps the reported RTT an honest frame
+			// round-trip rather than a measure of our own buffering.
+			if err := c.fw.Flush(); err != nil {
+				return finish()
+			}
 		}
 	}
 	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))

@@ -16,6 +16,9 @@ type metrics struct {
 	misses          *telemetry.Counter // serve_misses_total
 	panics          *telemetry.Counter // serve_panics_total
 	queueDepth      *telemetry.Gauge   // serve_shard_queue_depth
+	poolHits        *telemetry.Counter // serve_pool_hits
+	poolMisses      *telemetry.Counter // serve_pool_misses
+	ackBatchSize    *telemetry.Gauge   // serve_ack_batch_size
 }
 
 // newMetrics resolves the handles against r (nil handles when r is nil).
@@ -31,5 +34,8 @@ func newMetrics(r *telemetry.Registry) *metrics {
 		misses:          r.Counter("serve_misses_total"),
 		panics:          r.Counter("serve_panics_total"),
 		queueDepth:      r.Gauge("serve_shard_queue_depth"),
+		poolHits:        r.Counter("serve_pool_hits"),
+		poolMisses:      r.Counter("serve_pool_misses"),
+		ackBatchSize:    r.Gauge("serve_ack_batch_size"),
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"github.com/oocsb/ibp/internal/cli"
 	"github.com/oocsb/ibp/internal/trace"
@@ -293,19 +294,22 @@ func appendAck(buf []byte, a Ack) []byte {
 	return buf
 }
 
-// decodeAck decodes an Ack payload.
+// decodeAck decodes an Ack payload. It walks the slice directly (no reader
+// allocation): the client decodes one ack per processed frame, so this sits
+// on the streaming hot path.
 func decodeAck(payload []byte) (Ack, error) {
-	br := newByteReader(payload)
 	var vals [7]uint64
+	off := 0
 	for i := range vals {
-		v, err := binary.ReadUvarint(br)
-		if err != nil {
-			return Ack{}, fmt.Errorf("serve: ack field %d: %w", i, err)
+		v, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return Ack{}, fmt.Errorf("serve: ack field %d: %w", i, io.ErrUnexpectedEOF)
 		}
 		vals[i] = v
+		off += n
 	}
-	if br.Len() != 0 {
-		return Ack{}, fmt.Errorf("serve: %d trailing bytes in ack", br.Len())
+	if off != len(payload) {
+		return Ack{}, fmt.Errorf("serve: %d trailing bytes in ack", len(payload)-off)
 	}
 	return Ack{
 		Seq:               vals[0],
@@ -324,15 +328,27 @@ func appendRecordsFrame(buf []byte, seq uint64, recs trace.Trace) []byte {
 	return trace.AppendRecords(buf, recs)
 }
 
-// decodeRecordsFrame splits a FrameRecords payload into its sequence number
-// and record chunk. maxRecords bounds the chunk's declared count.
-func decodeRecordsFrame(payload []byte, maxRecords int) (uint64, trace.Trace, error) {
-	br := newByteReader(payload)
-	seq, err := binary.ReadUvarint(br)
-	if err != nil {
-		return 0, nil, fmt.Errorf("serve: records seq: %w", err)
+// splitRecordsFrame peels the sequence number off a FrameRecords payload,
+// returning the record chunk that follows it. It does not validate the chunk
+// — the server's reader calls this to route the frame, and the shard worker
+// iterating the chunk in place is where decode errors surface.
+func splitRecordsFrame(payload []byte) (seq uint64, chunk []byte, err error) {
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("serve: records seq: %w", io.ErrUnexpectedEOF)
 	}
-	recs, err := trace.DecodeRecords(payload[len(payload)-br.Len():], maxRecords)
+	return seq, payload[n:], nil
+}
+
+// decodeRecordsFrame splits a FrameRecords payload into its sequence number
+// and a materialized record chunk. maxRecords bounds the chunk's declared
+// count.
+func decodeRecordsFrame(payload []byte, maxRecords int) (uint64, trace.Trace, error) {
+	seq, chunk, err := splitRecordsFrame(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	recs, err := trace.DecodeRecords(chunk, maxRecords)
 	if err != nil {
 		return seq, nil, err
 	}

@@ -80,8 +80,9 @@ func (c Config) withDefaults() Config {
 // Server is a sharded streaming prediction service. Create with New, run
 // with Serve/ListenAndServe, stop with Shutdown (graceful drain) or Close.
 type Server struct {
-	cfg Config
-	m   *metrics
+	cfg  Config
+	m    *metrics
+	pool *trace.BufferPool // frame payload buffers, shared by all readers
 
 	shards  []*shard
 	shardWG sync.WaitGroup
@@ -99,13 +100,16 @@ type Server struct {
 }
 
 // job is one unit of shard work: a records frame to simulate, or a
-// done/drain sentinel asking for the session's final summary.
+// done/drain sentinel asking for the session's final summary. The chunk is
+// the borrowed frame payload (backed by buf when pooled); whoever consumes
+// the job — the worker, or the drain paths around it — releases buf.
 type job struct {
 	sess  *session
 	seq   uint64
-	recs  trace.Trace
-	done  bool // client sent Done
-	drain bool // server drain ended the stream
+	chunk []byte           // record chunk, seq already peeled off
+	buf   *trace.PooledBuf // backing pooled buffer; nil for sentinels
+	done  bool             // client sent Done
+	drain bool             // server drain ended the stream
 }
 
 // shard is one predictor worker and its bounded queue. All jobs of a session
@@ -128,9 +132,11 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		m:        newMetrics(telemetry.Default()),
+		pool:     trace.NewBufferPool(),
 		sessions: make(map[*session]struct{}),
 		hardStop: make(chan struct{}),
 	}
+	s.pool.OnStats(func() { s.m.poolHits.Inc() }, func() { s.m.poolMisses.Inc() })
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		sh := &shard{id: i, queue: make(chan job, cfg.QueueDepth)}
@@ -288,25 +294,28 @@ func (sh *shard) run(s *Server) {
 		switch {
 		case sess.dead.Load():
 			// Session already failed; its queued work is void.
+			j.buf.Release()
 		case j.done:
 			sess.emitSummary(false)
 		case j.drain:
 			sess.emitSummary(true)
 		default:
-			sess.processFrame(j.seq, j.recs)
+			sess.processFrame(j.seq, j.chunk, j.buf)
 		}
 	}
 }
 
 // enqueue places a job on the shard's bounded queue, blocking (and thereby
 // backpressuring the session's TCP reader) while the queue is full. It
-// aborts only on a hard server stop.
+// aborts only on a hard server stop, releasing the job's buffer — once
+// enqueued, ownership is the worker's.
 func (s *Server) enqueue(sh *shard, j job) bool {
 	select {
 	case sh.queue <- j:
 		s.m.queueDepth.Add(1)
 		return true
 	case <-s.hardStop:
+		j.buf.Release()
 		return false
 	}
 }
@@ -344,7 +353,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	fr := trace.NewFrameReader(conn, s.cfg.MaxFramePayload)
+	fr := trace.NewPooledFrameReader(conn, s.cfg.MaxFramePayload, s.pool)
 	sess, err := s.openSession(conn, fr)
 	if err != nil {
 		// openSession already wrote the error frame where possible.
@@ -373,6 +382,7 @@ func (s *Server) openSession(conn net.Conn, fr *trace.FrameReader) (*session, er
 	if err != nil {
 		return nil, fmt.Errorf("hello frame: %w", err)
 	}
+	defer f.Release() // borrowed payload; the decoded Hello below outlives it
 	if f.Type != FrameHello {
 		s.writeDirect(conn, FrameError, marshalJSON(&WireError{Code: CodeBadHello, Msg: "first frame must be Hello"}))
 		return nil, fmt.Errorf("first frame type %#x", f.Type)

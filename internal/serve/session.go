@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -13,10 +14,13 @@ import (
 	"github.com/oocsb/ibp/internal/trace"
 )
 
-// outMsg is one frame queued for a session's writer goroutine.
+// outMsg is one frame queued for a session's writer goroutine. buf, when
+// non-nil, is the pooled buffer backing payload; the writer (or whoever
+// drops the message) releases it once the bytes are on the wire.
 type outMsg struct {
 	typ     uint64
 	payload []byte
+	buf     *trace.PooledBuf
 	// final closes the connection after this frame flushes (the last frame
 	// of a session: Summary or Error).
 	final bool
@@ -85,11 +89,19 @@ func newSession(s *Server, conn net.Conn, pred core.Predictor, hello Hello, wind
 // send queues a frame for the writer without ever blocking the caller (shard
 // workers must not stall on one slow client). A full queue means the client
 // stopped consuming acks faster than the window allows: the session is shed.
+// A message that does not make it to the writer has its buffer released here.
 func (sess *session) send(m outMsg) bool {
+	if sess.dead.Load() {
+		// The writer may already be gone; do not strand a pooled buffer in
+		// the queue.
+		m.buf.Release()
+		return false
+	}
 	select {
 	case sess.out <- m:
 		return true
 	default:
+		m.buf.Release()
 		sess.fail(CodeOverload, "response queue overflow: client not consuming acks")
 		return false
 	}
@@ -129,42 +141,54 @@ func (sess *session) hardClose() {
 	sess.stopOnce.Do(func() { close(sess.stop) })
 }
 
-// writeLoop is the session's writer goroutine: it owns conn's write side,
-// flushing after draining whatever is queued.
+// writeLoop is the session's writer goroutine: it owns conn's write side.
+// Every wakeup gathers all queued frames into one FrameBatcher flush — a
+// single (vectored, when payloads are spliced) write per wakeup instead of
+// one buffered write+flush per frame.
 func (sess *session) writeLoop() {
-	fw := trace.NewFrameWriter(sess.conn)
-	flushAndMaybeClose := func(final bool) bool {
-		sess.conn.SetWriteDeadline(time.Now().Add(sess.srv.cfg.WriteTimeout))
-		if err := fw.Flush(); err != nil {
-			sess.fail(CodeOverload, fmt.Sprintf("write: %v", err))
-			sess.conn.Close()
-			return false
+	var fb trace.FrameBatcher
+	// Release anything still queued when the writer exits; the dead flag is
+	// set on every exit path first, so send drops (and releases) later
+	// messages itself.
+	defer func() {
+		for {
+			select {
+			case m := <-sess.out:
+				m.buf.Release()
+			default:
+				return
+			}
 		}
-		if final {
-			sess.conn.Close()
-		}
-		return !final
-	}
+	}()
 	for {
 		select {
 		case m := <-sess.out:
 			final := m.final
-			fw.WriteFrame(m.typ, m.payload)
-			// Batch everything already queued into one flush.
+			fb.Add(m.typ, m.payload, m.buf)
+			// Batch everything already queued into one write.
 			for !final {
 				select {
 				case n := <-sess.out:
-					fw.WriteFrame(n.typ, n.payload)
+					fb.Add(n.typ, n.payload, n.buf)
 					final = n.final
 				default:
 					goto flush
 				}
 			}
 		flush:
-			if !flushAndMaybeClose(final) {
+			sess.srv.m.ackBatchSize.Set(float64(fb.Frames()))
+			sess.conn.SetWriteDeadline(time.Now().Add(sess.srv.cfg.WriteTimeout))
+			if err := fb.Flush(sess.conn); err != nil {
+				sess.fail(CodeOverload, fmt.Sprintf("write: %v", err))
+				sess.conn.Close()
+				return
+			}
+			if final {
+				sess.conn.Close()
 				return
 			}
 		case <-sess.stop:
+			sess.dead.Store(true)
 			sess.conn.Close()
 			return
 		}
@@ -208,12 +232,17 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 		}
 		switch f.Type {
 		case FrameRecords:
-			seq, recs, err := decodeRecordsFrame(f.Payload, s.cfg.MaxFrameRecords)
+			// The reader only peels the sequence number and (for shard
+			// pinning) peeks the first PC; the chunk itself is validated by
+			// the worker while it iterates the borrowed payload in place.
+			seq, chunk, err := splitRecordsFrame(f.Payload)
 			if err != nil {
+				f.Release()
 				sess.fail(CodeBadFrame, err.Error())
 				return
 			}
 			if seq != sess.nextSeq+1 {
+				f.Release()
 				sess.fail(CodeBadSeq, fmt.Sprintf("frame seq %d, want %d", seq, sess.nextSeq+1))
 				return
 			}
@@ -221,20 +250,19 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 			if int(sess.inflight.Add(1)) > sess.window+1 {
 				// +1 of slack: the client legitimately sends the next frame
 				// the instant an ack is on the wire.
+				f.Release()
 				sess.fail(CodeOverLimit, fmt.Sprintf("window overflow: %d frames in flight, window %d", sess.inflight.Load(), sess.window))
 				return
 			}
 			if sess.shard == nil {
-				var pc uint32
-				if len(recs) > 0 {
-					pc = recs[0].PC
-				}
+				pc, _ := trace.PeekFirstPC(chunk)
 				sess.shard = s.shardFor(pc)
 			}
-			if !s.enqueue(sess.shard, job{sess: sess, seq: seq, recs: recs}) {
-				return // hard stop
+			if !s.enqueue(sess.shard, job{sess: sess, seq: seq, chunk: chunk, buf: f.Buffer()}) {
+				return // hard stop; enqueue released the buffer
 			}
 		case FrameDone:
+			f.Release()
 			if sess.shard == nil {
 				// No records ever arrived; summarize from any shard.
 				sess.shard = s.shardFor(0)
@@ -244,6 +272,7 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 		default:
 			// Unknown-but-checksummed client frame: skip it, mirroring the
 			// trace format's forward-compatibility rule.
+			f.Release()
 		}
 	}
 	// Drain path: everything already queued will be processed; the sentinel
@@ -254,62 +283,87 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 	s.enqueue(sess.shard, job{sess: sess, drain: true})
 }
 
-// processFrame runs one records frame through the session predictor with the
-// sim engine's exact accounting, then queues the (events and) ack frames.
-// A predictor panic is confined to this session, like a sim lane's.
-func (sess *session) processFrame(seq uint64, recs trace.Trace) {
+// processFrame drives the session predictor straight off a RecordIter over
+// the borrowed chunk — the sim engine's exact accounting with no []Record
+// materialization — then queues the (events and) ack frames from pooled
+// payload buffers and releases the chunk's buffer. A predictor panic is
+// confined to this session, like a sim lane's.
+func (sess *session) processFrame(seq uint64, chunk []byte, buf *trace.PooledBuf) {
+	defer buf.Release()
 	defer func() {
 		if r := recover(); r != nil {
 			sess.srv.m.panics.Inc()
 			sess.fail(CodePredictor, fmt.Sprintf("predictor panicked: %v\n%s", r, debug.Stack()))
 		}
 	}()
-	m := sess.srv.m
+	s := sess.srv
+	m := s.m
+	it, err := trace.NewRecordIter(chunk, s.cfg.MaxFrameRecords)
+	if err != nil {
+		sess.fail(CodeBadFrame, err.Error())
+		return
+	}
 	exec0, miss0 := sess.executed, sess.misses
 	evs := sess.evBuf[:0]
-	for _, r := range recs {
-		switch {
-		case r.Kind == trace.Cond:
-			if sess.condObs != nil {
-				sess.condObs.ObserveCond(r.PC, r.Target, r.Target != 0)
+	nrecs := 0
+	var batch [256]trace.Record
+	for {
+		bn := it.NextBatch(batch[:])
+		if bn == 0 {
+			break
+		}
+		nrecs += bn
+		for _, r := range batch[:bn] {
+			switch {
+			case r.Kind == trace.Cond:
+				if sess.condObs != nil {
+					sess.condObs.ObserveCond(r.PC, r.Target, r.Target != 0)
+				}
+				continue
+			case !r.Kind.Indirect():
+				continue
 			}
-			continue
-		case !r.Kind.Indirect():
-			continue
-		}
-		pred, ok := sess.pred.Predict(r.PC)
-		sess.pred.Update(r.PC, r.Target)
-		sess.seen++
-		miss := !ok || pred != r.Target
-		if sess.events {
-			evs = append(evs, EventRec{
-				PC:        r.PC,
-				Predicted: pred,
-				Actual:    r.Target,
-				HasPred:   ok,
-				Miss:      miss,
-				Warmup:    sess.seen <= sess.hello.Warmup,
-			})
-		}
-		if sess.seen <= sess.hello.Warmup {
-			continue
-		}
-		sess.executed++
-		if miss {
-			sess.misses++
-			if !ok {
-				sess.noPred++
+			pred, ok := sess.pred.Predict(r.PC)
+			sess.pred.Update(r.PC, r.Target)
+			sess.seen++
+			miss := !ok || pred != r.Target
+			if sess.events {
+				evs = append(evs, EventRec{
+					PC:        r.PC,
+					Predicted: pred,
+					Actual:    r.Target,
+					HasPred:   ok,
+					Miss:      miss,
+					Warmup:    sess.seen <= sess.hello.Warmup,
+				})
+			}
+			if sess.seen <= sess.hello.Warmup {
+				continue
+			}
+			sess.executed++
+			if miss {
+				sess.misses++
+				if !ok {
+					sess.noPred++
+				}
 			}
 		}
 	}
+	if err := it.Err(); err != nil {
+		// The predictor already saw the frame's valid prefix, but a session
+		// that ships a malformed chunk never reaches a Summary, so the
+		// bit-identical accounting contract is unaffected.
+		sess.fail(CodeBadFrame, fmt.Sprintf("trace: records payload: %v", err))
+		return
+	}
 	sess.frames++
-	sess.records += len(recs)
+	sess.records += nrecs
 	m.frames.Inc()
-	m.records.Add(uint64(len(recs)))
+	m.records.Add(uint64(nrecs))
 	m.misses.Add(uint64(sess.misses - miss0))
 	ack := Ack{
 		Seq:               seq,
-		Records:           len(recs),
+		Records:           nrecs,
 		Executed:          sess.executed - exec0,
 		Misses:            sess.misses - miss0,
 		TotalExecuted:     sess.executed,
@@ -317,17 +371,24 @@ func (sess *session) processFrame(seq uint64, recs trace.Trace) {
 		TotalNoPrediction: sess.noPred,
 	}
 	if sess.events {
-		payload := appendEvents(nil, seq, evs)
+		// Worst case per event: three 5-byte varints plus the flags byte.
+		eb := s.pool.Get(16*len(evs) + 2*binary.MaxVarintLen64)
+		payload := appendEvents(eb.Bytes()[:0], seq, evs)
 		sess.evBuf = evs[:0] // keep the grown buffer for the next frame
-		if !sess.send(outMsg{typ: FrameEvents, payload: payload}) {
+		if !sess.send(outMsg{typ: FrameEvents, payload: payload, buf: eb}) {
 			return
 		}
 	}
 	sess.inflight.Add(-1)
-	if sess.send(outMsg{typ: FrameAck, payload: appendAck(nil, ack)}) {
+	ab := s.pool.Get(ackPayloadMax)
+	payload := appendAck(ab.Bytes()[:0], ack)
+	if sess.send(outMsg{typ: FrameAck, payload: payload, buf: ab}) {
 		m.acks.Inc()
 	}
 }
+
+// ackPayloadMax is an Ack payload's encoded size bound: seven uvarints.
+const ackPayloadMax = 7 * binary.MaxVarintLen64
 
 // emitSummary finishes the session: the final Summary frame reflects every
 // frame the worker processed (every acknowledged frame in particular), then

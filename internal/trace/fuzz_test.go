@@ -130,8 +130,40 @@ func FuzzWireFrame(f *testing.F) {
 			// unchanged (varints may be non-canonical on the wire, so byte
 			// identity is not required — record identity is).
 			recs, derr := DecodeRecords(frame.Payload, 4096)
+
+			// Cross-check the in-place iterator against the batch decode:
+			// walking the same payload one record at a time must yield the
+			// same records and the same typed verdict (DecodeRecords runs on
+			// NextBatch, so this pins Next and NextBatch to each other too).
+			var itRecs Trace
+			it, itErr := NewRecordIter(frame.Payload, 4096)
+			if itErr == nil {
+				for {
+					r, ok := it.Next()
+					if !ok {
+						break
+					}
+					itRecs = append(itRecs, r)
+				}
+				itErr = it.Err()
+			}
+			if (derr == nil) != (itErr == nil) {
+				t.Fatalf("iterator and DecodeRecords disagree: %v vs %v", itErr, derr)
+			}
 			if derr != nil {
+				if errors.Is(derr, ErrBadFormat) != errors.Is(itErr, ErrBadFormat) ||
+					errors.Is(derr, io.ErrUnexpectedEOF) != errors.Is(itErr, io.ErrUnexpectedEOF) {
+					t.Fatalf("iterator and DecodeRecords error types disagree: %v vs %v", itErr, derr)
+				}
 				continue
+			}
+			if len(itRecs) != len(recs) {
+				t.Fatalf("iterator decoded %d records, DecodeRecords %d", len(itRecs), len(recs))
+			}
+			for i := range recs {
+				if itRecs[i] != recs[i] {
+					t.Fatalf("iterator record %d: %+v != %+v", i, itRecs[i], recs[i])
+				}
 			}
 			back, rerr := DecodeRecords(AppendRecords(nil, recs), 4096)
 			if rerr != nil {

@@ -62,19 +62,69 @@ func preallocCount(declared uint64) int {
 	return int(declared)
 }
 
+// appendUv appends the uvarint encoding of v with open-coded 1- and 2-byte
+// fast paths (the dominant sizes for delta-coded records); larger values
+// fall through to the stdlib loop.
+func appendUv(buf []byte, v uint64) []byte {
+	if v < 1<<7 {
+		return append(buf, byte(v))
+	}
+	if v < 1<<14 {
+		return append(buf, byte(v)|0x80, byte(v>>7))
+	}
+	if v < 1<<21 {
+		return append(buf, byte(v)|0x80, byte(v>>7)|0x80, byte(v>>14))
+	}
+	return binary.AppendUvarint(buf, v)
+}
+
+// zigzag is the varint sign-folding used by the record codec (identical to
+// encoding/binary's).
+func zigzag(v int64) uint64 {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uv
+}
+
 // putRecord appends the delta-encoding of r (relative to the previous
-// record) to buf and returns the extended slice.
+// record) to buf and returns the extended slice. Capacity headroom for a
+// worst-case record is ensured once up front, so the common shapes — pc,
+// kind and gap single-byte with a target delta of up to three bytes — are
+// emitted as a single 4- or 8-byte store into the spare capacity (the
+// canonical byte sequences are unchanged; the wide store just writes the
+// whole record at once, and at most four dead bytes past the returned
+// length). The rest goes field-by-field through appendUv.
 func putRecord(buf []byte, r Record, prevPC, prevTgt uint32) []byte {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(tmp[:], int64(int32(r.PC-prevPC))/4)
-	buf = append(buf, tmp[:n]...)
-	n = binary.PutVarint(tmp[:], int64(int32(r.Target-prevTgt))/4)
-	buf = append(buf, tmp[:n]...)
-	n = binary.PutUvarint(tmp[:], uint64(r.Kind))
-	buf = append(buf, tmp[:n]...)
-	n = binary.PutUvarint(tmp[:], uint64(r.Gap))
-	buf = append(buf, tmp[:n]...)
-	return buf
+	upc := zigzag(int64(int32(r.PC-prevPC)) >> 2)
+	utg := zigzag(int64(int32(r.Target-prevTgt)) >> 2)
+	gap := uint64(r.Gap)
+	if cap(buf)-len(buf) < maxRecord {
+		buf = append(buf, make([]byte, maxRecord)...)[:len(buf)]
+	}
+	n := len(buf)
+	if upc|gap|uint64(r.Kind) < 1<<7 {
+		b := buf[n:cap(buf)]
+		switch {
+		case utg < 1<<7:
+			binary.LittleEndian.PutUint32(b,
+				uint32(upc)|uint32(utg)<<8|uint32(r.Kind)<<16|uint32(gap)<<24)
+			return buf[:n+4]
+		case utg < 1<<14:
+			binary.LittleEndian.PutUint64(b,
+				upc|(utg&0x7f|0x80)<<8|utg>>7<<16|uint64(r.Kind)<<24|gap<<32)
+			return buf[:n+5]
+		case utg < 1<<21:
+			binary.LittleEndian.PutUint64(b,
+				upc|(utg&0x7f|0x80)<<8|(utg>>7&0x7f|0x80)<<16|utg>>14<<24|uint64(r.Kind)<<32|gap<<40)
+			return buf[:n+6]
+		}
+	}
+	buf = appendUv(buf, upc)
+	buf = appendUv(buf, utg)
+	buf = appendUv(buf, uint64(r.Kind))
+	return appendUv(buf, gap)
 }
 
 // readRecord decodes one record from br relative to the previous one. The

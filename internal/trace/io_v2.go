@@ -145,9 +145,12 @@ func writeV2(w io.Writer, t Trace) error {
 // sectionScanner reads framed sections while tracking byte offsets and the
 // raw header bytes needed for checksum verification.
 type sectionScanner struct {
-	br  *bufio.Reader
-	off int64 // offset of the next unread byte, from the start of sections
-	max int   // payload size limit; 0 means maxSectionPayload
+	br   *bufio.Reader
+	off  int64       // offset of the next unread byte, from the start of sections
+	max  int         // payload size limit; 0 means maxSectionPayload
+	pool *BufferPool // payload source; nil allocates per section
+	hdr  []byte      // header scratch, reused across next calls
+	crc  [4]byte     // checksum scratch; a local would escape through io.ReadFull
 }
 
 // section is one decoded, checksum-verified frame.
@@ -155,14 +158,15 @@ type section struct {
 	start   int64 // offset of the section's first byte
 	typ     uint64
 	payload []byte
+	buf     *PooledBuf // backing pooled buffer; nil when payload is unpooled
 }
 
 // next reads and verifies the next section. It returns io.EOF (untouched)
 // only at a clean section boundary; any other error means the frame at
-// s.start was damaged.
+// s.start was damaged (any borrowed payload is already back in the pool).
 func (s *sectionScanner) next() (section, error) {
 	sec := section{start: s.off}
-	var hdr []byte
+	s.hdr = s.hdr[:0]
 	readUvarint := func() (uint64, error) {
 		var v uint64
 		for shift := uint(0); ; shift += 7 {
@@ -171,7 +175,7 @@ func (s *sectionScanner) next() (section, error) {
 				return 0, err
 			}
 			s.off++
-			hdr = append(hdr, b)
+			s.hdr = append(s.hdr, b)
 			if shift >= 64 {
 				return 0, fmt.Errorf("%w: varint overflow", ErrBadFormat)
 			}
@@ -183,7 +187,7 @@ func (s *sectionScanner) next() (section, error) {
 	}
 	typ, err := readUvarint()
 	if err != nil {
-		if err == io.EOF && len(hdr) == 0 {
+		if err == io.EOF && len(s.hdr) == 0 {
 			return sec, io.EOF
 		}
 		return sec, fmt.Errorf("section type: %w", noEOF(err))
@@ -200,19 +204,34 @@ func (s *sectionScanner) next() (section, error) {
 	if plen > limit {
 		return sec, fmt.Errorf("%w: section payload %d bytes", ErrBadFormat, plen)
 	}
-	sec.payload = make([]byte, plen)
+	fail := func(detail string, err error) (section, error) {
+		if sec.buf != nil {
+			sec.buf.Release()
+			sec.buf, sec.payload = nil, nil
+		}
+		return sec, fmt.Errorf("%s: %w", detail, err)
+	}
+	if s.pool != nil {
+		sec.buf = s.pool.Get(int(plen))
+		sec.payload = sec.buf.Bytes()
+	} else {
+		sec.payload = make([]byte, plen)
+	}
 	if _, err := io.ReadFull(s.br, sec.payload); err != nil {
-		return sec, fmt.Errorf("section payload: %w", noEOF(err))
+		return fail("section payload", noEOF(err))
 	}
 	s.off += int64(plen)
-	var cb [4]byte
-	if _, err := io.ReadFull(s.br, cb[:]); err != nil {
-		return sec, fmt.Errorf("section checksum: %w", noEOF(err))
+	if _, err := io.ReadFull(s.br, s.crc[:]); err != nil {
+		return fail("section checksum", noEOF(err))
 	}
 	s.off += 4
-	sum := crc32.ChecksumIEEE(hdr)
+	sum := crc32.ChecksumIEEE(s.hdr)
 	sum = crc32.Update(sum, crc32.IEEETable, sec.payload)
-	if got := binary.LittleEndian.Uint32(cb[:]); got != sum {
+	if got := binary.LittleEndian.Uint32(s.crc[:]); got != sum {
+		if sec.buf != nil {
+			sec.buf.Release()
+			sec.buf, sec.payload = nil, nil
+		}
 		return sec, fmt.Errorf("%w: want %08x, got %08x", errChecksum, sum, got)
 	}
 	return sec, nil
@@ -227,29 +246,18 @@ func noEOF(err error) error {
 	return err
 }
 
-// decodeChunk decodes one records payload (delta state starts at zero),
-// rejecting chunks that declare more than max records.
+// decodeChunk decodes one records payload (delta state starts at zero) into
+// a materialized Trace, rejecting chunks that declare more than max records.
+// It is RecordIter with an append loop; the two cannot drift.
 func decodeChunk(payload []byte, max int) (Trace, error) {
-	br := bytes.NewReader(payload)
-	n, err := binary.ReadUvarint(br)
+	it, err := NewRecordIter(payload, max)
 	if err != nil {
-		return nil, fmt.Errorf("chunk count: %w", noEOF(err))
+		return nil, err
 	}
-	if n > uint64(max) {
-		return nil, fmt.Errorf("%w: chunk of %d records", ErrBadFormat, n)
-	}
-	out := make(Trace, 0, n)
-	var prevPC, prevTgt uint32
-	for i := uint64(0); i < n; i++ {
-		r, err := readRecord(br, prevPC, prevTgt, i)
-		if err != nil {
-			return nil, noEOF(err)
-		}
-		out = append(out, r)
-		prevPC, prevTgt = r.PC, r.Target
-	}
-	if br.Len() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes in chunk", ErrBadFormat, br.Len())
+	out := make(Trace, it.Len())
+	out = out[:it.NextBatch(out)]
+	if err := it.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

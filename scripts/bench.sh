@@ -40,8 +40,29 @@ go test -run '^$' -bench '^BenchmarkServeLoopback$' -benchtime "$benchtime" \
 
 # Cluster-path throughput: the same stream through ibprouter's full path
 # (journaling, relay, a 2-backend fleet) — the router's overhead relative to
-# BenchmarkServeLoopback is the number to watch.
-go test -run '^$' -bench '^BenchmarkRouterLoopback$' -benchtime "$benchtime" \
-  ./internal/cluster | tee -a "$raw"
+# BenchmarkServeLoopback is the number to watch — plus the backend-scaling
+# ladder (1/2/4 loopback backends, one client per backend) whose records/s
+# column shows how far the router is from linear scaling.
+go test -run '^$' -bench '^(BenchmarkRouterLoopback|BenchmarkRouterScaling)$' \
+  -benchtime "$benchtime" ./internal/cluster | tee -a "$raw"
 
-go run ./cmd/ibpsweep -benchjson "$out" -benchraw "$raw" -run "$run" -n "$n"
+# End-to-end loadgen: a real ibpserved process driven by ibpload over real
+# sockets; its throughput and frame-latency p50/p95/p99 land in the snapshot's
+# "loadgen" section. LOADGEN=0 skips it (fast local iterations).
+loadflags=()
+if [ "${LOADGEN:-1}" != 0 ]; then
+  loadjson="$(mktemp)"
+  servebin="$(mktemp)"
+  trap 'rm -f "$raw" "$loadjson" "$servebin"' EXIT
+  go build -o "$servebin" ./cmd/ibpserved
+  "$servebin" -addr 127.0.0.1:19671 -log warn &
+  served=$!
+  sleep 1
+  go run ./cmd/ibpload -addr 127.0.0.1:19671 -bench all -n "${LOADN:-20000}" \
+    -conns "${LOADCONNS:-4}" -json > "$loadjson"
+  kill "$served" 2>/dev/null || true
+  wait "$served" 2>/dev/null || true
+  loadflags=(-loadjson "$loadjson")
+fi
+
+go run ./cmd/ibpsweep -benchjson "$out" -benchraw "$raw" "${loadflags[@]}" -run "$run" -n "$n"

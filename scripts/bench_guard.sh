@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Bench regression guard: re-runs BenchmarkServeLoopback and fails when its
+# records/s throughput lands more than THRESHOLD percent below the committed
+# snapshot (the newest results/BENCH_*.json that carries the benchmark).
+#
+# The serve loopback path is the PR-over-PR throughput headline, so a silent
+# regression there is the one this guard exists to catch. Best-of-REPS runs
+# are compared, not a single sample, to keep shared-runner noise from failing
+# healthy builds.
+#
+# Usage:
+#   scripts/bench_guard.sh [reference.json]
+# Environment:
+#   THRESHOLD  allowed regression in percent (default 10)
+#   REPS       benchmark repetitions; the best run counts (default 3)
+#   BENCHTIME  go test -benchtime per rep (default 3x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold="${THRESHOLD:-10}"
+reps="${REPS:-3}"
+benchtime="${BENCHTIME:-3x}"
+ref="${1:-}"
+
+if [ -z "$ref" ]; then
+  # Newest committed snapshot that has a records/s figure for the benchmark.
+  for f in $(ls -r results/BENCH_*.json 2>/dev/null); do
+    if python3 - "$f" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+ok = any(b.get("name") == "BenchmarkServeLoopback" and b.get("records_per_s")
+         for b in rep.get("go_test", []))
+sys.exit(0 if ok else 1)
+EOF
+    then ref="$f"; break; fi
+  done
+fi
+if [ -z "$ref" ]; then
+  echo "bench_guard: no committed snapshot with BenchmarkServeLoopback records/s; nothing to guard" >&2
+  exit 0
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+for _ in $(seq "$reps"); do
+  go test -run '^$' -bench '^BenchmarkServeLoopback$' -benchtime "$benchtime" \
+    ./internal/serve | tee -a "$raw"
+done
+
+python3 - "$ref" "$raw" "$threshold" <<'EOF'
+import json, re, sys
+ref_path, raw_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+rep = json.load(open(ref_path))
+want = next(b["records_per_s"] for b in rep["go_test"]
+            if b.get("name") == "BenchmarkServeLoopback" and b.get("records_per_s"))
+best = 0.0
+for line in open(raw_path):
+    m = re.match(r"BenchmarkServeLoopback\S*\s.*?([\d.e+]+) records/s", line)
+    if m:
+        best = max(best, float(m.group(1)))
+if best == 0.0:
+    sys.exit("bench_guard: no records/s sample in fresh run")
+drop = 100.0 * (1.0 - best / want)
+print(f"bench_guard: snapshot {want:,.0f} records/s ({ref_path}), "
+      f"best of fresh runs {best:,.0f} records/s ({drop:+.1f}% drop)")
+if drop > threshold:
+    sys.exit(f"bench_guard: BenchmarkServeLoopback regressed {drop:.1f}% "
+             f"(> {threshold:.0f}% allowed)")
+EOF
