@@ -14,31 +14,35 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/oocsb/ibp/internal/cli"
+	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/serve"
 	"github.com/oocsb/ibp/internal/workload"
 )
 
 type options struct {
-	addr    string
-	conns   int
-	bench   string
-	n       int
-	frame   int
-	window  int
-	warmup  int
-	events  bool
-	retries int
-	backoff time.Duration
-	timeout time.Duration
-	seed    int64
-	asJSON  bool
-	router  bool
+	addr      string
+	conns     int
+	bench     string
+	n         int
+	frame     int
+	window    int
+	warmup    int
+	events    bool
+	retries   int
+	backoff   time.Duration
+	timeout   time.Duration
+	seed      int64
+	asJSON    bool
+	router    bool
+	traceID   string
+	traceDump string
 
 	pf cli.PredictorFlags
 }
@@ -59,6 +63,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "workload seed offset (added to each benchmark's suite seed)")
 	flag.BoolVar(&o.asJSON, "json", false, "emit one JSON document instead of the table")
 	flag.BoolVar(&o.router, "router", false, "target an ibprouter ingress: require per-session placement info and report failovers")
+	flag.StringVar(&o.traceID, "traceid", "", "pin per-session trace IDs (\"<prefix>-<benchmark>\") into the Hello so server-side flight recorders correlate")
+	flag.StringVar(&o.traceDump, "tracedump", "", "write a client-side flight-recorder dump (send/ack stamps per frame) to this file")
 	o.pf.Register(flag.CommandLine)
 	flag.Parse()
 	if err := realMain(o); err != nil {
@@ -86,20 +92,42 @@ type benchResult struct {
 	Err       string        `json:"error,omitempty"`
 }
 
+// hopStats is one client-side duration family's percentile summary.
+type hopStats struct {
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+}
+
+func newHopStats(ds []time.Duration) hopStats {
+	return hopStats{
+		P50Ms:  percentileMS(ds, 0.50),
+		P95Ms:  percentileMS(ds, 0.95),
+		P99Ms:  percentileMS(ds, 0.99),
+		P999Ms: percentileMS(ds, 0.999),
+	}
+}
+
 // report is the aggregate -json document.
 type report struct {
-	Addr           string        `json:"addr"`
-	Conns          int           `json:"conns"`
-	Benchmarks     []benchResult `json:"benchmarks"`
-	Records        int           `json:"records"`
-	Elapsed        string        `json:"elapsed"`
-	RecordsPS      float64       `json:"recordsPerSec"`
-	LatencyP50     float64       `json:"frameLatencyP50Ms"`
-	LatencyP95     float64       `json:"frameLatencyP95Ms"`
-	LatencyP99     float64       `json:"frameLatencyP99Ms"`
-	Failed         int           `json:"failed"`
-	Failovers      int           `json:"failovers"`
-	ReplayedFrames int           `json:"replayedFrames"`
+	Addr        string        `json:"addr"`
+	Conns       int           `json:"conns"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+	Records     int           `json:"records"`
+	Elapsed     string        `json:"elapsed"`
+	RecordsPS   float64       `json:"recordsPerSec"`
+	LatencyP50  float64       `json:"frameLatencyP50Ms"`
+	LatencyP95  float64       `json:"frameLatencyP95Ms"`
+	LatencyP99  float64       `json:"frameLatencyP99Ms"`
+	LatencyP999 float64       `json:"frameLatencyP999Ms"`
+	// Hops breaks the client's view of a frame's life into its local
+	// stages: window-wait (backpressure before the send), write (socket
+	// flush), and rtt (send to ack).
+	Hops           map[string]hopStats `json:"hops,omitempty"`
+	Failed         int                 `json:"failed"`
+	Failovers      int                 `json:"failovers"`
+	ReplayedFrames int                 `json:"replayedFrames"`
 }
 
 func realMain(o options) error {
@@ -129,12 +157,20 @@ func realMain(o options) error {
 		cfgs[i].Seed += uint64(o.seed - 1)
 	}
 
+	// A client-side flight recorder (for -tracedump): each frame's send and
+	// ack stamps, fusable with the router's and backends' dumps.
+	var rec *flight.Recorder
+	if o.traceDump != "" {
+		rec = flight.NewRecorder(flight.Options{Service: "ibpload", Capacity: 1 << 14})
+	}
+
 	// Round-robin the benchmarks over the connection workers; each worker
 	// runs its benchmarks sequentially, one session per benchmark.
 	var (
 		mu        sync.Mutex
 		results   []benchResult
 		latencies []time.Duration
+		timings   timingAgg
 	)
 	jobs := make(chan workload.Config)
 	var wg sync.WaitGroup
@@ -144,10 +180,11 @@ func realMain(o options) error {
 		go func() {
 			defer wg.Done()
 			for cfg := range jobs {
-				res, lats := runBenchmark(o, cfg)
+				res, lats, tm := runBenchmark(o, cfg, rec)
 				mu.Lock()
 				results = append(results, res)
 				latencies = append(latencies, lats...)
+				timings.merge(tm)
 				mu.Unlock()
 			}
 		}()
@@ -172,10 +209,23 @@ func realMain(o options) error {
 	if s := elapsed.Seconds(); s > 0 {
 		rep.RecordsPS = float64(rep.Records) / s
 	}
-	rep.LatencyP50 = percentileMS(latencies, 50)
-	rep.LatencyP95 = percentileMS(latencies, 95)
-	rep.LatencyP99 = percentileMS(latencies, 99)
+	rep.LatencyP50 = percentileMS(latencies, 0.50)
+	rep.LatencyP95 = percentileMS(latencies, 0.95)
+	rep.LatencyP99 = percentileMS(latencies, 0.99)
+	rep.LatencyP999 = percentileMS(latencies, 0.999)
+	if len(timings.winWait) > 0 {
+		rep.Hops = map[string]hopStats{
+			"window-wait": newHopStats(timings.winWait),
+			"write":       newHopStats(timings.write),
+			"rtt":         newHopStats(timings.rtt),
+		}
+	}
 
+	if o.traceDump != "" {
+		if err := writeTraceDump(o.traceDump, rec); err != nil {
+			return err
+		}
+	}
 	if o.asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -191,14 +241,28 @@ func realMain(o options) error {
 	return nil
 }
 
+// timingAgg accumulates the client-side per-hop durations across sessions.
+type timingAgg struct {
+	winWait []time.Duration
+	write   []time.Duration
+	rtt     []time.Duration
+}
+
+func (a *timingAgg) merge(b timingAgg) {
+	a.winWait = append(a.winWait, b.winWait...)
+	a.write = append(a.write, b.write...)
+	a.rtt = append(a.rtt, b.rtt...)
+}
+
 // runBenchmark generates one benchmark trace and streams it through a fresh
-// session, collecting per-frame latencies.
-func runBenchmark(o options, cfg workload.Config) (benchResult, []time.Duration) {
+// session, collecting per-frame latencies and hop timings.
+func runBenchmark(o options, cfg workload.Config, rec *flight.Recorder) (benchResult, []time.Duration, timingAgg) {
 	res := benchResult{Benchmark: cfg.Name}
+	var tm timingAgg
 	tr, err := cfg.Generate(o.n)
 	if err != nil {
 		res.Err = err.Error()
-		return res, nil
+		return res, nil, tm
 	}
 	pf := o.pf
 	hello := serve.Hello{
@@ -208,6 +272,11 @@ func runBenchmark(o options, cfg workload.Config) (benchResult, []time.Duration)
 		Events:    o.events,
 		Window:    o.window,
 	}
+	if o.traceID != "" {
+		// One trace ID per session, so (trace ID, seq) is unique across the
+		// concurrent sessions when server-side dumps are fused.
+		hello.TraceID = o.traceID + "-" + cfg.Name
+	}
 	begin := time.Now()
 	c, err := serve.Dial(o.addr, hello, serve.DialOptions{
 		Timeout: o.timeout,
@@ -216,11 +285,26 @@ func runBenchmark(o options, cfg workload.Config) (benchResult, []time.Duration)
 	})
 	if err != nil {
 		res.Err = err.Error()
-		return res, nil
+		return res, nil, tm
 	}
 	defer c.Close()
 	if o.events {
 		c.OnEvents = func(_ uint64, evs []serve.EventRec) { res.Events += len(evs) }
+	}
+	// The server (or router) echoes the effective trace ID — the one it
+	// minted when the Hello carried none — so the client dump correlates
+	// either way.
+	tracer := rec.Tracer(c.Session().TraceID, c.Session().Session)
+	c.OnTiming = func(t serve.FrameTiming) {
+		tm.winWait = append(tm.winWait, t.WindowWait)
+		tm.write = append(tm.write, t.Write)
+		tm.rtt = append(tm.rtt, t.RTT)
+		if tracer != nil {
+			sp := tracer.Start(t.Seq)
+			sp.StampAt(flight.HopClientSend, t.SentAt.UnixNano())
+			sp.StampAt(flight.HopClientAck, t.AckedAt.UnixNano())
+			sp.Finish()
+		}
 	}
 	var lats []time.Duration
 	sum, err := c.Stream(tr, o.frame, func(_ serve.Ack, rtt time.Duration) {
@@ -232,7 +316,7 @@ func runBenchmark(o options, cfg workload.Config) (benchResult, []time.Duration)
 	res.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
 	if err != nil {
 		res.Err = err.Error()
-		return res, lats
+		return res, lats, tm
 	}
 	res.Predictor = sum.Predictor
 	res.Records = sum.Records
@@ -250,23 +334,37 @@ func runBenchmark(o options, cfg workload.Config) (benchResult, []time.Duration)
 		// info means the address is a plain ibpserved.
 		res.Err = "no router placement info in summary (is the address an ibprouter?)"
 	}
-	return res, lats
+	return res, lats, tm
 }
 
-// percentileMS returns the p-th percentile of ds in milliseconds (nearest
-// rank on the sorted slice).
-func percentileMS(ds []time.Duration, p int) float64 {
+// percentileMS returns the p-th quantile (p in [0,1]) of ds in milliseconds
+// (nearest rank on the sorted slice).
+func percentileMS(ds []time.Duration, p float64) float64 {
 	if len(ds) == 0 {
 		return 0
 	}
 	sorted := make([]time.Duration, len(ds))
 	copy(sorted, ds)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := (len(sorted)*p + 99) / 100
-	if idx > 0 {
-		idx--
+	idx := int(math.Ceil(float64(len(sorted))*p)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
 	}
 	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// writeTraceDump serializes the client-side flight recorder in the same JSON
+// shape as the /debug/flightrecorder endpoint, so ibpreport -flight fuses it
+// with server-side dumps directly.
+func writeTraceDump(path string, rec *flight.Recorder) error {
+	b, err := json.MarshalIndent(rec.Dump(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func printTable(rep report) {
@@ -285,9 +383,16 @@ func printTable(rep report) {
 			r.Benchmark, r.Predictor, r.Records, r.Frames, r.Executed, r.Misses,
 			r.MissRate, r.ElapsedMS, note)
 	}
-	fmt.Printf("\n%d records in %s over %d conns — %.0f records/s; frame latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
+	fmt.Printf("\n%d records in %s over %d conns — %.0f records/s; frame latency p50 %.2fms p95 %.2fms p99 %.2fms p999 %.2fms\n",
 		rep.Records, rep.Elapsed, rep.Conns, rep.RecordsPS,
-		rep.LatencyP50, rep.LatencyP95, rep.LatencyP99)
+		rep.LatencyP50, rep.LatencyP95, rep.LatencyP99, rep.LatencyP999)
+	if rep.Hops != nil {
+		for _, name := range []string{"window-wait", "write", "rtt"} {
+			h := rep.Hops[name]
+			fmt.Printf("  %-12s p50 %.3fms p95 %.3fms p99 %.3fms p999 %.3fms\n",
+				name, h.P50Ms, h.P95Ms, h.P99Ms, h.P999Ms)
+		}
+	}
 	if rep.Failovers > 0 || rep.ReplayedFrames > 0 {
 		fmt.Printf("%d failovers, %d frames replayed — every summary above is still bit-identical\n",
 			rep.Failovers, rep.ReplayedFrames)

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/oocsb/ibp/internal/flight"
+)
+
+// stampRow is one hop stamp of one span, ready for timeline sorting.
+type stampRow struct {
+	name string
+	ns   int64
+	ord  int // path order (flight.Hop), breaking ties at equal timestamps
+}
+
+// writeFlightTrace fuses one or more flight-recorder dumps — the
+// /debug/flightrecorder JSON of ibprouter and ibpserved, or ibpload's
+// -tracedump file — into a single Chrome trace-event timeline. Every dump
+// becomes one process lane (pid) named after its service, every session a
+// thread lane (tid); each hop stamp is an instant event named after the hop,
+// and each consecutive pair of stamps a duration slice, so the frame's walk
+// client → router → backend → back reads left to right across the lanes.
+//
+// All stamps share one normalized clock (microseconds since the earliest
+// stamp in any dump), and every event carries the frame's trace ID and seq
+// in args — the cross-process correlation key, which is why the router pins
+// its minted trace ID into the Hello it forwards to backends.
+func writeFlightTrace(w io.Writer, paths string) error {
+	var files []string
+	for _, p := range strings.Split(paths, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			files = append(files, p)
+		}
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("-flight: no dump files")
+	}
+
+	dumps := make([]flight.Dump, len(files))
+	var t0 int64
+	for i, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &dumps[i]); err != nil {
+			return fmt.Errorf("%s: corrupt flight dump: %w", path, err)
+		}
+		for _, sp := range dumps[i].Spans {
+			for _, ns := range sp.Hops {
+				if ns > 0 && (t0 == 0 || ns < t0) {
+					t0 = ns
+				}
+			}
+		}
+	}
+	if t0 == 0 {
+		return fmt.Errorf("-flight: dumps contain no hop stamps")
+	}
+
+	hopOrder := make(map[string]int, flight.NumHops)
+	for h := flight.Hop(0); h < flight.NumHops; h++ {
+		hopOrder[h.String()] = int(h)
+	}
+
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	for i, d := range dumps {
+		pid := i + 1
+		service := d.Service
+		if service == "" {
+			service = files[i]
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": service},
+		})
+		for _, sp := range d.Spans {
+			rows := make([]stampRow, 0, len(sp.Hops))
+			for name, ns := range sp.Hops {
+				if ns > 0 {
+					rows = append(rows, stampRow{name, ns, hopOrder[name]})
+				}
+			}
+			sort.Slice(rows, func(a, b int) bool {
+				if rows[a].ns != rows[b].ns {
+					return rows[a].ns < rows[b].ns
+				}
+				return rows[a].ord < rows[b].ord
+			})
+			tid := int(sp.Session)
+			args := map[string]any{"traceId": sp.TraceID, "seq": sp.Seq}
+			if sp.Records > 0 {
+				args["records"] = sp.Records
+			}
+			for j, row := range rows {
+				ts := (row.ns - t0) / 1000
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: row.name, Ph: "i", Ts: ts, Pid: pid, Tid: tid, Args: args,
+				})
+				if j+1 < len(rows) {
+					next := rows[j+1]
+					tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+						Name: row.name + "→" + next.name, Ph: "X", Ts: ts,
+						Dur: (next.ns - row.ns) / 1000, Pid: pid, Tid: tid, Args: args,
+					})
+				}
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr)
+}

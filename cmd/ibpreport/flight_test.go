@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/oocsb/ibp/internal/flight"
+)
+
+// writeDump records one span per (session, seq, stamps) tuple and writes the
+// recorder's dump to dir/name, returning the path.
+func writeDump(t *testing.T, dir, name, service string, stamp func(tr *flight.Tracer)) string {
+	t.Helper()
+	rec := flight.NewRecorder(flight.Options{Service: service, Capacity: 16})
+	stamp(rec.Tracer("load-1", 7))
+	b, err := json.Marshal(rec.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFlightTraceFusion(t *testing.T) {
+	dir := t.TempDir()
+	// One frame (trace ID load-1, seq 3) observed by the router and a
+	// backend, with a deliberate clock base well away from zero.
+	const base = int64(1_700_000_000_000_000_000)
+	router := writeDump(t, dir, "router.json", "ibprouter", func(tr *flight.Tracer) {
+		sp := tr.Start(3)
+		sp.StampAt(flight.HopRouterRecv, base)
+		sp.StampAt(flight.HopRouterRelay, base+1_000)
+		sp.StampAt(flight.HopRouterAckRecv, base+90_000)
+		sp.StampAt(flight.HopRouterAckRelay, base+95_000)
+		sp.Finish()
+	})
+	backend := writeDump(t, dir, "backend.json", "ibpserved-a", func(tr *flight.Tracer) {
+		sp := tr.Start(3)
+		sp.StampAt(flight.HopServerRecv, base+10_000)
+		sp.StampAt(flight.HopServerEnqueue, base+11_000)
+		sp.StampAt(flight.HopServerDequeue, base+20_000)
+		sp.StampAt(flight.HopServerPredict, base+70_000)
+		sp.StampAt(flight.HopServerAckWrite, base+80_000)
+		sp.SetRecords(2048)
+		sp.Finish()
+	})
+
+	var buf bytes.Buffer
+	if err := writeFlightTrace(&buf, router+","+backend); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+
+	procs := map[string]int{}
+	hops := map[string]bool{}
+	var slices int
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			procs[ev.Args["name"].(string)] = ev.Pid
+		case "i":
+			hops[ev.Name] = true
+			if ev.Ts < 0 {
+				t.Errorf("hop %q has negative ts %d", ev.Name, ev.Ts)
+			}
+			if ev.Args["traceId"] != "load-1" {
+				t.Errorf("hop %q traceId = %v", ev.Name, ev.Args["traceId"])
+			}
+		case "X":
+			slices++
+			if ev.Dur < 0 {
+				t.Errorf("slice %q has negative dur", ev.Name)
+			}
+		}
+	}
+	if procs["ibprouter"] == 0 || procs["ibpserved-a"] == 0 || procs["ibprouter"] == procs["ibpserved-a"] {
+		t.Errorf("process lanes wrong: %v", procs)
+	}
+	if len(hops) < 6 {
+		t.Errorf("fused timeline names %d hops, want >= 6: %v", len(hops), hops)
+	}
+	// Clock normalization: the router's recv stamp is the global minimum.
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "i" && ev.Name == flight.HopRouterRecv.String() && ev.Ts != 0 {
+			t.Errorf("earliest hop ts = %d, want 0", ev.Ts)
+		}
+		if ev.Ph == "i" && ev.Name == flight.HopServerRecv.String() && ev.Ts != 10 {
+			t.Errorf("server-recv ts = %d µs, want 10", ev.Ts)
+		}
+	}
+	// 4 router stamps -> 3 slices, 5 backend stamps -> 4 slices.
+	if slices != 7 {
+		t.Errorf("slices = %d, want 7", slices)
+	}
+}
+
+func TestFlightTraceBadInputs(t *testing.T) {
+	if err := writeFlightTrace(&bytes.Buffer{}, ""); err == nil {
+		t.Error("empty path list accepted")
+	}
+	if err := writeFlightTrace(&bytes.Buffer{}, "/nonexistent.json"); err == nil {
+		t.Error("missing dump accepted")
+	}
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.json")
+	os.WriteFile(corrupt, []byte(`{nope`), 0o644)
+	if err := writeFlightTrace(&bytes.Buffer{}, corrupt); err == nil {
+		t.Error("corrupt dump accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"service":"x","spans":[]}`), 0o644)
+	if err := writeFlightTrace(&bytes.Buffer{}, empty); err == nil {
+		t.Error("stampless dump accepted")
+	}
+}

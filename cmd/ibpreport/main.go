@@ -7,7 +7,8 @@
 //
 // It also converts a sweep's run manifest into a Chrome trace-event file
 // (load it in Perfetto or chrome://tracing) showing the sweep's experiment
-// timeline and telemetry counters.
+// timeline and telemetry counters, and fuses flight-recorder dumps from
+// ibpload, ibprouter, and ibpserved into one cross-process frame timeline.
 //
 // Examples:
 //
@@ -15,6 +16,7 @@
 //	ibpreport -bench gcc -hybrid 3,1 -table assoc4 -entries 4096 -format json
 //	ibpreport -bench xlisp -format csv -o xlisp.csv
 //	ibpreport -chrome results/sweep/.sweep-manifest.json -o sweep.trace.json
+//	ibpreport -flight router.json,backend.json,load.json -o frames.trace.json
 package main
 
 import (
@@ -42,12 +44,13 @@ type options struct {
 
 	pf cli.PredictorFlags
 
-	top    int
-	sample int
-	ring   int
-	format string
-	out    string
-	chrome string
+	top     int
+	sample  int
+	ring    int
+	format  string
+	out     string
+	chrome  string
+	flights string
 }
 
 func main() {
@@ -62,6 +65,7 @@ func main() {
 	flag.StringVar(&o.format, "format", "text", "output format: text, json, csv")
 	flag.StringVar(&o.out, "o", "", "output file (default stdout)")
 	flag.StringVar(&o.chrome, "chrome", "", "convert a .sweep-manifest.json into a Chrome trace-event file instead")
+	flag.StringVar(&o.flights, "flight", "", "fuse comma-separated flight-recorder dumps (/debug/flightrecorder JSON) into a Chrome trace-event timeline instead")
 	flag.Parse()
 	if err := realMain(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ibpreport:", err)
@@ -82,8 +86,11 @@ func realMain(o options) error {
 	if o.chrome != "" {
 		return writeChromeTrace(w, o.chrome)
 	}
+	if o.flights != "" {
+		return writeFlightTrace(w, o.flights)
+	}
 	if o.bench == "" {
-		return fmt.Errorf("need -bench (or -chrome)")
+		return fmt.Errorf("need -bench (or -chrome, or -flight)")
 	}
 	rep, err := buildReport(o)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +32,7 @@ import (
 
 	"github.com/oocsb/ibp/internal/cli"
 	"github.com/oocsb/ibp/internal/cluster"
+	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/telemetry"
 )
 
@@ -56,6 +58,8 @@ type options struct {
 	metricsAddr  string
 	summaryJSON  string
 	logLevel     string
+	flightCap    int
+	slo          time.Duration
 
 	pf cli.PredictorFlags
 }
@@ -83,6 +87,8 @@ func main() {
 	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics and /vars on this address")
 	flag.StringVar(&o.summaryJSON, "summaryjson", "", "write a JSON run summary to this file on exit")
 	flag.StringVar(&o.logLevel, "log", "info", "structured log level: debug, info, warn, error, off")
+	flag.IntVar(&o.flightCap, "flightrecorder", 0, "trace the last N frames in an in-memory flight recorder (0 = off, served at /debug/flightrecorder on the -metrics address)")
+	flag.DurationVar(&o.slo, "slo", 0, "log a per-hop breakdown for frames slower than this end to end (0 = off; needs -flightrecorder)")
 	o.pf.Register(flag.CommandLine)
 	flag.Parse()
 	if err := realMain(o); err != nil {
@@ -100,6 +106,7 @@ type runSummary struct {
 	Graceful bool                    `json:"graceful"`
 	Signal   string                  `json:"signal,omitempty"`
 	Uptime   string                  `json:"uptime"`
+	Flight   *flight.Stats           `json:"flight,omitempty"`
 	Metrics  telemetry.Snapshot      `json:"metrics,omitempty"`
 }
 
@@ -122,8 +129,24 @@ func realMain(o options) error {
 	if o.metricsAddr != "" || o.summaryJSON != "" {
 		reg = telemetry.Enable(nil)
 	}
+	var rec *flight.Recorder
+	if o.flightCap > 0 {
+		rec = flight.NewRecorder(flight.Options{
+			Service:  "ibprouter",
+			Capacity: o.flightCap,
+			SLO:      o.slo,
+			Log:      log,
+		})
+		log.Info("flight recorder on", "capacity", o.flightCap, "slo", o.slo)
+	}
 	if o.metricsAddr != "" {
-		msrv, maddr, err := telemetry.ServeMetrics(o.metricsAddr, reg)
+		var mounts []func(*http.ServeMux)
+		if rec != nil {
+			mounts = append(mounts, func(mux *http.ServeMux) {
+				mux.Handle("/debug/flightrecorder", rec.Handler())
+			})
+		}
+		msrv, maddr, err := telemetry.ServeMetrics(o.metricsAddr, reg, mounts...)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
@@ -149,6 +172,7 @@ func realMain(o options) error {
 		FailThreshold:   o.fails,
 		RiseThreshold:   o.rises,
 		VirtualNodes:    o.vnodes,
+		Flight:          rec,
 		Log:             log,
 	})
 	if err != nil {
@@ -194,6 +218,10 @@ func realMain(o options) error {
 	}
 	sum.Uptime = time.Since(start).String()
 	sum.Backends = r.BackendStatuses()
+	if rec != nil {
+		st := rec.Stats()
+		sum.Flight = &st
+	}
 	sum.Metrics = reg.Snapshot()
 	if o.summaryJSON != "" {
 		if err := writeSummary(o.summaryJSON, sum); err != nil {

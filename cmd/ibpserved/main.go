@@ -18,12 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/oocsb/ibp/internal/cli"
+	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/serve"
 	"github.com/oocsb/ibp/internal/telemetry"
 )
@@ -42,6 +44,8 @@ type options struct {
 	summaryJSON  string
 	logLevel     string
 	tag          string
+	flightCap    int
+	slo          time.Duration
 
 	pf cli.PredictorFlags
 }
@@ -61,6 +65,8 @@ func main() {
 	flag.StringVar(&o.summaryJSON, "summaryjson", "", "write a JSON run summary to this file on exit")
 	flag.StringVar(&o.logLevel, "log", "info", "structured log level: debug, info, warn, error, off")
 	flag.StringVar(&o.tag, "tag", "", "instance label for logs and the run summary (useful under a cluster router)")
+	flag.IntVar(&o.flightCap, "flightrecorder", 0, "trace the last N frames in an in-memory flight recorder (0 = off, served at /debug/flightrecorder on the -metrics address)")
+	flag.DurationVar(&o.slo, "slo", 0, "log a per-hop breakdown for frames slower than this end to end (0 = off; needs -flightrecorder)")
 	o.pf.Register(flag.CommandLine)
 	flag.Parse()
 	if err := realMain(o); err != nil {
@@ -77,6 +83,7 @@ type runSummary struct {
 	Graceful bool               `json:"graceful"`
 	Signal   string             `json:"signal,omitempty"`
 	Uptime   string             `json:"uptime"`
+	Flight   *flight.Stats      `json:"flight,omitempty"`
 	Metrics  telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
@@ -98,8 +105,28 @@ func realMain(o options) error {
 	if o.metricsAddr != "" || o.summaryJSON != "" {
 		reg = telemetry.Enable(nil)
 	}
+	var rec *flight.Recorder
+	if o.flightCap > 0 {
+		service := "ibpserved"
+		if o.tag != "" {
+			service += "-" + o.tag
+		}
+		rec = flight.NewRecorder(flight.Options{
+			Service:  service,
+			Capacity: o.flightCap,
+			SLO:      o.slo,
+			Log:      log,
+		})
+		log.Info("flight recorder on", "capacity", o.flightCap, "slo", o.slo)
+	}
 	if o.metricsAddr != "" {
-		msrv, maddr, err := telemetry.ServeMetrics(o.metricsAddr, reg)
+		var mounts []func(*http.ServeMux)
+		if rec != nil {
+			mounts = append(mounts, func(mux *http.ServeMux) {
+				mux.Handle("/debug/flightrecorder", rec.Handler())
+			})
+		}
+		msrv, maddr, err := telemetry.ServeMetrics(o.metricsAddr, reg, mounts...)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
@@ -116,6 +143,7 @@ func realMain(o options) error {
 		MaxFrameRecords: o.maxRecords,
 		ReadTimeout:     o.readTimeout,
 		WriteTimeout:    o.writeTimeout,
+		Flight:          rec,
 		Log:             log,
 	})
 	if err != nil {
@@ -160,6 +188,10 @@ func realMain(o options) error {
 		}
 	}
 	sum.Uptime = time.Since(start).String()
+	if rec != nil {
+		st := rec.Stats()
+		sum.Flight = &st
+	}
 	sum.Metrics = reg.Snapshot()
 	if o.summaryJSON != "" {
 		if err := writeSummary(o.summaryJSON, sum); err != nil {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/oocsb/ibp/internal/cli"
+	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/serve"
 	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
@@ -91,6 +92,12 @@ type Config struct {
 
 	// Log receives structured router lifecycle events; nil discards them.
 	Log *slog.Logger
+
+	// Flight, when non-nil, records per-frame hop spans (receive, relay,
+	// backend ack, client relay) into the flight recorder and pins a trace
+	// ID into every forwarded Hello so backend spans correlate with the
+	// router's. Nil disables tracing at zero per-frame cost.
+	Flight *flight.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -374,6 +381,14 @@ func (r *Router) handleConn(conn net.Conn) {
 	if window <= 0 || window > r.cfg.Window {
 		window = r.cfg.Window
 	}
+	// The effective trace ID is pinned into the forwarded Hello so every
+	// backend the session lands on (including failover replacements) tags
+	// its spans with the same ID the router uses.
+	traceID := hello.TraceID
+	if traceID == "" && r.cfg.Flight.Enabled() {
+		traceID = r.cfg.Flight.NextTraceID()
+		hello.TraceID = traceID
+	}
 
 	sess := &proxySession{
 		r:      r,
@@ -395,6 +410,10 @@ func (r *Router) handleConn(conn net.Conn) {
 	sess.id = r.nextID
 	r.sessions[sess] = struct{}{}
 	r.mu.Unlock()
+	sess.tracer = r.cfg.Flight.Tracer(traceID, sess.id)
+	if sess.tracer != nil {
+		sess.spans = make(map[uint64]*flight.Span)
+	}
 	r.m.sessionsTotal.Inc()
 	r.m.sessionsActive.Add(1)
 
@@ -409,8 +428,9 @@ func (r *Router) handleConn(conn net.Conn) {
 		MaxFramePayload: r.cfg.MaxFramePayload,
 		MaxFrameRecords: r.cfg.MaxFrameRecords,
 		Events:          hello.Events,
+		TraceID:         traceID,
 	})
-	sess.relay(serve.FrameHelloAck, ackPayload, nil, false)
+	sess.relay(serve.FrameHelloAck, ackPayload, nil, nil, false)
 	r.log.Info("session open", "session", sess.id, "benchmark", hello.Benchmark,
 		"predictor", pred.Name(), "window", window)
 	sess.readLoop(fr)
@@ -495,7 +515,7 @@ func (r *Router) connectSession(sess *proxySession, pc uint32, avoid *backend) (
 					// every backend would refuse identically.
 					sess.markDropped()
 					payload, _ := json.Marshal(we)
-					sess.relay(serve.FrameError, payload, nil, true)
+					sess.relay(serve.FrameError, payload, nil, nil, true)
 					return nil, nil, errSessionOver
 				}
 				lastErr = err

@@ -27,6 +27,12 @@ type metrics struct {
 	probeFailures     *telemetry.Counter // router_probe_failures_total
 	dials             *telemetry.Counter // router_backend_dials_total
 	dialFailures      *telemetry.Counter // router_backend_dial_failures_total
+
+	// Hot-path latency histograms, fed from the session's flight spans (so
+	// they move only while tracing is on — the router has no other per-frame
+	// clock reads).
+	frameLatency *telemetry.Histogram // router_frame_latency: client recv → ack relayed
+	backendRTT   *telemetry.Histogram // router_backend_rtt: relay → backend ack
 }
 
 // newMetrics resolves the handles against r (nil handles when r is nil).
@@ -53,5 +59,8 @@ func newMetrics(r *telemetry.Registry) *metrics {
 		probeFailures:     r.Counter("router_probe_failures_total"),
 		dials:             r.Counter("router_backend_dials_total"),
 		dialFailures:      r.Counter("router_backend_dial_failures_total"),
+
+		frameLatency: r.Histogram("router_frame_latency"),
+		backendRTT:   r.Histogram("router_backend_rtt"),
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/serve"
 	"github.com/oocsb/ibp/internal/trace"
 )
@@ -38,7 +39,11 @@ type outFrame struct {
 	typ     uint64
 	payload []byte
 	buf     *trace.PooledBuf
-	final   bool
+	// span, when non-nil, rides with a relayed ack: the writer stamps its
+	// ack-relay hop after the flush that carried it, feeds the frame-latency
+	// histogram, and publishes it to the flight recorder.
+	span  *flight.Span
+	final bool
 }
 
 // proxySession is one client connection routed through the cluster. Three
@@ -65,6 +70,14 @@ type proxySession struct {
 	conn   net.Conn
 	hello  serve.Hello
 	window int // granted client window
+
+	// tracer mints a flight span per journaled frame; nil when tracing is
+	// off. spans (guarded by mu, nil when tracing is off) holds each
+	// frame's span from journal append until its ack is relayed — stamps
+	// from the reader, sender, and receiver goroutines all happen under mu,
+	// and the hand-off to the writer rides the out channel.
+	tracer *flight.Tracer
+	spans  map[uint64]*flight.Span
 
 	mu         sync.Mutex
 	j          *journal
@@ -156,13 +169,13 @@ func (sess *proxySession) markDropped() {
 // reference moves to the writer, on failure relay releases it. It returns
 // false when the session closed (or a final frame already went out and this
 // one is final too).
-func (sess *proxySession) relay(typ uint64, payload []byte, buf *trace.PooledBuf, final bool) bool {
+func (sess *proxySession) relay(typ uint64, payload []byte, buf *trace.PooledBuf, sp *flight.Span, final bool) bool {
 	if final && !sess.finalQueued.CompareAndSwap(false, true) {
 		buf.Release()
 		return false
 	}
 	select {
-	case sess.out <- outFrame{typ, payload, buf, final}:
+	case sess.out <- outFrame{typ: typ, payload: payload, buf: buf, span: sp, final: final}:
 		return true
 	case <-sess.closed:
 		buf.Release()
@@ -197,9 +210,33 @@ func (sess *proxySession) failClient(code, msg string) {
 func (sess *proxySession) writeLoop() {
 	defer sess.r.connWG.Done()
 	var fb trace.FrameBatcher
+	// Spans riding the current batch: stamped with one clock read after the
+	// flush that actually put their acks on the wire, then published.
+	var spans []*flight.Span
+	add := func(m outFrame) {
+		fb.Add(m.typ, m.payload, m.buf)
+		if m.span != nil {
+			spans = append(spans, m.span)
+		}
+	}
 	flush := func() error {
 		sess.conn.SetWriteDeadline(time.Now().Add(sess.r.cfg.WriteTimeout))
-		return fb.Flush(sess.conn)
+		err := fb.Flush(sess.conn)
+		if len(spans) > 0 {
+			if err == nil {
+				now := time.Now().UnixNano()
+				for _, sp := range spans {
+					sp.StampAt(flight.HopRouterAckRelay, now)
+					if recvNS := sp.HopNS(flight.HopRouterRecv); recvNS > 0 {
+						sess.r.m.frameLatency.Observe(time.Duration(now - recvNS))
+					}
+					sp.Finish()
+				}
+			}
+			clear(spans)
+			spans = spans[:0]
+		}
+		return err
 	}
 	// drainReleases returns late stragglers' buffers to the pool after the
 	// session is over (best-effort: a relay racing close may still enqueue).
@@ -223,11 +260,11 @@ func (sess *proxySession) writeLoop() {
 		select {
 		case m := <-sess.out:
 			final := m.final
-			fb.Add(m.typ, m.payload, m.buf)
+			add(m)
 			for !final {
 				select {
 				case n := <-sess.out:
-					fb.Add(n.typ, n.payload, n.buf)
+					add(n)
 					final = n.final
 					continue
 				default:
@@ -249,7 +286,7 @@ func (sess *proxySession) writeLoop() {
 			for {
 				select {
 				case m := <-sess.out:
-					fb.Add(m.typ, m.payload, m.buf)
+					add(m)
 					continue
 				default:
 				}
@@ -326,6 +363,11 @@ func (sess *proxySession) readLoop(fr *trace.FrameReader) {
 			}
 			// The journal takes over the frame's buffer reference.
 			jerr := sess.j.append(seq, f.Payload, f.Buffer())
+			if jerr == nil && sess.spans != nil {
+				sp := sess.tracer.Start(seq)
+				sp.Stamp(flight.HopRouterRecv)
+				sess.spans[seq] = sp
+			}
 			sess.mu.Unlock()
 			if jerr != nil {
 				f.Release()
@@ -491,6 +533,14 @@ func (sess *proxySession) pump(b *backend, bc *serve.Client) pumpResult {
 					r.m.replayedFrames.Inc()
 				} else {
 					sess.maxSent = next
+					// First send only: a failover replay keeps the original
+					// relay stamp, so the span's relay→ack gap covers the
+					// whole outage rather than the last attempt.
+					if sess.spans != nil {
+						sess.mu.Lock()
+						sess.spans[next].Stamp(flight.HopRouterRelay)
+						sess.mu.Unlock()
+					}
 				}
 				err := bc.WriteFrame(serve.FrameRecords, payload)
 				if err == nil {
@@ -550,6 +600,16 @@ recv:
 			}
 			sess.mu.Lock()
 			evFrames, evBytes := sess.j.ack(seq)
+			var sp *flight.Span
+			if sess.spans != nil {
+				if sp = sess.spans[seq]; sp != nil {
+					delete(sess.spans, seq)
+					sp.Stamp(flight.HopRouterAckRecv)
+					if relayNS := sp.HopNS(flight.HopRouterRelay); relayNS > 0 {
+						r.m.backendRTT.Observe(time.Duration(sp.HopNS(flight.HopRouterAckRecv) - relayNS))
+					}
+				}
+			}
 			sess.mu.Unlock()
 			if evFrames > 0 {
 				r.m.journalEvicted.Add(uint64(evFrames))
@@ -557,8 +617,9 @@ recv:
 			}
 			if seq > sess.relayedThrough.Load() {
 				// The ack payload relays as-is; its buffer reference moves
-				// to the client writer.
-				if !sess.relay(serve.FrameAck, f.Payload, f.Buffer(), false) {
+				// to the client writer, and the span rides along for its
+				// ack-relay stamp.
+				if !sess.relay(serve.FrameAck, f.Payload, f.Buffer(), sp, false) {
 					result = pumpTerminal
 					break recv
 				}
@@ -572,7 +633,7 @@ recv:
 			// identifies replay-duplicate event frames.
 			seq, n := binary.Uvarint(f.Payload)
 			if n > 0 && seq > sess.relayedThrough.Load() {
-				if !sess.relay(serve.FrameEvents, f.Payload, f.Buffer(), false) {
+				if !sess.relay(serve.FrameEvents, f.Payload, f.Buffer(), nil, false) {
 					result = pumpTerminal
 					break recv
 				}
@@ -603,7 +664,7 @@ recv:
 				ReplayedFrames: int(sess.replayed.Load()),
 			}
 			payload, _ := json.Marshal(sum)
-			sess.relay(serve.FrameSummary, payload, nil, true)
+			sess.relay(serve.FrameSummary, payload, nil, nil, true)
 			result = pumpTerminal
 			break recv
 		case serve.FrameError:
@@ -616,7 +677,7 @@ recv:
 			// Deterministic rejection — a replay would fail identically, so
 			// relay the backend's verdict as the session's final frame.
 			sess.markDropped()
-			sess.relay(serve.FrameError, f.Payload, f.Buffer(), true)
+			sess.relay(serve.FrameError, f.Payload, f.Buffer(), nil, true)
 			result = pumpTerminal
 			break recv
 		default:

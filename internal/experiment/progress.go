@@ -91,7 +91,7 @@ type sweepMetrics struct {
 	failed    *telemetry.Counter
 	retried   *telemetry.Counter
 	running   *telemetry.Gauge
-	cellTime  *telemetry.Timer
+	cellTime  *telemetry.Histogram
 	laneHits  *telemetry.Counter
 	laneMiss  *telemetry.Counter
 	traceHits *telemetry.Counter
@@ -109,7 +109,7 @@ func newSweepMetrics(r *telemetry.Registry) sweepMetrics {
 		failed:    r.Counter("sweep_cells_failed_total"),
 		retried:   r.Counter("sweep_cells_retried_total"),
 		running:   r.Gauge("sweep_cells_running"),
-		cellTime:  r.Timer("sweep_cell"),
+		cellTime:  r.Histogram("sweep_cell"),
 		laneHits:  r.Counter("sweep_lane_cache_hits_total"),
 		laneMiss:  r.Counter("sweep_lane_cache_misses_total"),
 		traceHits: r.Counter("trace_cache_hits_total"),

@@ -1,0 +1,76 @@
+// The flight recorder's externally visible face: the JSON dump format served
+// at /debug/flightrecorder and consumed by `ibpreport -flight` for timeline
+// fusion. The format is deliberately self-contained — service name, stats,
+// and named hop stamps per span — so dumps from different processes can be
+// fused with no out-of-band context.
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Dump is the serialized flight recorder.
+type Dump struct {
+	Service    string     `json:"service"`
+	Capacity   int        `json:"capacity"`
+	Recorded   uint64     `json:"recorded"`
+	SlowFrames uint64     `json:"slowFrames"`
+	Spans      []SpanJSON `json:"spans"`
+}
+
+// SpanJSON is one span with hop stamps keyed by hop name (unix ns). Hops the
+// frame never reached are omitted.
+type SpanJSON struct {
+	TraceID string           `json:"traceId"`
+	Session uint64           `json:"session"`
+	Seq     uint64           `json:"seq"`
+	Records int              `json:"records,omitempty"`
+	Hops    map[string]int64 `json:"hops"`
+}
+
+// Dump snapshots the ring (zero value with a nil Spans slice on nil).
+func (r *Recorder) Dump() Dump {
+	st := r.Stats()
+	spans := r.Spans()
+	d := Dump{
+		Service:    st.Service,
+		Capacity:   st.Capacity,
+		Recorded:   st.Recorded,
+		SlowFrames: st.SlowFrames,
+		Spans:      make([]SpanJSON, 0, len(spans)),
+	}
+	for i := range spans {
+		d.Spans = append(d.Spans, spans[i].JSON())
+	}
+	return d
+}
+
+// JSON converts one record to its dump form.
+func (r *SpanRecord) JSON() SpanJSON {
+	s := SpanJSON{
+		TraceID: r.TraceID,
+		Session: r.Session,
+		Seq:     r.Seq,
+		Records: r.Records,
+		Hops:    make(map[string]int64, NumHops),
+	}
+	for h := Hop(0); h < NumHops; h++ {
+		if ns := r.Hops[h]; ns != 0 {
+			s.Hops[h.String()] = ns
+		}
+	}
+	return s
+}
+
+// Handler serves the dump as indented JSON — mounted at
+// /debug/flightrecorder by ibpserved and ibprouter. Safe on the nil
+// recorder (serves an empty dump).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Dump())
+	})
+}

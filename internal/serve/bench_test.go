@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/workload"
 )
 
@@ -11,12 +12,25 @@ import (
 // TCP connection: framing, checksums, shard hand-off, prediction, and the
 // ack stream, reported as records/s.
 func BenchmarkServeLoopback(b *testing.B) {
+	benchServeLoopback(b, nil)
+}
+
+// BenchmarkServeLoopbackTraced is the same loop with the flight recorder on:
+// every frame gets a span, five hop stamps, a ring publish, and four
+// histogram observations. CI asserts its records/s stays within 5% of the
+// untraced run.
+func BenchmarkServeLoopbackTraced(b *testing.B) {
+	rec := flight.NewRecorder(flight.Options{Service: "bench"})
+	benchServeLoopback(b, rec)
+}
+
+func benchServeLoopback(b *testing.B, rec *flight.Recorder) {
 	cfg, err := workload.ByName("gcc")
 	if err != nil {
 		b.Fatal(err)
 	}
 	tr := cfg.MustGenerate(20000)
-	srv, err := New(Config{Predictor: defaultFlags(), Shards: 2, Window: 8})
+	srv, err := New(Config{Predictor: defaultFlags(), Shards: 2, Window: 8, Flight: rec})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -87,6 +87,37 @@ type Client struct {
 	// every events frame (sessions opened with Hello.Events). Called from
 	// Stream's receive goroutine.
 	OnEvents func(seq uint64, evs []EventRec)
+
+	// OnTiming, when non-nil, receives the client-side hop breakdown of
+	// every acknowledged frame (window wait, write, round trip). Like onAck
+	// it forces a flush per frame, so the RTT is an honest round trip.
+	// Called from Stream's receive goroutine.
+	OnTiming func(FrameTiming)
+}
+
+// FrameTiming is the client-side hop breakdown of one streamed frame: where
+// its wall time went before the server ever saw it, and the full round trip.
+type FrameTiming struct {
+	// Seq is the frame's sequence number.
+	Seq uint64
+	// WindowWait is the time blocked waiting for a free window slot
+	// (including the flush that makes the server able to grant one).
+	WindowWait time.Duration
+	// Write is the frame encode + write + flush time.
+	Write time.Duration
+	// RTT is send → ack receipt.
+	RTT time.Duration
+	// SentAt and AckedAt are the wall-clock endpoints of the round trip,
+	// for fusing client-side spans with server flight-recorder dumps.
+	SentAt  time.Time
+	AckedAt time.Time
+}
+
+// sendInfo is the per-inflight-frame bookkeeping behind onAck and OnTiming.
+type sendInfo struct {
+	sent    time.Time
+	winWait time.Duration
+	write   time.Duration
 }
 
 // Dial connects, retrying with exponential backoff, and performs the
@@ -237,9 +268,12 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 		window = 1
 	}
 
+	// timing gates all per-frame clock/map bookkeeping: pure overhead when
+	// nobody is listening.
+	timing := onAck != nil || c.OnTiming != nil
 	var (
 		mu        sync.Mutex
-		sendTimes = make(map[uint64]time.Time)
+		sendTimes = make(map[uint64]sendInfo)
 	)
 	sem := make(chan struct{}, window)
 	sumCh := make(chan Summary, 1)
@@ -266,15 +300,26 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 					return
 				}
 				mu.Lock()
-				sent, ok := sendTimes[ack.Seq]
+				info, ok := sendTimes[ack.Seq]
 				delete(sendTimes, ack.Seq)
 				mu.Unlock()
+				now := time.Now()
+				var rtt time.Duration
+				if ok {
+					rtt = now.Sub(info.sent)
+				}
 				if onAck != nil {
-					var rtt time.Duration
-					if ok {
-						rtt = time.Since(sent)
-					}
 					onAck(ack, rtt)
+				}
+				if c.OnTiming != nil && ok {
+					c.OnTiming(FrameTiming{
+						Seq:        ack.Seq,
+						WindowWait: info.winWait,
+						Write:      info.write,
+						RTT:        rtt,
+						SentAt:     info.sent,
+						AckedAt:    now,
+					})
 				}
 				select {
 				case <-sem:
@@ -334,6 +379,10 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 	var seqNum uint64
 	for start := 0; start < len(tr); start += recsPerFrame {
 		end := min(start+recsPerFrame, len(tr))
+		var waitStart time.Time
+		if timing {
+			waitStart = time.Now()
+		}
 		// Acquire a window slot. When none is free, flush buffered frames
 		// first — the server cannot ack what is still sitting in our write
 		// buffer — then wait (or learn the session ended early). The fast
@@ -356,23 +405,31 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 		}
 		seqNum++
 		payload = appendRecordsFrame(payload[:0], seqNum, tr[start:end])
-		if onAck != nil {
-			// RTT bookkeeping only when someone is listening: the map and
-			// clock reads are pure overhead otherwise.
+		if timing {
+			// RTT/hop bookkeeping only when someone is listening: the map
+			// and clock reads are pure overhead otherwise. The entry lands
+			// before the write so a raced ack always finds it.
+			now := time.Now()
 			mu.Lock()
-			sendTimes[seqNum] = time.Now()
+			sendTimes[seqNum] = sendInfo{sent: now, winWait: now.Sub(waitStart)}
 			mu.Unlock()
 		}
 		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
 		if err := c.fw.WriteFrame(FrameRecords, payload); err != nil {
 			return finish()
 		}
-		if onAck != nil {
+		if timing {
 			// Per-frame flush keeps the reported RTT an honest frame
 			// round-trip rather than a measure of our own buffering.
 			if err := c.fw.Flush(); err != nil {
 				return finish()
 			}
+			mu.Lock()
+			if info, ok := sendTimes[seqNum]; ok { // the ack may have raced us
+				info.write = time.Since(info.sent)
+				sendTimes[seqNum] = info
+			}
+			mu.Unlock()
 		}
 	}
 	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))

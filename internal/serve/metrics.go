@@ -19,6 +19,13 @@ type metrics struct {
 	poolHits        *telemetry.Counter // serve_pool_hits
 	poolMisses      *telemetry.Counter // serve_pool_misses
 	ackBatchSize    *telemetry.Gauge   // serve_ack_batch_size
+
+	// Hot-path latency histograms (log-bucketed, quantile-bearing); one
+	// Observe per frame or flush, zero allocations either way.
+	frameLatency *telemetry.Histogram // serve_frame_latency: read → ack queued
+	queueWait    *telemetry.Histogram // serve_frame_queue_wait: read → shard dequeue
+	predictTime  *telemetry.Histogram // serve_frame_predict: predictor walk per frame
+	ackFlush     *telemetry.Histogram // serve_ack_flush: one vectored writer flush
 }
 
 // newMetrics resolves the handles against r (nil handles when r is nil).
@@ -37,5 +44,9 @@ func newMetrics(r *telemetry.Registry) *metrics {
 		poolHits:        r.Counter("serve_pool_hits"),
 		poolMisses:      r.Counter("serve_pool_misses"),
 		ackBatchSize:    r.Gauge("serve_ack_batch_size"),
+		frameLatency:    r.Histogram("serve_frame_latency"),
+		queueWait:       r.Histogram("serve_frame_queue_wait"),
+		predictTime:     r.Histogram("serve_frame_predict"),
+		ackFlush:        r.Histogram("serve_ack_flush"),
 	}
 }

@@ -82,6 +82,11 @@ type Hello struct {
 	// Window requests a frame window; the server clamps it to its own
 	// limit and reports the granted value in the HelloAck.
 	Window int `json:"window,omitempty"`
+	// TraceID, when set, correlates this session's frame spans across
+	// processes (client → router → backend) in the flight recorder. It is
+	// an optional JSON field, so old peers ignore it and the IBPT v2 byte
+	// format is untouched; empty means the receiving tier mints its own.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // HelloAck is the server's session-open response.
@@ -100,6 +105,9 @@ type HelloAck struct {
 	MaxFrameRecords int `json:"maxFrameRecords"`
 	// Events reports whether per-branch event frames were granted.
 	Events bool `json:"events"`
+	// TraceID echoes the session's effective trace ID (the client's, or one
+	// the server minted when the Hello carried none and tracing is on).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Ack is the server's acknowledgement of one processed records frame. All

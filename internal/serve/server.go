@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/oocsb/ibp/internal/cli"
+	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
 )
@@ -46,6 +47,10 @@ type Config struct {
 	WriteTimeout time.Duration
 	// Log receives structured session lifecycle events; nil discards them.
 	Log *slog.Logger
+	// Flight, when non-nil, records per-frame hop spans into a bounded ring
+	// (the flight recorder) and enables slow-frame SLO logging. Nil disables
+	// tracing entirely: the per-frame cost is one nil check, no allocations.
+	Flight *flight.Recorder
 }
 
 // withDefaults fills unset fields.
@@ -104,12 +109,14 @@ type Server struct {
 // the borrowed frame payload (backed by buf when pooled); whoever consumes
 // the job — the worker, or the drain paths around it — releases buf.
 type job struct {
-	sess  *session
-	seq   uint64
-	chunk []byte           // record chunk, seq already peeled off
-	buf   *trace.PooledBuf // backing pooled buffer; nil for sentinels
-	done  bool             // client sent Done
-	drain bool             // server drain ended the stream
+	sess   *session
+	seq    uint64
+	chunk  []byte           // record chunk, seq already peeled off
+	buf    *trace.PooledBuf // backing pooled buffer; nil for sentinels
+	recvNS int64            // unix ns the reader pulled the frame off the wire
+	span   *flight.Span     // frame span; nil when tracing is off
+	done   bool             // client sent Done
+	drain  bool             // server drain ended the stream
 }
 
 // shard is one predictor worker and its bounded queue. All jobs of a session
@@ -300,7 +307,7 @@ func (sh *shard) run(s *Server) {
 		case j.drain:
 			sess.emitSummary(true)
 		default:
-			sess.processFrame(j.seq, j.chunk, j.buf)
+			sess.processFrame(j)
 		}
 	}
 }
@@ -414,6 +421,10 @@ func (s *Server) openSession(conn net.Conn, fr *trace.FrameReader) (*session, er
 		window = s.cfg.Window
 	}
 	sess := newSession(s, conn, pred, hello, window)
+	traceID := hello.TraceID
+	if traceID == "" && s.cfg.Flight.Enabled() {
+		traceID = s.cfg.Flight.NextTraceID()
+	}
 	s.mu.Lock()
 	if s.draining.Load() {
 		s.mu.Unlock()
@@ -423,6 +434,7 @@ func (s *Server) openSession(conn net.Conn, fr *trace.FrameReader) (*session, er
 	sess.id = s.nextID
 	s.sessions[sess] = struct{}{}
 	s.mu.Unlock()
+	sess.tracer = s.cfg.Flight.Tracer(traceID, sess.id)
 	s.m.sessionsTotal.Inc()
 	s.m.sessionsActive.Add(1)
 
@@ -438,6 +450,7 @@ func (s *Server) openSession(conn net.Conn, fr *trace.FrameReader) (*session, er
 		MaxFramePayload: s.cfg.MaxFramePayload,
 		MaxFrameRecords: s.cfg.MaxFrameRecords,
 		Events:          hello.Events,
+		TraceID:         sess.tracer.TraceID(),
 	})})
 	return sess, nil
 }

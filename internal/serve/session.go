@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/trace"
 )
 
@@ -21,6 +22,10 @@ type outMsg struct {
 	typ     uint64
 	payload []byte
 	buf     *trace.PooledBuf
+	// span, when non-nil, is the frame span riding with an ack: the writer
+	// stamps its ack-write hop after the flush that carried it and then
+	// publishes it to the flight recorder.
+	span *flight.Span
 	// final closes the connection after this frame flushes (the last frame
 	// of a session: Summary or Error).
 	final bool
@@ -40,6 +45,9 @@ type session struct {
 	predName string
 	window   int
 	events   bool
+	// tracer mints a flight span per records frame; nil when tracing is off
+	// (the zero-cost path). Set before the reader starts, read-only after.
+	tracer *flight.Tracer
 
 	// reader-owned
 	nextSeq uint64
@@ -160,16 +168,23 @@ func (sess *session) writeLoop() {
 			}
 		}
 	}()
+	var spans []*flight.Span // acks in the current batch, for post-flush stamping
 	for {
 		select {
 		case m := <-sess.out:
 			final := m.final
 			fb.Add(m.typ, m.payload, m.buf)
+			if m.span != nil {
+				spans = append(spans, m.span)
+			}
 			// Batch everything already queued into one write.
 			for !final {
 				select {
 				case n := <-sess.out:
 					fb.Add(n.typ, n.payload, n.buf)
+					if n.span != nil {
+						spans = append(spans, n.span)
+					}
 					final = n.final
 				default:
 					goto flush
@@ -178,10 +193,23 @@ func (sess *session) writeLoop() {
 		flush:
 			sess.srv.m.ackBatchSize.Set(float64(fb.Frames()))
 			sess.conn.SetWriteDeadline(time.Now().Add(sess.srv.cfg.WriteTimeout))
+			flushStart := time.Now()
 			if err := fb.Flush(sess.conn); err != nil {
 				sess.fail(CodeOverload, fmt.Sprintf("write: %v", err))
 				sess.conn.Close()
 				return
+			}
+			sess.srv.m.ackFlush.Observe(time.Since(flushStart))
+			if len(spans) > 0 {
+				// One clock read serves the whole flushed batch: every ack in
+				// it hit the wire in the same writev.
+				now := time.Now().UnixNano()
+				for i, sp := range spans {
+					sp.StampAt(flight.HopServerAckWrite, now)
+					sp.Finish()
+					spans[i] = nil
+				}
+				spans = spans[:0]
 			}
 			if final {
 				sess.conn.Close()
@@ -258,7 +286,16 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 				pc, _ := trace.PeekFirstPC(chunk)
 				sess.shard = s.shardFor(pc)
 			}
-			if !s.enqueue(sess.shard, job{sess: sess, seq: seq, chunk: chunk, buf: f.Buffer()}) {
+			// One clock read per frame (amortized over its ~thousands of
+			// records) feeds the queue-wait/latency histograms and, when
+			// tracing is on, the span's receive stamp.
+			recvNS := time.Now().UnixNano()
+			sp := sess.tracer.Start(seq)
+			sp.StampAt(flight.HopServerRecv, recvNS)
+			// Stamped before enqueue so a blocked (backpressured) enqueue
+			// shows up in the enqueue→dequeue gap, where it belongs.
+			sp.Stamp(flight.HopServerEnqueue)
+			if !s.enqueue(sess.shard, job{sess: sess, seq: seq, chunk: chunk, buf: f.Buffer(), recvNS: recvNS, span: sp}) {
 				return // hard stop; enqueue released the buffer
 			}
 		case FrameDone:
@@ -288,7 +325,8 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 // materialization — then queues the (events and) ack frames from pooled
 // payload buffers and releases the chunk's buffer. A predictor panic is
 // confined to this session, like a sim lane's.
-func (sess *session) processFrame(seq uint64, chunk []byte, buf *trace.PooledBuf) {
+func (sess *session) processFrame(j job) {
+	seq, chunk, buf := j.seq, j.chunk, j.buf
 	defer buf.Release()
 	defer func() {
 		if r := recover(); r != nil {
@@ -298,6 +336,9 @@ func (sess *session) processFrame(seq uint64, chunk []byte, buf *trace.PooledBuf
 	}()
 	s := sess.srv
 	m := s.m
+	startNS := time.Now().UnixNano()
+	j.span.StampAt(flight.HopServerDequeue, startNS)
+	m.queueWait.Observe(time.Duration(startNS - j.recvNS))
 	it, err := trace.NewRecordIter(chunk, s.cfg.MaxFrameRecords)
 	if err != nil {
 		sess.fail(CodeBadFrame, err.Error())
@@ -358,6 +399,11 @@ func (sess *session) processFrame(seq uint64, chunk []byte, buf *trace.PooledBuf
 	}
 	sess.frames++
 	sess.records += nrecs
+	doneNS := time.Now().UnixNano()
+	j.span.StampAt(flight.HopServerPredict, doneNS)
+	j.span.SetRecords(nrecs)
+	m.predictTime.Observe(time.Duration(doneNS - startNS))
+	m.frameLatency.Observe(time.Duration(doneNS - j.recvNS))
 	m.frames.Inc()
 	m.records.Add(uint64(nrecs))
 	m.misses.Add(uint64(sess.misses - miss0))
@@ -382,7 +428,9 @@ func (sess *session) processFrame(seq uint64, chunk []byte, buf *trace.PooledBuf
 	sess.inflight.Add(-1)
 	ab := s.pool.Get(ackPayloadMax)
 	payload := appendAck(ab.Bytes()[:0], ack)
-	if sess.send(outMsg{typ: FrameAck, payload: payload, buf: ab}) {
+	// The span rides the ack to the writer, which stamps the ack-write hop
+	// post-flush and publishes it; a shed message simply drops the span.
+	if sess.send(outMsg{typ: FrameAck, payload: payload, buf: ab, span: j.span}) {
 		m.acks.Inc()
 	}
 }

@@ -172,14 +172,14 @@ func (e *BatchError) Unwrap() []error {
 // batched run. A nil *runMetrics means telemetry is disabled and the engine
 // takes the uninstrumented path.
 type runMetrics struct {
-	records   *telemetry.Counter // trace records scanned, summed over lanes
-	predicts  *telemetry.Counter // indirect branches predicted (incl. warmup)
-	misses    *telemetry.Counter // mispredictions
-	panics    *telemetry.Counter // lanes killed by a predictor panic
-	evictions *telemetry.Counter // table entries displaced (per-run deltas)
-	resets    *telemetry.Counter // whole-table resets (per-run deltas)
-	occupancy *telemetry.Gauge   // last observed end-of-run table occupancy
-	block     *telemetry.Timer   // wall time per lane-block
+	records   *telemetry.Counter   // trace records scanned, summed over lanes
+	predicts  *telemetry.Counter   // indirect branches predicted (incl. warmup)
+	misses    *telemetry.Counter   // mispredictions
+	panics    *telemetry.Counter   // lanes killed by a predictor panic
+	evictions *telemetry.Counter   // table entries displaced (per-run deltas)
+	resets    *telemetry.Counter   // whole-table resets (per-run deltas)
+	occupancy *telemetry.Gauge     // last observed end-of-run table occupancy
+	block     *telemetry.Histogram // wall time per lane-block
 }
 
 // newRunMetrics resolves the handles against r, or returns nil when
@@ -196,7 +196,7 @@ func newRunMetrics(r *telemetry.Registry) *runMetrics {
 		evictions: r.Counter("sim_table_evictions_total"),
 		resets:    r.Counter("sim_table_resets_total"),
 		occupancy: r.Gauge("sim_table_occupancy"),
-		block:     r.Timer("sim_block"),
+		block:     r.Histogram("sim_block"),
 	}
 }
 
@@ -271,7 +271,7 @@ func (l *lane) finishStats(m *runMetrics) {
 }
 
 // step advances the lane over one block and publishes the block's counter
-// deltas: one timer observation and three atomic adds per 8192-record block,
+// deltas: one histogram observation and three atomic adds per 8192-record block,
 // so enabled telemetry never touches the per-record path.
 func (l *lane) step(block []trace.Record, m *runMetrics) {
 	if m == nil {

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistIndexMonotone pins the bucket mapping: indices are monotone in ns
+// and every bucket's [lower, upper) edges round-trip its members.
+func TestHistIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range []uint64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 100, 1 << 10, 1 << 20, 1 << 30, 1 << 40, 1 << 50, 1<<63 - 1} {
+		idx := histIndex(ns)
+		if idx < prev {
+			t.Fatalf("histIndex not monotone at ns=%d: %d < %d", ns, idx, prev)
+		}
+		prev = idx
+		if idx < numHistBuckets-1 { // last bucket is the unbounded overflow
+			if lo, hi := histLower(idx), histUpper(idx); ns < lo || ns >= hi {
+				t.Fatalf("ns=%d in bucket %d but edges [%d,%d)", ns, idx, lo, hi)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantiles checks quantiles against a known distribution: with
+// log buckets at 4 sub-buckets per octave the relative error on any quantile
+// is bounded by the bucket width (~12%); allow 15% for interpolation slack.
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	rng := rand.New(rand.NewSource(42))
+	const n = 100000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		// Log-uniform between 1µs and 10ms, the shape of real frame latency.
+		d := time.Duration(float64(time.Microsecond) * math.Pow(1e4, rng.Float64()))
+		samples[i] = d
+		h.Observe(d)
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := samples[int(q*float64(n))]
+		if rel := math.Abs(float64(got)-float64(want)) / float64(want); rel > 0.15 {
+			t.Errorf("Quantile(%v) = %v, exact %v (rel err %.1f%%)", q, got, want, rel*100)
+		}
+	}
+	if h.Quantile(0) <= 0 || h.Quantile(1) < h.Quantile(0.5) {
+		t.Errorf("extreme quantiles out of order: q0=%v q50=%v q1=%v",
+			h.Quantile(0), h.Quantile(0.5), h.Quantile(1))
+	}
+}
+
+// TestHistogramObserveZeroAllocs is the histogram half of the disabled-path
+// contract (ISSUE 8 satellite): Observe allocates nothing on the nil handle
+// (telemetry disabled) and nothing on a live one (enabled hot path).
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		nilH.Observe(time.Microsecond)
+	}); n != 0 {
+		t.Errorf("nil Histogram Observe allocates %v/op", n)
+	}
+	h := &Histogram{}
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(time.Microsecond)
+	}); n != 0 {
+		t.Errorf("enabled Histogram Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.99)
+	}); n != 0 {
+		t.Errorf("Quantile allocates %v/op", n)
+	}
+}
+
+// TestHistogramEnableDisableRace hammers a histogram through the process
+// default registry while Enable/Disable toggles underneath — the pattern
+// ibpserved uses (resolve handle per session, observe per frame). Run with
+// -race in CI's tracing job.
+func TestHistogramEnableDisableRace(t *testing.T) {
+	defer Disable()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := Default().Histogram("race_frame")
+				for j := 0; j < 100; j++ {
+					h.Observe(time.Duration(j) * time.Microsecond)
+				}
+				_ = h.Quantile(0.99)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			Enable(nil)
+			Default().Snapshot()
+			Disable()
+		}
+		close(stop)
+	}()
+	wg.Wait()
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i&0xffff) * time.Nanosecond)
+	}
+}

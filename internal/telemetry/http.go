@@ -9,38 +9,85 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"time"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (one `# TYPE` line plus a sample per metric, sorted by name).
-// Counters and timers are exposed as counters, gauges as gauges.
+// format: one `# HELP` + `# TYPE` header per metric family, sorted by family
+// name. Counters are counters, gauges are gauges, timers are summaries
+// (`<name>_count` observations + `<name>_sum` seconds — not the two
+// gauge-style counter lines of earlier revisions), and histograms are real
+// histograms (`<name>_bucket{le="..."}` cumulative series in seconds, only
+// the non-empty buckets, plus `_sum`/`_count`) followed by convenience
+// quantile gauges (`<name>_p99_ns` etc., same values as the JSON snapshot)
+// so p99 is scrapeable without a PromQL histogram_quantile.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	// Classify names so the TYPE lines are right even though Snapshot
-	// flattens the kinds away.
+	// Walk typed families straight off the registry maps instead of the
+	// flattened Snapshot: the exposition needs each family's kind and, for
+	// histograms, its buckets.
+	type family struct {
+		name string
+		emit func(io.Writer, string) error
+	}
 	r.mu.Lock()
-	kind := make(map[string]string, len(r.counters)+len(r.gauges)+2*len(r.timers))
-	for name := range r.counters {
-		kind[name] = "counter"
+	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.timers)+len(r.histograms))
+	for name, c := range r.counters {
+		c := c
+		fams = append(fams, family{name, func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "# HELP %s Cumulative counter %s.\n# TYPE %s counter\n%s %v\n",
+				n, n, n, n, float64(c.Load()))
+			return err
+		}})
 	}
-	for name := range r.gauges {
-		kind[name] = "gauge"
+	for name, g := range r.gauges {
+		g := g
+		fams = append(fams, family{name, func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "# HELP %s Gauge %s.\n# TYPE %s gauge\n%s %v\n",
+				n, n, n, n, g.Load())
+			return err
+		}})
 	}
-	for name := range r.timers {
-		kind[name+"_count"] = "counter"
-		kind[name+"_ns"] = "counter"
+	for name, t := range r.timers {
+		t := t
+		fams = append(fams, family{name, func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "# HELP %s Duration summary %s (seconds).\n# TYPE %s summary\n%s_sum %v\n%s_count %v\n",
+				n, n, n, n, t.Total().Seconds(), n, float64(t.Count()))
+			return err
+		}})
+	}
+	for name, h := range r.histograms {
+		h := h
+		fams = append(fams, family{name, func(w io.Writer, n string) error {
+			if _, err := fmt.Fprintf(w, "# HELP %s Latency histogram %s (seconds).\n# TYPE %s histogram\n", n, n, n); err != nil {
+				return err
+			}
+			for _, b := range h.cumulative(nil) {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", n, float64(b.upperNS)/1e9, b.cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %v\n%s_sum %v\n%s_count %v\n",
+				n, float64(h.Count()), n, h.Total().Seconds(), n, float64(h.Count())); err != nil {
+				return err
+			}
+			for _, hq := range histQuantiles {
+				qn := n + hq.suffix
+				if _, err := fmt.Fprintf(w, "# HELP %s %v-quantile of %s in nanoseconds.\n# TYPE %s gauge\n%s %v\n",
+					qn, hq.q, n, qn, qn, float64(h.Quantile(hq.q).Nanoseconds())); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
 	}
 	r.mu.Unlock()
-	s := r.Snapshot()
-	for _, name := range s.Names() {
-		k := kind[name]
-		if k == "" {
-			k = "untyped"
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", name, k, name, s[name]); err != nil {
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.emit(w, f.name); err != nil {
 			return err
 		}
 	}
@@ -78,11 +125,16 @@ func serve(addr string, mux *http.ServeMux) (*http.Server, string, error) {
 
 // ServeMetrics starts an HTTP server on addr exposing the registry at
 // /metrics (Prometheus text, JSON with ?format=json) and a JSON snapshot at
-// /vars. It returns the running server and its bound address; the caller
-// owns shutdown via srv.Close.
-func ServeMetrics(addr string, r *Registry) (*http.Server, string, error) {
+// /vars. Extra mount functions, when given, add caller endpoints to the same
+// mux (ibpserved and ibprouter hang /debug/flightrecorder here). It returns
+// the running server and its bound address; the caller owns shutdown via
+// srv.Close.
+func ServeMetrics(addr string, r *Registry, mounts ...func(*http.ServeMux)) (*http.Server, string, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	for _, m := range mounts {
+		m(mux)
+	}
 	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -132,18 +132,20 @@ func (t *Timer) Mean() time.Duration {
 // The nil *Registry is the disabled registry: every lookup returns a nil
 // handle and Snapshot returns nil.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // New returns an empty enabled registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -197,7 +199,10 @@ func (r *Registry) Timer(name string) *Timer {
 
 // Snapshot is a point-in-time reading of every metric in a registry, keyed
 // by metric name. Timers appear as two entries: <name>_count and <name>_ns.
-// It marshals directly into run manifests and metric dumps.
+// Histograms keep those two keys (so converting a timer to a histogram
+// changes no existing dashboard or manifest key) and add quantile entries
+// <name>_p50_ns, _p95_ns, _p99_ns, _p999_ns. It marshals directly into run
+// manifests and metric dumps.
 type Snapshot map[string]float64
 
 // Snapshot reads every metric. Metrics updated concurrently are read
@@ -210,7 +215,7 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := make(Snapshot, len(r.counters)+len(r.gauges)+2*len(r.timers))
+	s := make(Snapshot, len(r.counters)+len(r.gauges)+2*len(r.timers)+6*len(r.histograms))
 	for name, c := range r.counters {
 		s[name] = float64(c.Load())
 	}
@@ -221,24 +226,47 @@ func (r *Registry) Snapshot() Snapshot {
 		s[name+"_count"] = float64(t.Count())
 		s[name+"_ns"] = float64(t.Total().Nanoseconds())
 	}
+	for name, h := range r.histograms {
+		s[name+"_count"] = float64(h.Count())
+		s[name+"_ns"] = float64(h.Total().Nanoseconds())
+		for _, hq := range histQuantiles {
+			s[name+hq.suffix] = float64(h.Quantile(hq.q).Nanoseconds())
+		}
+	}
 	return s
 }
 
 // Delta returns s minus prev, entry-wise over s's keys: the metric movement
 // between two snapshots. Keys missing from prev are taken as starting at
 // zero. Zero-valued deltas are dropped, so a per-experiment delta records
-// only the subsystems the experiment actually exercised.
+// only the subsystems the experiment actually exercised. Histogram quantile
+// keys (_p50_ns and friends) are dropped too: a quantile is a distribution
+// read, not a cumulative value, so its difference means nothing.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	if s == nil {
 		return nil
 	}
 	out := make(Snapshot, len(s))
 	for k, v := range s {
+		if isQuantileKey(k) {
+			continue
+		}
 		if d := v - prev[k]; d != 0 {
 			out[k] = d
 		}
 	}
 	return out
+}
+
+// isQuantileKey reports whether k is one of the histogram quantile snapshot
+// keys excluded from Delta.
+func isQuantileKey(k string) bool {
+	for _, hq := range histQuantiles {
+		if len(k) > len(hq.suffix) && k[len(k)-len(hq.suffix):] == hq.suffix {
+			return true
+		}
+	}
+	return false
 }
 
 // Names returns the snapshot's metric names sorted, the stable iteration

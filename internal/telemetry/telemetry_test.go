@@ -201,20 +201,35 @@ func TestWritePrometheus(t *testing.T) {
 	r.Counter("requests_total").Add(7)
 	r.Gauge("inflight").Set(2)
 	r.Timer("cell").Observe(5 * time.Millisecond)
+	r.Histogram("frame").Observe(2 * time.Millisecond)
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
 	for _, want := range []string{
+		// Every family carries HELP + TYPE headers.
+		"# HELP requests_total ",
 		"# TYPE requests_total counter\nrequests_total 7\n",
 		"# TYPE inflight gauge\ninflight 2\n",
-		"# TYPE cell_count counter\ncell_count 1\n",
-		"# TYPE cell_ns counter\ncell_ns 5e+06\n",
+		// Timers are summaries: _sum in seconds + _count, not gauge-style
+		// counter lines.
+		"# TYPE cell summary\ncell_sum 0.005\ncell_count 1\n",
+		// Histograms expose cumulative buckets, totals, and quantile gauges.
+		"# TYPE frame histogram\n",
+		"frame_bucket{le=\"+Inf\"} 1\nframe_sum 0.002\nframe_count 1\n",
+		"# TYPE frame_p99_ns gauge\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q:\n%s", want, out)
 		}
+	}
+	if strings.Contains(out, "cell_ns") {
+		t.Errorf("timer still rendered as gauge-style cell_ns line:\n%s", out)
+	}
+	// The single 2ms observation's bucket must cover 0.002s.
+	if !strings.Contains(out, "frame_bucket{le=\"0.002") {
+		t.Errorf("missing 2ms histogram bucket:\n%s", out)
 	}
 }
 

@@ -34,9 +34,11 @@ go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime "$benchtime" 
 
 # Serve-path throughput: the loopback end-to-end benchmark (framing,
 # checksums, shard hand-off, prediction, ack stream) lands in the same
-# snapshot so a wire-layer regression shows up next to the engine numbers.
-go test -run '^$' -bench '^BenchmarkServeLoopback$' -benchtime "$benchtime" \
-  ./internal/serve | tee -a "$raw"
+# snapshot so a wire-layer regression shows up next to the engine numbers —
+# untraced and with the flight recorder on, so the tracing overhead is
+# visible in every snapshot.
+go test -run '^$' -bench '^(BenchmarkServeLoopback|BenchmarkServeLoopbackTraced)$' \
+  -benchtime "$benchtime" ./internal/serve | tee -a "$raw"
 
 # Cluster-path throughput: the same stream through ibprouter's full path
 # (journaling, relay, a 2-backend fleet) — the router's overhead relative to

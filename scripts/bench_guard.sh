@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Bench regression guard: re-runs BenchmarkServeLoopback and fails when its
-# records/s throughput lands more than THRESHOLD percent below the committed
-# snapshot (the newest results/BENCH_*.json that carries the benchmark).
+# Bench regression guard: re-runs the hot-path loopback benchmarks and fails
+# when a records/s throughput lands more than THRESHOLD percent below the
+# committed snapshot (the newest results/BENCH_*.json that carries the
+# benchmark).
 #
-# The serve loopback path is the PR-over-PR throughput headline, so a silent
-# regression there is the one this guard exists to catch. Best-of-REPS runs
-# are compared, not a single sample, to keep shared-runner noise from failing
-# healthy builds.
+# Two benchmarks are guarded: BenchmarkServeLoopback (the serve-path
+# throughput headline) and BenchmarkRouterLoopback (the same stream through
+# the cluster router's journal-and-relay path). Best-of-REPS runs are
+# compared, not a single sample, to keep shared-runner noise from failing
+# healthy builds. A benchmark absent from every committed snapshot is skipped
+# rather than failed, so the guard grows with the snapshots.
 #
 # Usage:
 #   scripts/bench_guard.sh [reference.json]
@@ -20,50 +23,64 @@ cd "$(dirname "$0")/.."
 threshold="${THRESHOLD:-10}"
 reps="${REPS:-3}"
 benchtime="${BENCHTIME:-3x}"
-ref="${1:-}"
+ref_arg="${1:-}"
 
-if [ -z "$ref" ]; then
-  # Newest committed snapshot that has a records/s figure for the benchmark.
+# find_ref NAME: newest committed snapshot with a records/s figure for NAME.
+find_ref() {
+  local name="$1" f
   for f in $(ls -r results/BENCH_*.json 2>/dev/null); do
-    if python3 - "$f" <<'EOF'
+    if python3 - "$f" "$name" <<'EOF'
 import json, sys
 rep = json.load(open(sys.argv[1]))
-ok = any(b.get("name") == "BenchmarkServeLoopback" and b.get("records_per_s")
+ok = any(b.get("name") == sys.argv[2] and b.get("records_per_s")
          for b in rep.get("go_test", []))
 sys.exit(0 if ok else 1)
 EOF
-    then ref="$f"; break; fi
+    then echo "$f"; return 0; fi
   done
-fi
-if [ -z "$ref" ]; then
-  echo "bench_guard: no committed snapshot with BenchmarkServeLoopback records/s; nothing to guard" >&2
-  exit 0
-fi
+  return 1
+}
 
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
-for _ in $(seq "$reps"); do
-  go test -run '^$' -bench '^BenchmarkServeLoopback$' -benchtime "$benchtime" \
-    ./internal/serve | tee -a "$raw"
-done
+# guard NAME PKG: rerun NAME in PKG and compare against its snapshot.
+guard() {
+  local name="$1" pkg="$2" ref raw
+  if [ -n "$ref_arg" ]; then
+    ref="$ref_arg"
+  elif ! ref="$(find_ref "$name")"; then
+    echo "bench_guard: no committed snapshot with $name records/s; skipping" >&2
+    return 0
+  fi
 
-python3 - "$ref" "$raw" "$threshold" <<'EOF'
+  raw="$(mktemp)"
+  for _ in $(seq "$reps"); do
+    go test -run '^$' -bench "^${name}\$" -benchtime "$benchtime" "$pkg" | tee -a "$raw"
+  done
+
+  python3 - "$ref" "$raw" "$threshold" "$name" <<'EOF'
 import json, re, sys
-ref_path, raw_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+ref_path, raw_path, threshold, name = sys.argv[1], sys.argv[2], float(sys.argv[3]), sys.argv[4]
 rep = json.load(open(ref_path))
-want = next(b["records_per_s"] for b in rep["go_test"]
-            if b.get("name") == "BenchmarkServeLoopback" and b.get("records_per_s"))
+want = next((b["records_per_s"] for b in rep["go_test"]
+             if b.get("name") == name and b.get("records_per_s")), None)
+if want is None:
+    print(f"bench_guard: {ref_path} has no {name} records/s; skipping")
+    sys.exit(0)
 best = 0.0
 for line in open(raw_path):
-    m = re.match(r"BenchmarkServeLoopback\S*\s.*?([\d.e+]+) records/s", line)
+    m = re.match(re.escape(name) + r"\S*\s.*?([\d.e+]+) records/s", line)
     if m:
         best = max(best, float(m.group(1)))
 if best == 0.0:
-    sys.exit("bench_guard: no records/s sample in fresh run")
+    sys.exit(f"bench_guard: no {name} records/s sample in fresh run")
 drop = 100.0 * (1.0 - best / want)
-print(f"bench_guard: snapshot {want:,.0f} records/s ({ref_path}), "
+print(f"bench_guard: {name} snapshot {want:,.0f} records/s ({ref_path}), "
       f"best of fresh runs {best:,.0f} records/s ({drop:+.1f}% drop)")
 if drop > threshold:
-    sys.exit(f"bench_guard: BenchmarkServeLoopback regressed {drop:.1f}% "
+    sys.exit(f"bench_guard: {name} regressed {drop:.1f}% "
              f"(> {threshold:.0f}% allowed)")
 EOF
+  rm -f "$raw"
+}
+
+guard BenchmarkServeLoopback ./internal/serve
+guard BenchmarkRouterLoopback ./internal/cluster
