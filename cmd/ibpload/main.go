@@ -41,6 +41,7 @@ type options struct {
 	seed      int64
 	asJSON    bool
 	router    bool
+	tenant    string
 	traceID   string
 	traceDump string
 
@@ -63,6 +64,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "workload seed offset (added to each benchmark's suite seed)")
 	flag.BoolVar(&o.asJSON, "json", false, "emit one JSON document instead of the table")
 	flag.BoolVar(&o.router, "router", false, "target an ibprouter ingress: require per-session placement info and report failovers")
+	flag.StringVar(&o.tenant, "tenant", "", "tenant tag pinned into each session's Hello (grouping key in /sessions and ibptop)")
 	flag.StringVar(&o.traceID, "traceid", "", "pin per-session trace IDs (\"<prefix>-<benchmark>\") into the Hello so server-side flight recorders correlate")
 	flag.StringVar(&o.traceDump, "tracedump", "", "write a client-side flight-recorder dump (send/ack stamps per frame) to this file")
 	o.pf.Register(flag.CommandLine)
@@ -271,6 +273,7 @@ func runBenchmark(o options, cfg workload.Config, rec *flight.Recorder) (benchRe
 		Warmup:    o.warmup,
 		Events:    o.events,
 		Window:    o.window,
+		Tenant:    o.tenant,
 	}
 	if o.traceID != "" {
 		// One trace ID per session, so (trace ID, seq) is unique across the

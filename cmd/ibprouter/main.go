@@ -33,12 +33,14 @@ import (
 	"github.com/oocsb/ibp/internal/cli"
 	"github.com/oocsb/ibp/internal/cluster"
 	"github.com/oocsb/ibp/internal/flight"
+	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/telemetry"
 )
 
 type options struct {
-	addr         string
-	backends     string
+	addr           string
+	backends       string
+	backendMetrics string
 	window       int
 	maxRecords   int
 	maxPayload   int
@@ -68,6 +70,7 @@ func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:9680", "listen address")
 	flag.StringVar(&o.backends, "backends", "", "comma-separated ibpserved addresses (required)")
+	flag.StringVar(&o.backendMetrics, "backendmetrics", "", "comma-separated backend -metrics addresses, parallel to -backends; enables the cluster-wide /sessions fan-in")
 	flag.IntVar(&o.window, "window", 0, "max unacknowledged frames per session (0 = default)")
 	flag.IntVar(&o.maxRecords, "maxrecords", 0, "max records per frame (0 = default)")
 	flag.IntVar(&o.maxPayload, "maxpayload", 0, "max frame payload bytes (0 = default)")
@@ -123,6 +126,17 @@ func realMain(o options) error {
 	if len(backends) == 0 {
 		return errors.New("no backends: pass -backends host:port[,host:port...]")
 	}
+	var backendMetrics map[string]string
+	if o.backendMetrics != "" {
+		maddrs := splitBackends(o.backendMetrics)
+		if len(maddrs) != len(backends) {
+			return fmt.Errorf("-backendmetrics has %d entries, -backends has %d (they are parallel lists)", len(maddrs), len(backends))
+		}
+		backendMetrics = make(map[string]string, len(maddrs))
+		for i, addr := range backends {
+			backendMetrics[addr] = maddrs[i]
+		}
+	}
 
 	// The registry must exist before cluster.New resolves its handles.
 	var reg *telemetry.Registry
@@ -139,23 +153,11 @@ func realMain(o options) error {
 		})
 		log.Info("flight recorder on", "capacity", o.flightCap, "slo", o.slo)
 	}
-	if o.metricsAddr != "" {
-		var mounts []func(*http.ServeMux)
-		if rec != nil {
-			mounts = append(mounts, func(mux *http.ServeMux) {
-				mux.Handle("/debug/flightrecorder", rec.Handler())
-			})
-		}
-		msrv, maddr, err := telemetry.ServeMetrics(o.metricsAddr, reg, mounts...)
-		if err != nil {
-			return fmt.Errorf("metrics endpoint: %w", err)
-		}
-		defer msrv.Close()
-		log.Info("metrics endpoint up", "addr", maddr)
-	}
-
+	// The router exists before the metrics mux so its session registry and
+	// the cluster fan-in can be mounted at /sessions*.
 	r, err := cluster.New(cluster.Config{
 		Backends:        backends,
+		BackendMetrics:  backendMetrics,
 		Predictor:       o.pf,
 		Window:          o.window,
 		MaxFramePayload: o.maxPayload,
@@ -177,6 +179,31 @@ func realMain(o options) error {
 	})
 	if err != nil {
 		return err
+	}
+	if o.metricsAddr != "" {
+		mounts := []func(*http.ServeMux){
+			func(mux *http.ServeMux) {
+				sessiontrack.Mount(mux, sessiontrack.HTTPConfig{
+					// The fan-in merges backend /sessions into the cluster
+					// view; /sessions/local stays the router's own registry.
+					Source:    r.Fanin(0),
+					Local:     r.Sessions(),
+					Telemetry: reg,
+					Flight:    rec,
+				})
+			},
+		}
+		if rec != nil {
+			mounts = append(mounts, func(mux *http.ServeMux) {
+				mux.Handle("/debug/flightrecorder", rec.Handler())
+			})
+		}
+		msrv, maddr, err := telemetry.ServeMetrics(o.metricsAddr, reg, mounts...)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer msrv.Close()
+		log.Info("metrics endpoint up", "addr", maddr)
 	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {

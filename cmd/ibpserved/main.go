@@ -27,6 +27,7 @@ import (
 	"github.com/oocsb/ibp/internal/cli"
 	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/serve"
+	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/telemetry"
 )
 
@@ -119,8 +120,34 @@ func realMain(o options) error {
 		})
 		log.Info("flight recorder on", "capacity", o.flightCap, "slo", o.slo)
 	}
+	// The server exists before the metrics mux so its session registry can
+	// be mounted at /sessions*.
+	srv, err := serve.New(serve.Config{
+		Predictor:       o.pf,
+		Shards:          o.shards,
+		QueueDepth:      o.queue,
+		Window:          o.window,
+		MaxFramePayload: o.maxPayload,
+		MaxFrameRecords: o.maxRecords,
+		ReadTimeout:     o.readTimeout,
+		WriteTimeout:    o.writeTimeout,
+		Flight:          rec,
+		Tag:             o.tag,
+		Log:             log,
+	})
+	if err != nil {
+		return err
+	}
 	if o.metricsAddr != "" {
-		var mounts []func(*http.ServeMux)
+		mounts := []func(*http.ServeMux){
+			func(mux *http.ServeMux) {
+				sessiontrack.Mount(mux, sessiontrack.HTTPConfig{
+					Local:     srv.Sessions(),
+					Telemetry: reg,
+					Flight:    rec,
+				})
+			},
+		}
 		if rec != nil {
 			mounts = append(mounts, func(mux *http.ServeMux) {
 				mux.Handle("/debug/flightrecorder", rec.Handler())
@@ -132,22 +159,6 @@ func realMain(o options) error {
 		}
 		defer msrv.Close()
 		log.Info("metrics endpoint up", "addr", maddr)
-	}
-
-	srv, err := serve.New(serve.Config{
-		Predictor:       o.pf,
-		Shards:          o.shards,
-		QueueDepth:      o.queue,
-		Window:          o.window,
-		MaxFramePayload: o.maxPayload,
-		MaxFrameRecords: o.maxRecords,
-		ReadTimeout:     o.readTimeout,
-		WriteTimeout:    o.writeTimeout,
-		Flight:          rec,
-		Log:             log,
-	})
-	if err != nil {
-		return err
 	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {

@@ -1,0 +1,320 @@
+// Command ibptop is the cluster's live session dashboard: it consumes the
+// /sessions/stream NDJSON feed of an ibpserved or ibprouter -metrics
+// endpoint and renders a refreshing terminal table of the top sessions by
+// windowed miss rate, records/s, or queue wait, under a header with backend
+// health and aggregate throughput. Against a router with -backendmetrics
+// configured the stream is the cluster-wide fan-in view, so every session
+// shows the backend it is placed on plus its journal/failover state.
+//
+// Examples:
+//
+//	ibptop -addr 127.0.0.1:9092                  # live, 1s refresh
+//	ibptop -addr 127.0.0.1:9092 -sort rps -n 20  # top 20 by records/s
+//	ibptop -addr 127.0.0.1:9092 -once -json      # one snapshot for scripts
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/oocsb/ibp/internal/sessiontrack"
+	"github.com/oocsb/ibp/internal/telemetry"
+)
+
+type options struct {
+	addr     string
+	interval time.Duration
+	sortKey  string
+	n        int
+	once     bool
+	asJSON   bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:9091", "-metrics address of an ibpserved or ibprouter")
+	flag.DurationVar(&o.interval, "interval", time.Second, "refresh interval")
+	flag.StringVar(&o.sortKey, "sort", sessiontrack.SortMissRate, "session order: missrate, rps, wait, records, id")
+	flag.IntVar(&o.n, "n", 0, "show at most N sessions (0 = all)")
+	flag.BoolVar(&o.once, "once", false, "take one snapshot and exit")
+	flag.BoolVar(&o.asJSON, "json", false, "emit JSON instead of the table (with -once: one document; live: raw NDJSON passthrough)")
+	flag.Parse()
+	if err := realMain(o); err != nil {
+		fmt.Fprintln(os.Stderr, "ibptop:", err)
+		os.Exit(1)
+	}
+}
+
+// tick is one fully received stream interval.
+type tick struct {
+	Tick     sessiontrack.TickLine      `json:"tick"`
+	Sessions []sessiontrack.SessionLine `json:"sessions"`
+	Stats    telemetry.Snapshot         `json:"stats,omitempty"`
+}
+
+func streamURL(o options, ticks int) string {
+	q := url.Values{}
+	q.Set("interval", o.interval.String())
+	q.Set("sort", o.sortKey)
+	if o.n > 0 {
+		q.Set("limit", fmt.Sprint(o.n))
+	}
+	if ticks > 0 {
+		q.Set("ticks", fmt.Sprint(ticks))
+	}
+	return fmt.Sprintf("http://%s/sessions/stream?%s", o.addr, q.Encode())
+}
+
+// readTicks parses the NDJSON stream, assembling lines into ticks and
+// calling each for every completed one. A tick completes when the next tick
+// line (or EOF) arrives; when the feed carries stats lines, the stats line
+// completes the tick early so rendering does not lag an interval.
+func readTicks(r io.Reader, each func(tick) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cur *tick
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		t := *cur
+		cur = nil
+		return each(t)
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			continue // not a feed line (SSE framing etc.)
+		}
+		switch probe.Type {
+		case "tick":
+			if err := flush(); err != nil {
+				return err
+			}
+			cur = &tick{}
+			if err := json.Unmarshal(line, &cur.Tick); err != nil {
+				return fmt.Errorf("bad tick line: %w", err)
+			}
+		case "session":
+			if cur == nil {
+				continue
+			}
+			var sl sessiontrack.SessionLine
+			if err := json.Unmarshal(line, &sl); err != nil {
+				return fmt.Errorf("bad session line: %w", err)
+			}
+			cur.Sessions = append(cur.Sessions, sl)
+		case "stats":
+			if cur == nil {
+				continue
+			}
+			var st sessiontrack.StatsLine
+			if err := json.Unmarshal(line, &st); err != nil {
+				return fmt.Errorf("bad stats line: %w", err)
+			}
+			cur.Stats = st.Delta
+			if err := flush(); err != nil {
+				return err
+			}
+		case "error":
+			var el sessiontrack.ErrorLine
+			json.Unmarshal(line, &el)
+			fmt.Fprintln(os.Stderr, "ibptop: stream:", el.Error)
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return sc.Err()
+}
+
+func realMain(o options) error {
+	if o.once {
+		return runOnce(o)
+	}
+	return runLive(o)
+}
+
+func runOnce(o options) error {
+	resp, err := http.Get(streamURL(o, 1))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /sessions/stream: %s", resp.Status)
+	}
+	var got *tick
+	if err := readTicks(resp.Body, func(t tick) error { got = &t; return nil }); err != nil {
+		return err
+	}
+	if got == nil {
+		return fmt.Errorf("stream ended without a tick")
+	}
+	if o.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(got)
+	}
+	fmt.Print(render(*got, o.n))
+	return nil
+}
+
+func runLive(o options) error {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Print("\x1b[0m\n")
+		os.Exit(0)
+	}()
+	retries := 0
+	for {
+		err := streamOnce(o)
+		if err == nil {
+			return nil // server closed the stream cleanly (shutdown)
+		}
+		retries++
+		if retries > 5 {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ibptop: stream lost (%v), reconnecting...\n", err)
+		time.Sleep(o.interval)
+	}
+}
+
+func streamOnce(o options) error {
+	resp, err := http.Get(streamURL(o, 0))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /sessions/stream: %s", resp.Status)
+	}
+	if o.asJSON { // raw NDJSON passthrough for piping
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	return readTicks(resp.Body, func(t tick) error {
+		// Clear screen + home, then the rendered frame.
+		fmt.Print("\x1b[2J\x1b[H" + render(t, o.n))
+		return nil
+	})
+}
+
+// render draws one tick: header (service, backends, aggregates) + table.
+func render(t tick, n int) string {
+	var b strings.Builder
+	name := t.Tick.Service
+	if t.Tick.Tag != "" {
+		name += "/" + t.Tick.Tag
+	}
+	when := time.Unix(0, t.Tick.UnixNS).Format("15:04:05")
+	fmt.Fprintf(&b, "%s  %s  sessions: %d", name, when, t.Tick.Sessions)
+	var aggRPS, aggExec, aggMiss float64
+	for _, s := range t.Sessions {
+		aggRPS += s.Session.Win.RecordsPerSec
+		aggExec += float64(s.Session.Win.Executed)
+		aggMiss += float64(s.Session.Win.Misses)
+	}
+	fmt.Fprintf(&b, "  win: %s rec/s", humanCount(aggRPS))
+	if aggExec > 0 {
+		fmt.Fprintf(&b, ", %.2f%% miss", 100*aggMiss/aggExec)
+	}
+	b.WriteByte('\n')
+	if len(t.Tick.Backends) > 0 {
+		b.WriteString("backends:")
+		for _, be := range t.Tick.Backends {
+			fmt.Fprintf(&b, "  %s %s(%d)", be.Addr, be.State, be.Sessions)
+			if be.Err != "" {
+				b.WriteString(" [poll: " + be.Err + "]")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-5s %-10s %-8s %-21s %-9s %9s %7s %7s %9s %4s %8s %3s %10s\n",
+		"ID", "BENCH", "TENANT", "BACKEND", "STATE",
+		"REC/S", "WMISS%", "MISS%", "QWAIT", "INF", "JRNL", "FO", "RECORDS")
+	rows := t.Sessions
+	if n > 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	for _, r := range rows {
+		s := r.Session
+		fmt.Fprintf(&b, "%-5d %-10s %-8s %-21s %-9s %9s %6.2f%% %6.2f%% %9s %4d %8s %3d %10s\n",
+			s.ID, clip(s.Benchmark, 10), clip(s.Tenant, 8), clip(s.Backend, 21), s.State,
+			humanCount(s.Win.RecordsPerSec), 100*s.Win.MissRate, 100*s.MissRate,
+			humanUS(s.Win.QueueWaitAvgUS), s.Inflight, humanBytes(s.JournalBytes),
+			s.Failovers, humanCount(float64(s.Records)))
+	}
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if s == "" {
+		return "-"
+	}
+	if len(s) > n {
+		return s[:n-1] + "…"
+	}
+	return s
+}
+
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func humanUS(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.1fms", us/1e3)
+	case us > 0:
+		return fmt.Sprintf("%.0fµs", us)
+	default:
+		return "-"
+	}
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	case n > 0:
+		return fmt.Sprintf("%dB", n)
+	default:
+		return "-"
+	}
+}

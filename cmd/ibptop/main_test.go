@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// feed is two intervals as the server emits them: tick, session lines, stats.
+const feed = `{"type":"tick","unixNs":1700000000000000000,"intervalMs":1000,"service":"ibprouter","sessions":2,"backends":[{"addr":"127.0.0.1:9670","state":"up","sessions":1,"metricsAddr":"127.0.0.1:9091"},{"addr":"127.0.0.1:9671","state":"down","sessions":0,"err":"connection refused"}]}
+{"type":"session","session":{"id":1,"kind":"serve","backend":"127.0.0.1:9670","benchmark":"gcc","tenant":"teamA","state":"active","records":1500000,"executed":1200000,"misses":60000,"missRate":0.05,"win":{"seconds":1,"records":100000,"executed":90000,"misses":4500,"missRate":0.05,"recordsPerSec":100000,"queueWaitAvgUs":42}},"delta":{"frames":10,"records":100000,"executed":90000,"misses":4500,"missRate":0.05}}
+{"type":"session","session":{"id":2,"kind":"proxy","benchmark":"perl","state":"failover","journalBytes":2097152,"failovers":1,"replayedFrames":12,"win":{"seconds":1}},"delta":{"frames":0,"records":0,"executed":0,"misses":0}}
+{"type":"stats","delta":{"serve_frames_total":10}}
+{"type":"tick","unixNs":1700000001000000000,"intervalMs":1000,"service":"ibprouter","sessions":1}
+{"type":"session","session":{"id":1,"kind":"serve","backend":"127.0.0.1:9670","benchmark":"gcc","state":"active","records":1600000,"win":{"seconds":1}},"delta":{"frames":10,"records":100000}}
+{"type":"stats","delta":{}}
+`
+
+func TestReadTicksAssemblesIntervals(t *testing.T) {
+	var got []tick
+	if err := readTicks(strings.NewReader(feed), func(tk tick) error {
+		got = append(got, tk)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d ticks, want 2", len(got))
+	}
+	if got[0].Tick.Sessions != 2 || len(got[0].Sessions) != 2 {
+		t.Fatalf("tick 0: header says %d sessions, parsed %d",
+			got[0].Tick.Sessions, len(got[0].Sessions))
+	}
+	if got[0].Sessions[0].Session.Benchmark != "gcc" ||
+		got[0].Sessions[0].Delta.Records != 100000 {
+		t.Fatalf("tick 0 session 0 mismatch: %+v", got[0].Sessions[0])
+	}
+	if got[0].Stats["serve_frames_total"] != 10 {
+		t.Fatalf("tick 0 stats not fused: %v", got[0].Stats)
+	}
+	if len(got[1].Sessions) != 1 || got[1].Sessions[0].Session.Records != 1600000 {
+		t.Fatalf("tick 1 mismatch: %+v", got[1])
+	}
+}
+
+func TestReadTicksSSEFraming(t *testing.T) {
+	// SSE mode prefixes each line with "data: " and blank separators; the
+	// probe unmarshal skips what it cannot parse, and data: lines are not
+	// valid JSON, so an SSE feed yields no ticks rather than garbage.
+	sse := "data: {\"type\":\"tick\",\"sessions\":0}\n\n"
+	err := readTicks(strings.NewReader(sse), func(tick) error {
+		t.Fatal("SSE framing should not produce ticks")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var got []tick
+	if err := readTicks(strings.NewReader(feed), func(tk tick) error {
+		got = append(got, tk)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := render(got[0], 0)
+	for _, want := range []string{
+		"ibprouter", "sessions: 2",
+		"127.0.0.1:9670 up(1)", "127.0.0.1:9671 down(0) [poll: connection refused]",
+		"BACKEND", "WMISS%", "JRNL",
+		"gcc", "teamA", "active",
+		"failover", "2.0MiB", // proxy row journal bytes
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// -n 1 keeps only the top row.
+	top := render(got[0], 1)
+	if strings.Contains(top, "perl") {
+		t.Errorf("render with n=1 kept second row:\n%s", top)
+	}
+}
+
+func TestHumanUnits(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{humanCount(0), "0"},
+		{humanCount(950), "950"},
+		{humanCount(12_300), "12.3k"},
+		{humanCount(4.2e6), "4.2M"},
+		{humanCount(7.5e9), "7.5G"},
+		{humanBytes(0), "-"},
+		{humanBytes(512), "512B"},
+		{humanBytes(2 << 20), "2.0MiB"},
+		{humanUS(0), "-"},
+		{humanUS(42), "42µs"},
+		{humanUS(1500), "1.5ms"},
+		{humanUS(2.5e6), "2.50s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestStreamURL(t *testing.T) {
+	o := options{addr: "127.0.0.1:9092", sortKey: "rps", n: 5}
+	o.interval = 250 * 1e6 // 250ms in ns (time.Duration literal)
+	u := streamURL(o, 1)
+	for _, want := range []string{
+		"http://127.0.0.1:9092/sessions/stream?",
+		"interval=250ms", "sort=rps", "limit=5", "ticks=1",
+	} {
+		if !strings.Contains(u, want) {
+			t.Errorf("url %q missing %q", u, want)
+		}
+	}
+}

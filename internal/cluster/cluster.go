@@ -32,6 +32,7 @@ import (
 	"github.com/oocsb/ibp/internal/cli"
 	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/serve"
+	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
 )
@@ -42,6 +43,12 @@ type Config struct {
 	// Backends is the initial membership: ibpserved addresses. At least one
 	// is required.
 	Backends []string
+
+	// BackendMetrics maps a backend's wire address to its -metrics listener
+	// address. The session fan-in polls each mapped backend's /sessions to
+	// build the cluster-wide view; unmapped backends simply contribute no
+	// per-session detail. Optional.
+	BackendMetrics map[string]string
 
 	// Predictor is the default predictor configuration announced to clients
 	// and pinned into forwarded Hellos that did not carry their own, so
@@ -172,12 +179,15 @@ type Router struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// track is the proxy-session registry — the same session-lifecycle core
+	// internal/serve uses, so the introspection plane sees router and
+	// backend sessions through one surface.
+	track *sessiontrack.Registry
+
 	mu       sync.Mutex
 	ln       net.Listener
 	backends map[string]*backend
 	ring     *ring
-	sessions map[*proxySession]struct{}
-	nextID   uint64
 
 	connWG   sync.WaitGroup
 	probeWG  sync.WaitGroup
@@ -207,8 +217,8 @@ func New(cfg Config) (*Router, error) {
 		pool:     trace.NewBufferPool(),
 		ctx:      ctx,
 		cancel:   cancel,
+		track:    sessiontrack.NewRegistry(sessiontrack.Options{Service: "ibprouter"}),
 		backends: make(map[string]*backend, len(cfg.Backends)),
-		sessions: make(map[*proxySession]struct{}),
 	}
 	for _, addr := range cfg.Backends {
 		if addr == "" {
@@ -400,16 +410,24 @@ func (r *Router) handleConn(conn net.Conn) {
 		out:    make(chan outFrame, 2*window+8),
 		closed: make(chan struct{}),
 	}
-	r.mu.Lock()
-	if r.draining.Load() {
-		r.mu.Unlock()
+	entry, rerr := r.track.Register(sess, sessiontrack.Meta{
+		Kind:      sessiontrack.KindProxy,
+		Benchmark: hello.Benchmark,
+		Tenant:    hello.Tenant,
+		Predictor: pred.Name(),
+		TraceID:   traceID,
+		Window:    window,
+	})
+	if rerr != nil { // draining: no new sessions
 		conn.Close()
 		return
 	}
-	r.nextID++
-	sess.id = r.nextID
-	r.sessions[sess] = struct{}{}
-	r.mu.Unlock()
+	sess.id = entry.ID()
+	sess.track = entry
+	// Pin the proxy-session id into the forwarded Hello: every backend this
+	// session lands on (including failover replacements) reports it as
+	// Upstream, which is the fan-in's correlation key.
+	sess.hello.RouterSession = sess.id
 	sess.tracer = r.cfg.Flight.Tracer(traceID, sess.id)
 	if sess.tracer != nil {
 		sess.spans = make(map[uint64]*flight.Span)
@@ -436,15 +454,11 @@ func (r *Router) handleConn(conn net.Conn) {
 	sess.readLoop(fr)
 }
 
-// unregister removes the session from the live set exactly once, returns the
-// journal's retained buffers to the pool, and settles its contribution to
-// the byte gauge.
+// unregister removes the session from the live set exactly once (keyed on
+// the registry's exactly-once Unregister), returns the journal's retained
+// buffers to the pool, and settles its contribution to the byte gauge.
 func (r *Router) unregister(sess *proxySession) {
-	r.mu.Lock()
-	_, live := r.sessions[sess]
-	delete(r.sessions, sess)
-	r.mu.Unlock()
-	if !live {
+	if !r.track.Unregister(sess.track) {
 		return
 	}
 	r.m.sessionsActive.Add(-1)
@@ -556,10 +570,12 @@ func (r *Router) BackendStatuses() []BackendStatus {
 
 // SessionCount returns the number of live sessions.
 func (r *Router) SessionCount() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.sessions)
+	return r.track.Len()
 }
+
+// Sessions returns the router's proxy-session registry, the live set behind
+// the /sessions introspection endpoints (sessiontrack.Mount).
+func (r *Router) Sessions() *sessiontrack.Registry { return r.track }
 
 // AddBackend joins addr to the membership (or un-drains it). New members
 // start Rejoining; probes promote them to Up.
@@ -628,6 +644,7 @@ func (r *Router) RemoveBackend(addr string) error {
 // remaining sessions are cut hard and ctx.Err() is returned.
 func (r *Router) Shutdown(ctx context.Context) error {
 	r.draining.Store(true)
+	r.track.BeginDrain() // refuse new registrations; live sessions run on
 	r.mu.Lock()
 	if r.ln != nil {
 		r.ln.Close()
@@ -654,6 +671,7 @@ func (r *Router) Shutdown(ctx context.Context) error {
 // Close hard-stops the router: listener, sessions, probers.
 func (r *Router) Close() error {
 	r.draining.Store(true)
+	r.track.BeginDrain()
 	r.mu.Lock()
 	if r.ln != nil {
 		r.ln.Close()
@@ -667,13 +685,7 @@ func (r *Router) Close() error {
 }
 
 func (r *Router) closeSessions() {
-	r.mu.Lock()
-	live := make([]*proxySession, 0, len(r.sessions))
-	for sess := range r.sessions {
-		live = append(live, sess)
-	}
-	r.mu.Unlock()
-	for _, sess := range live {
-		sess.close()
+	for _, sess := range r.track.Live() {
+		sess.Kill()
 	}
 }

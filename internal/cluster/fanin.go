@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/oocsb/ibp/internal/sessiontrack"
+)
+
+// Fanin merges the router's own proxy-session registry with each backend's
+// /sessions listing into one cluster-wide view, keyed by (backend, session):
+// a backend session names its proxy leg via Upstream (the RouterSession id
+// the router pinned into the forwarded Hello), and the merge attaches the
+// router-side placement/journal/failover state to the backend's per-window
+// prediction stats. It implements sessiontrack.Source, so the router's
+// /sessions and /sessions/stream serve the merged view directly.
+//
+// Polling is best-effort: an unreachable backend contributes its health line
+// (with the poll error) and its sessions stay visible as bare proxy rows, so
+// an outage never blanks the dashboard.
+type Fanin struct {
+	r      *Router
+	client *http.Client
+}
+
+// Fanin returns the cluster-wide session view source. timeout bounds each
+// backend poll; <= 0 means 2s.
+func (r *Router) Fanin(timeout time.Duration) *Fanin {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &Fanin{r: r, client: &http.Client{Timeout: timeout}}
+}
+
+// View implements sessiontrack.Source. It never fails as a whole —
+// per-backend poll errors land in the corresponding BackendInfo.Err.
+func (f *Fanin) View(ctx context.Context) (sessiontrack.View, error) {
+	local, _ := f.r.track.View(ctx)
+
+	// Proxy legs by id: the correlation table for backend Upstream fields.
+	proxies := make(map[uint64]*sessiontrack.SessionSnapshot, len(local.Sessions))
+	for i := range local.Sessions {
+		proxies[local.Sessions[i].ID] = &local.Sessions[i]
+	}
+
+	statuses := f.r.BackendStatuses()
+	out := sessiontrack.View{
+		Service:     local.Service,
+		Tag:         local.Tag,
+		TakenUnixNS: local.TakenUnixNS,
+		Backends:    make([]sessiontrack.BackendInfo, len(statuses)),
+		Sessions:    []sessiontrack.SessionSnapshot{},
+	}
+
+	type pollResult struct {
+		view sessiontrack.View
+		err  error
+	}
+	results := make([]pollResult, len(statuses))
+	var wg sync.WaitGroup
+	for i, st := range statuses {
+		maddr := f.r.cfg.BackendMetrics[st.Addr]
+		out.Backends[i] = sessiontrack.BackendInfo{
+			Addr:        st.Addr,
+			State:       st.State,
+			Sessions:    st.Sessions,
+			MetricsAddr: maddr,
+		}
+		if maddr == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, maddr string) {
+			defer wg.Done()
+			results[i].view, results[i].err = f.poll(ctx, maddr)
+		}(i, maddr)
+	}
+	wg.Wait()
+
+	merged := make(map[uint64]bool) // proxy ids covered by a backend row
+	for i, st := range statuses {
+		if out.Backends[i].MetricsAddr == "" {
+			continue
+		}
+		if err := results[i].err; err != nil {
+			out.Backends[i].Err = err.Error()
+			continue
+		}
+		for _, snap := range results[i].view.Sessions {
+			snap.Backend = st.Addr // wire address, the cluster-wide key
+			if p := proxies[snap.Upstream]; snap.Upstream != 0 && p != nil {
+				// Attach the router leg's journal/failover state; the
+				// prediction stats stay the backend's (it owns the
+				// predictor). A proxy mid-failover/replay knows better than
+				// the stale backend row what the session is doing.
+				snap.JournalBytes = p.JournalBytes
+				snap.Failovers = p.Failovers
+				snap.ReplayedFrames = p.ReplayedFrames
+				snap.Replayable = p.Replayable
+				snap.Inflight = p.Inflight
+				if p.State == sessiontrack.StateFailover.String() ||
+					p.State == sessiontrack.StateReplaying.String() {
+					snap.State = p.State
+				}
+				if snap.TraceID == "" {
+					snap.TraceID = p.TraceID
+				}
+				merged[snap.Upstream] = true
+			}
+			out.Sessions = append(out.Sessions, snap)
+		}
+	}
+	// Proxy legs no backend row covered — awaiting placement, mid-failover,
+	// or living on a backend without a metrics mapping (or whose poll
+	// failed). They stay visible so no live session can hide.
+	for _, snap := range local.Sessions {
+		if !merged[snap.ID] {
+			out.Sessions = append(out.Sessions, snap)
+		}
+	}
+	sessiontrack.SortSessions(out.Sessions, sessiontrack.SortID)
+	return out, nil
+}
+
+func (f *Fanin) poll(ctx context.Context, maddr string) (sessiontrack.View, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("http://%s/sessions", maddr), nil)
+	if err != nil {
+		return sessiontrack.View{}, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return sessiontrack.View{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sessiontrack.View{}, fmt.Errorf("GET /sessions: %s", resp.Status)
+	}
+	var v sessiontrack.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return sessiontrack.View{}, err
+	}
+	return v, nil
+}

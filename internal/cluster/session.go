@@ -13,6 +13,7 @@ import (
 
 	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/serve"
+	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/trace"
 )
 
@@ -78,6 +79,10 @@ type proxySession struct {
 	// and the hand-off to the writer rides the out channel.
 	tracer *flight.Tracer
 	spans  map[uint64]*flight.Span
+	// track is this session's stats entry in the router's introspection
+	// registry: journal bytes, relayed-ack counters, placement and
+	// failover/replay state. Set before the goroutines start.
+	track *sessiontrack.Session
 
 	mu         sync.Mutex
 	j          *journal
@@ -137,6 +142,12 @@ func (sess *proxySession) close() {
 		sess.r.unregister(sess)
 	})
 }
+
+// Drain and Kill implement sessiontrack.Conn. A router drain lets proxy
+// sessions run to completion (the journal guarantees nothing is lost), so
+// Drain is deliberately a no-op; Kill is the hard teardown.
+func (sess *proxySession) Drain() {}
+func (sess *proxySession) Kill()  { sess.close() }
 
 // setCurConn records the live backend connection so close (and backend
 // kicks) can sever it. If the session already closed, the new connection is
@@ -376,6 +387,10 @@ func (sess *proxySession) readLoop(fr *trace.FrameReader) {
 			}
 			r.m.frames.Inc()
 			r.m.journalBytes.Add(float64(len(f.Payload)))
+			sess.track.JournalDelta(int64(len(f.Payload)))
+			// Window occupancy from the seq/watermark distance — the proxy
+			// does not count acks symmetrically, it observes the gap.
+			sess.track.SetInflight(int32(seq - sess.relayedThrough.Load()))
 			sess.signal()
 		case serve.FrameDone:
 			f.Release()
@@ -445,6 +460,7 @@ func (sess *proxySession) forward() {
 			sess.failClient(CodeNoBackend, fmt.Sprintf("no backend accepted the session: %v", err))
 			return
 		}
+		sess.track.SetBackend(b.addr)
 		res := sess.pump(b, bc)
 		bc.Close()
 		b.detach(sess)
@@ -466,11 +482,13 @@ func (sess *proxySession) forward() {
 		}
 		if !replayOK {
 			sess.r.m.replayLost.Inc()
+			sess.track.SetReplayable(false)
 			sess.failClient(CodeFailoverLost,
 				"backend lost after journal eviction; lossless replay impossible")
 			return
 		}
 		sess.failovers++
+		sess.track.Failover()
 		sess.r.m.failovers.Inc()
 		sess.r.log.Info("session failover", "session", sess.id,
 			"from", b.addr, "failovers", sess.failovers)
@@ -494,6 +512,12 @@ func (sess *proxySession) pump(b *backend, bc *serve.Client) pumpResult {
 	window := bc.Session().Window
 	if window < 1 {
 		window = 1
+	}
+	// Every attempt after the first starts by replaying the journal prefix.
+	if sess.maxSent > 0 {
+		sess.track.SetState(sessiontrack.StateReplaying)
+	} else {
+		sess.track.SetState(sessiontrack.StateActive)
 	}
 	// Backend-side in-flight window, released one slot per ack received.
 	sem := make(chan struct{}, window)
@@ -530,9 +554,12 @@ func (sess *proxySession) pump(b *backend, bc *serve.Client) pumpResult {
 				}
 				if next <= sess.maxSent {
 					sess.replayed.Add(1)
+					sess.track.ReplayedFrames(1)
 					r.m.replayedFrames.Inc()
 				} else {
 					sess.maxSent = next
+					// First fresh frame after a replay: caught up.
+					sess.track.SetState(sessiontrack.StateActive)
 					// First send only: a failover replay keeps the original
 					// relay stamp, so the span's relay→ack gap covers the
 					// whole outage rather than the last attempt.
@@ -588,18 +615,24 @@ recv:
 		}
 		switch f.Type {
 		case serve.FrameAck:
-			seq, n := binary.Uvarint(f.Payload)
-			if n <= 0 {
+			// The full decode (7 uvarints, no allocation) gives the proxy
+			// session the acked frame's per-frame counts — the router's
+			// introspection view carries real miss/throughput windows, not
+			// just byte counters.
+			ack, aerr := serve.DecodeAck(f.Payload)
+			if aerr != nil {
 				f.Release()
 				b.noteSessionError(r)
 				break recv // corrupt ack; treat as backend loss
 			}
+			seq := ack.Seq
 			select {
 			case <-sem:
 			default:
 			}
 			sess.mu.Lock()
 			evFrames, evBytes := sess.j.ack(seq)
+			jmax := sess.j.max()
 			var sp *flight.Span
 			if sess.spans != nil {
 				if sp = sess.spans[seq]; sp != nil {
@@ -614,6 +647,9 @@ recv:
 			if evFrames > 0 {
 				r.m.journalEvicted.Add(uint64(evFrames))
 				r.m.journalBytes.Add(-float64(evBytes))
+				sess.track.JournalDelta(-int64(evBytes))
+				// Evicting acknowledged prefix forfeits lossless failover.
+				sess.track.SetReplayable(false)
 			}
 			if seq > sess.relayedThrough.Load() {
 				// The ack payload relays as-is; its buffer reference moves
@@ -624,6 +660,10 @@ recv:
 					break recv
 				}
 				sess.relayedThrough.Store(seq)
+				sess.track.AckRelayed(time.Now().UnixNano(), ack.Records, ack.Executed, ack.Misses)
+				if jmax >= seq {
+					sess.track.SetInflight(int32(jmax - seq))
+				}
 				r.m.acksRelayed.Inc()
 			} else {
 				f.Release() // replay duplicate, suppressed

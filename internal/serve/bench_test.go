@@ -1,10 +1,14 @@
 package serve
 
 import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"github.com/oocsb/ibp/internal/flight"
+	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/workload"
 )
 
@@ -12,7 +16,7 @@ import (
 // TCP connection: framing, checksums, shard hand-off, prediction, and the
 // ack stream, reported as records/s.
 func BenchmarkServeLoopback(b *testing.B) {
-	benchServeLoopback(b, nil)
+	benchServeLoopback(b, nil, false)
 }
 
 // BenchmarkServeLoopbackTraced is the same loop with the flight recorder on:
@@ -21,10 +25,18 @@ func BenchmarkServeLoopback(b *testing.B) {
 // untraced run.
 func BenchmarkServeLoopbackTraced(b *testing.B) {
 	rec := flight.NewRecorder(flight.Options{Service: "bench"})
-	benchServeLoopback(b, rec)
+	benchServeLoopback(b, rec, false)
 }
 
-func benchServeLoopback(b *testing.B, rec *flight.Recorder) {
+// BenchmarkServeLoopbackStreamed is the same loop with a /sessions/stream
+// consumer attached at the fastest allowed interval (100ms) — the cost of
+// someone watching ibptop while the server runs flat out. CI asserts its
+// records/s stays within 5% of the unwatched run.
+func BenchmarkServeLoopbackStreamed(b *testing.B) {
+	benchServeLoopback(b, nil, true)
+}
+
+func benchServeLoopback(b *testing.B, rec *flight.Recorder, streamed bool) {
 	cfg, err := workload.ByName("gcc")
 	if err != nil {
 		b.Fatal(err)
@@ -40,6 +52,24 @@ func benchServeLoopback(b *testing.B, rec *flight.Recorder) {
 		time.Sleep(time.Millisecond)
 	}
 	addr := srv.Addr()
+
+	if streamed {
+		mux := http.NewServeMux()
+		sessiontrack.Mount(mux, sessiontrack.HTTPConfig{Local: srv.Sessions()})
+		ms := httptest.NewServer(mux)
+		defer ms.Close()
+		resp, err := http.Get(ms.URL + "/sessions/stream?interval=100ms")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		go func() {
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+			for sc.Scan() {
+			}
+		}()
+	}
 
 	b.ReportAllocs()
 	b.ResetTimer()

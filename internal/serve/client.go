@@ -293,7 +293,7 @@ func (c *Client) Stream(tr trace.Trace, recsPerFrame int, onAck func(Ack, time.D
 			// goes back to the pool here.
 			switch f.Type {
 			case FrameAck:
-				ack, err := decodeAck(f.Payload)
+				ack, err := DecodeAck(f.Payload)
 				f.Release()
 				if err != nil {
 					errCh <- err

@@ -87,6 +87,15 @@ type Hello struct {
 	// an optional JSON field, so old peers ignore it and the IBPT v2 byte
 	// format is untouched; empty means the receiving tier mints its own.
 	TraceID string `json:"traceId,omitempty"`
+	// Tenant tags the session's owner for the session introspection plane
+	// (grouping in /sessions and ibptop, future per-tenant quotas). Like
+	// TraceID it rides the JSON handshake only.
+	Tenant string `json:"tenant,omitempty"`
+	// RouterSession is the router's proxy-session id, pinned into the
+	// forwarded Hello by ibprouter so a backend session can be correlated
+	// with its proxy leg in the cluster-wide /sessions fan-in. Zero on
+	// direct (router-less) sessions.
+	RouterSession uint64 `json:"routerSession,omitempty"`
 }
 
 // HelloAck is the server's session-open response.
@@ -302,10 +311,10 @@ func appendAck(buf []byte, a Ack) []byte {
 	return buf
 }
 
-// decodeAck decodes an Ack payload. It walks the slice directly (no reader
+// DecodeAck decodes an Ack payload. It walks the slice directly (no reader
 // allocation): the client decodes one ack per processed frame, so this sits
 // on the streaming hot path.
-func decodeAck(payload []byte) (Ack, error) {
+func DecodeAck(payload []byte) (Ack, error) {
 	var vals [7]uint64
 	off := 0
 	for i := range vals {

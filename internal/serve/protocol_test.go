@@ -20,7 +20,7 @@ func TestAckCodecRoundTrip(t *testing.T) {
 		{Seq: 1 << 40, Records: 1, Executed: 1 << 30, Misses: 1 << 29, TotalExecuted: 1 << 31, TotalMisses: 1 << 30, TotalNoPrediction: 1 << 20},
 	}
 	for _, a := range acks {
-		got, err := decodeAck(appendAck(nil, a))
+		got, err := DecodeAck(appendAck(nil, a))
 		if err != nil {
 			t.Fatalf("%+v: %v", a, err)
 		}
@@ -28,10 +28,10 @@ func TestAckCodecRoundTrip(t *testing.T) {
 			t.Fatalf("round trip %+v -> %+v", a, got)
 		}
 	}
-	if _, err := decodeAck(append(appendAck(nil, acks[1]), 0)); err == nil {
+	if _, err := DecodeAck(append(appendAck(nil, acks[1]), 0)); err == nil {
 		t.Fatal("trailing byte accepted")
 	}
-	if _, err := decodeAck(appendAck(nil, acks[1])[:3]); err == nil {
+	if _, err := DecodeAck(appendAck(nil, acks[1])[:3]); err == nil {
 		t.Fatal("truncated ack accepted")
 	}
 }

@@ -323,15 +323,14 @@ func TestServeSessionPanicIsolation(t *testing.T) {
 	}
 	defer panicker.Close()
 	// Reach into the server and replace the panicker session's predictor
-	// with one that blows up mid-frame.
-	srv.mu.Lock()
-	for sess := range srv.sessions {
-		if sess.hello.Benchmark == "panicker" {
+	// with one that blows up mid-frame. Neither session is streaming yet, so
+	// the shard worker cannot be touching the predictor.
+	for _, e := range srv.track.Live() {
+		if sess, ok := e.Conn().(*session); ok && sess.hello.Benchmark == "panicker" {
 			sess.pred = panicPredictor{}
 			sess.condObs = nil
 		}
 	}
-	srv.mu.Unlock()
 
 	if _, err := panicker.Stream(tr, 100, nil); err == nil {
 		t.Fatal("panicking session returned a clean summary")

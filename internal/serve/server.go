@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"github.com/oocsb/ibp/internal/cli"
+	"github.com/oocsb/ibp/internal/core"
 	"github.com/oocsb/ibp/internal/flight"
+	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
 )
@@ -45,6 +47,9 @@ type Config struct {
 	// bounds each response flush. Defaults: 30s each.
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
+	// Tag labels this instance in the session introspection plane (the
+	// /sessions view's tag field); usually the daemon's -tag flag.
+	Tag string
 	// Log receives structured session lifecycle events; nil discards them.
 	Log *slog.Logger
 	// Flight, when non-nil, records per-frame hop spans into a bounded ring
@@ -92,10 +97,14 @@ type Server struct {
 	shards  []*shard
 	shardWG sync.WaitGroup
 
-	mu       sync.Mutex
-	ln       net.Listener
-	sessions map[*session]struct{}
-	nextID   uint64
+	// track is the session-lifecycle core (ROADMAP item 5): it owns session
+	// id allocation, the live set, the drain handshake, and every
+	// per-session stat the introspection plane serves. The router's proxy
+	// sessions use the same registry type — one session-management core.
+	track *sessiontrack.Registry
+
+	mu sync.Mutex
+	ln net.Listener
 
 	connWG      sync.WaitGroup
 	draining    atomic.Bool
@@ -140,7 +149,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		m:        newMetrics(telemetry.Default()),
 		pool:     trace.NewBufferPool(),
-		sessions: make(map[*session]struct{}),
+		track:    sessiontrack.NewRegistry(sessiontrack.Options{Service: "ibpserved", Tag: cfg.Tag}),
 		hardStop: make(chan struct{}),
 	}
 	s.pool.OnStats(func() { s.m.poolHits.Inc() }, func() { s.m.poolMisses.Inc() })
@@ -156,6 +165,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Sessions returns the server's session registry, the live set behind the
+// /sessions introspection endpoints (sessiontrack.Mount).
+func (s *Server) Sessions() *sessiontrack.Registry { return s.track }
 
 // Addr returns the listener address ("" before Serve).
 func (s *Server) Addr() string {
@@ -229,13 +242,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	live := make([]*session, 0, len(s.sessions))
-	for sess := range s.sessions {
-		live = append(live, sess)
-	}
 	s.mu.Unlock()
+	// BeginDrain atomically stops registration and snapshots the live set:
+	// every session either gets a Drain below or was refused registration —
+	// the race that used to need the server's own session map is gone.
+	live := s.track.BeginDrain()
 	for _, sess := range live {
-		sess.beginDrain()
+		sess.Drain()
 	}
 	done := make(chan struct{})
 	go func() {
@@ -249,7 +262,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 		s.stopOnce.Do(func() { close(s.hardStop) })
 		for _, sess := range live {
-			sess.hardClose()
+			sess.Kill()
 		}
 		<-done
 	}
@@ -266,13 +279,9 @@ func (s *Server) Close() error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	live := make([]*session, 0, len(s.sessions))
-	for sess := range s.sessions {
-		live = append(live, sess)
-	}
 	s.mu.Unlock()
-	for _, sess := range live {
-		sess.hardClose()
+	for _, sess := range s.track.BeginDrain() {
+		sess.Kill()
 	}
 	s.connWG.Wait()
 	s.stopWorkers()
@@ -425,15 +434,25 @@ func (s *Server) openSession(conn net.Conn, fr *trace.FrameReader) (*session, er
 	if traceID == "" && s.cfg.Flight.Enabled() {
 		traceID = s.cfg.Flight.NextTraceID()
 	}
-	s.mu.Lock()
-	if s.draining.Load() {
-		s.mu.Unlock()
-		return nil, errors.New("draining")
+	meta := sessiontrack.Meta{
+		Kind:      sessiontrack.KindServe,
+		Benchmark: hello.Benchmark,
+		Tenant:    hello.Tenant,
+		Predictor: sess.predName,
+		TraceID:   traceID,
+		Window:    window,
+		Upstream:  hello.RouterSession,
 	}
-	s.nextID++
-	sess.id = s.nextID
-	s.sessions[sess] = struct{}{}
-	s.mu.Unlock()
+	if ts, ok := pred.(core.TableStatser); ok {
+		sess.statser = ts
+		meta.Tables = ts.TableStats() // baseline for /sessions/{id} deltas
+	}
+	entry, err := s.track.Register(sess, meta)
+	if err != nil {
+		return nil, err // draining: no new sessions
+	}
+	sess.id = entry.ID()
+	sess.track = entry
 	sess.tracer = s.cfg.Flight.Tracer(traceID, sess.id)
 	s.m.sessionsTotal.Inc()
 	s.m.sessionsActive.Add(1)
@@ -455,13 +474,12 @@ func (s *Server) openSession(conn net.Conn, fr *trace.FrameReader) (*session, er
 	return sess, nil
 }
 
-// unregister removes the session from the live set exactly once.
+// unregister removes the session from the live set. The registry's
+// exactly-once Unregister keys the gauge decrement, so no combination of
+// exit paths (summary, fail, shed, hard close, drain race) can decrement
+// twice or leave serve_sessions_active elevated.
 func (s *Server) unregister(sess *session) {
-	s.mu.Lock()
-	_, live := s.sessions[sess]
-	delete(s.sessions, sess)
-	s.mu.Unlock()
-	if live {
+	if s.track.Unregister(sess.track) {
 		s.m.sessionsActive.Add(-1)
 	}
 }

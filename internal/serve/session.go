@@ -12,6 +12,7 @@ import (
 
 	"github.com/oocsb/ibp/internal/core"
 	"github.com/oocsb/ibp/internal/flight"
+	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/trace"
 )
 
@@ -48,6 +49,10 @@ type session struct {
 	// tracer mints a flight span per records frame; nil when tracing is off
 	// (the zero-cost path). Set before the reader starts, read-only after.
 	tracer *flight.Tracer
+	// track is the session's stats entry in the introspection registry,
+	// updated once per frame from the clock reads the frame path already
+	// takes. Set before the reader starts, read-only after.
+	track *sessiontrack.Session
 
 	// reader-owned
 	nextSeq uint64
@@ -63,6 +68,7 @@ type session struct {
 
 	// worker-owned: the predictor and sim-equivalent accounting
 	pred     core.Predictor
+	statser  core.TableStatser // pred's table stats view; nil when unsupported
 	condObs  core.CondObserver
 	seen     int
 	executed int
@@ -148,6 +154,11 @@ func (sess *session) hardClose() {
 	sess.srv.unregister(sess)
 	sess.stopOnce.Do(func() { close(sess.stop) })
 }
+
+// Drain and Kill implement sessiontrack.Conn: the registry's drain
+// handshake maps onto the session's graceful drain and hard close.
+func (sess *session) Drain() { sess.beginDrain() }
+func (sess *session) Kill()  { sess.hardClose() }
 
 // writeLoop is the session's writer goroutine: it owns conn's write side.
 // Every wakeup gathers all queued frames into one FrameBatcher flush — a
@@ -275,6 +286,7 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 				return
 			}
 			sess.nextSeq = seq
+			sess.track.AddInflight(1)
 			if int(sess.inflight.Add(1)) > sess.window+1 {
 				// +1 of slack: the client legitimately sends the next frame
 				// the instant an ack is on the wire.
@@ -296,7 +308,10 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 			// shows up in the enqueue→dequeue gap, where it belongs.
 			sp.Stamp(flight.HopServerEnqueue)
 			if !s.enqueue(sess.shard, job{sess: sess, seq: seq, chunk: chunk, buf: f.Buffer(), recvNS: recvNS, span: sp}) {
-				return // hard stop; enqueue released the buffer
+				// Hard stop; enqueue released the buffer. Take the session
+				// off the books — no worker will ever summarize it.
+				sess.hardClose()
+				return
 			}
 		case FrameDone:
 			f.Release()
@@ -304,7 +319,12 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 				// No records ever arrived; summarize from any shard.
 				sess.shard = s.shardFor(0)
 			}
-			s.enqueue(sess.shard, job{sess: sess, done: true})
+			if !s.enqueue(sess.shard, job{sess: sess, done: true}) {
+				// Hard stop swallowed the sentinel: emitSummary will never
+				// run, so close here or the session stays registered and
+				// serve_sessions_active never comes back down.
+				sess.hardClose()
+			}
 			return
 		default:
 			// Unknown-but-checksummed client frame: skip it, mirroring the
@@ -317,7 +337,11 @@ func (sess *session) readLoop(fr *trace.FrameReader) {
 	if sess.shard == nil {
 		sess.shard = s.shardFor(0)
 	}
-	s.enqueue(sess.shard, job{sess: sess, drain: true})
+	if !s.enqueue(sess.shard, job{sess: sess, drain: true}) {
+		// Shed during the drain race (hard stop beat the sentinel): no
+		// summary is coming, so the session must take itself off the books.
+		sess.hardClose()
+	}
 }
 
 // processFrame drives the session predictor straight off a RecordIter over
@@ -402,6 +426,15 @@ func (sess *session) processFrame(j job) {
 	doneNS := time.Now().UnixNano()
 	j.span.StampAt(flight.HopServerPredict, doneNS)
 	j.span.SetRecords(nrecs)
+	// Session introspection rides the clock reads this path already takes:
+	// one stats update per frame, zero allocations. The (allocating) table
+	// stats refresh is amortized to every 16th frame — the predictor is
+	// worker-owned, so only this goroutine may read it.
+	sess.track.FrameProcessed(doneNS, nrecs, sess.executed-exec0, sess.misses-miss0,
+		time.Duration(startNS-j.recvNS))
+	if sess.statser != nil && sess.frames&0xf == 0 {
+		sess.track.UpdateTables(sess.statser.TableStats())
+	}
 	m.predictTime.Observe(time.Duration(doneNS - startNS))
 	m.frameLatency.Observe(time.Duration(doneNS - j.recvNS))
 	m.frames.Inc()
@@ -426,6 +459,7 @@ func (sess *session) processFrame(j job) {
 		}
 	}
 	sess.inflight.Add(-1)
+	sess.track.AddInflight(-1)
 	ab := s.pool.Get(ackPayloadMax)
 	payload := appendAck(ab.Bytes()[:0], ack)
 	// The span rides the ack to the writer, which stamps the ack-write hop

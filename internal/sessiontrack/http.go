@@ -1,0 +1,295 @@
+package sessiontrack
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/oocsb/ibp/internal/flight"
+	"github.com/oocsb/ibp/internal/telemetry"
+)
+
+// HTTPConfig wires the /sessions* endpoints into a metrics mux.
+type HTTPConfig struct {
+	// Source produces the /sessions and /sessions/stream view: the local
+	// Registry on a backend, the cluster fan-in on the router.
+	Source Source
+	// Local is the process's own registry, served at /sessions/{id} (full
+	// inspect needs the live *Session) and /sessions/local.
+	Local *Registry
+	// Telemetry, when non-nil, has its counter deltas fused into each
+	// stream tick as a {"type":"stats"} line.
+	Telemetry *telemetry.Registry
+	// Flight, when non-nil, supplies last-N hop-latency spans for
+	// /sessions/{id}.
+	Flight *flight.Recorder
+}
+
+// Stream line shapes. Every NDJSON line carries "type" so consumers can
+// switch without sniffing fields: "tick" opens an interval, one "session"
+// line follows per live session, one "stats" line closes the interval when
+// a telemetry registry is attached, "error" reports a failed view poll.
+type (
+	// TickLine opens one stream interval.
+	TickLine struct {
+		Type       string        `json:"type"`
+		UnixNS     int64         `json:"unixNs"`
+		IntervalMS float64       `json:"intervalMs"`
+		Service    string        `json:"service"`
+		Tag        string        `json:"tag,omitempty"`
+		Sessions   int           `json:"sessions"`
+		Backends   []BackendInfo `json:"backends,omitempty"`
+	}
+
+	// StreamDelta is a session's movement since the previous tick. On a
+	// session's first appearance the delta equals its cumulative totals.
+	StreamDelta struct {
+		Frames   uint64 `json:"frames"`
+		Records  uint64 `json:"records"`
+		Executed uint64 `json:"executed"`
+		Misses   uint64 `json:"misses"`
+		// MissRate is the interval miss rate (delta misses / delta
+		// executed), not the cumulative one.
+		MissRate float64 `json:"missRate"`
+	}
+
+	// SessionLine pairs a full snapshot with its interval delta.
+	SessionLine struct {
+		Type    string          `json:"type"`
+		Session SessionSnapshot `json:"session"`
+		Delta   StreamDelta     `json:"delta"`
+	}
+
+	// StatsLine carries the telemetry registry's counter deltas for the
+	// interval (zero deltas and quantile keys dropped).
+	StatsLine struct {
+		Type  string             `json:"type"`
+		Delta telemetry.Snapshot `json:"delta"`
+	}
+
+	// ErrorLine reports a failed view poll; the stream keeps going.
+	ErrorLine struct {
+		Type  string `json:"type"`
+		Error string `json:"error"`
+	}
+)
+
+// SessionDetail is the /sessions/{id} full inspect: snapshot plus predictor
+// table deltas and the session's most recent flight spans.
+type SessionDetail struct {
+	SessionSnapshot
+	Tables []TableDelta      `json:"tables,omitempty"`
+	Flight []flight.SpanJSON `json:"flight,omitempty"`
+}
+
+// setJSON stamps the response headers every JSON endpoint must carry:
+// explicit media type (regression-tested — see the Content-Type audit in
+// ISSUE 9), sniffing disabled, and no caching of live stats.
+func setJSON(h http.Header) {
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("X-Content-Type-Options", "nosniff")
+	h.Set("Cache-Control", "no-store")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	setJSON(w.Header())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Mount registers /sessions, /sessions/local, /sessions/{id} and
+// /sessions/stream on mux.
+func Mount(mux *http.ServeMux, cfg HTTPConfig) {
+	if cfg.Source == nil {
+		cfg.Source = cfg.Local
+	}
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		v, err := cfg.Source.View(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		shapeView(&v, r)
+		writeJSON(w, v)
+	})
+	// /sessions/local is the process's own registry even when Source is a
+	// cluster fan-in — the smoke tests cross-check merged backend
+	// attribution against it.
+	mux.HandleFunc("GET /sessions/local", func(w http.ResponseWriter, r *http.Request) {
+		v, _ := cfg.Local.View(r.Context())
+		shapeView(&v, r)
+		writeJSON(w, v)
+	})
+	mux.HandleFunc("GET /sessions/stream", func(w http.ResponseWriter, r *http.Request) {
+		streamSessions(w, r, cfg)
+	})
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad session id", http.StatusBadRequest)
+			return
+		}
+		s, ok := cfg.Local.Get(id)
+		if !ok {
+			http.Error(w, "no such session", http.StatusNotFound)
+			return
+		}
+		d := SessionDetail{
+			SessionSnapshot: s.Snapshot(),
+			Tables:          s.Tables(),
+		}
+		maxSpans := 32
+		if n, err := strconv.Atoi(r.URL.Query().Get("spans")); err == nil && n >= 0 {
+			maxSpans = n
+		}
+		if cfg.Flight != nil && maxSpans > 0 {
+			spans := cfg.Flight.Spans()
+			for i := range spans {
+				if spans[i].Session == id {
+					d.Flight = append(d.Flight, spans[i].JSON())
+				}
+			}
+			if len(d.Flight) > maxSpans { // keep the most recent N
+				d.Flight = d.Flight[len(d.Flight)-maxSpans:]
+			}
+		}
+		writeJSON(w, d)
+	})
+}
+
+// shapeView applies ?sort= and ?limit= to a view in place.
+func shapeView(v *View, r *http.Request) {
+	q := r.URL.Query()
+	if key := q.Get("sort"); key != "" {
+		SortSessions(v.Sessions, key)
+	}
+	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n >= 0 && n < len(v.Sessions) {
+		v.Sessions = v.Sessions[:n]
+	}
+}
+
+func streamSessions(w http.ResponseWriter, r *http.Request, cfg HTTPConfig) {
+	q := r.URL.Query()
+	interval := time.Second
+	if d, err := time.ParseDuration(q.Get("interval")); err == nil {
+		interval = d
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	ticks := 0 // 0 = stream until the client goes away
+	if n, err := strconv.Atoi(q.Get("ticks")); err == nil && n > 0 {
+		ticks = n
+	}
+	sortKey := q.Get("sort")
+	limit := -1
+	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n >= 0 {
+		limit = n
+	}
+	sse := q.Get("sse") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+
+	h := w.Header()
+	if sse {
+		h.Set("Content-Type", "text/event-stream")
+	} else {
+		h.Set("Content-Type", "application/x-ndjson")
+	}
+	h.Set("X-Content-Type-Options", "nosniff")
+	h.Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		if sse {
+			w.Write([]byte("data: "))
+		}
+		enc.Encode(v) // one line per value: NDJSON
+		if sse {
+			w.Write([]byte("\n"))
+		}
+	}
+
+	type key struct {
+		backend string
+		id      uint64
+	}
+	prev := make(map[key]SessionSnapshot)
+	var prevStats telemetry.Snapshot
+	if cfg.Telemetry != nil {
+		prevStats = cfg.Telemetry.Snapshot()
+	}
+
+	timer := time.NewTimer(0) // first tick immediately
+	defer timer.Stop()
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-timer.C:
+		}
+
+		v, err := cfg.Source.View(r.Context())
+		if err != nil {
+			emit(ErrorLine{Type: "error", Error: err.Error()})
+		} else {
+			if sortKey != "" {
+				SortSessions(v.Sessions, sortKey)
+			}
+			if limit >= 0 && limit < len(v.Sessions) {
+				v.Sessions = v.Sessions[:limit]
+			}
+			emit(TickLine{
+				Type:       "tick",
+				UnixNS:     v.TakenUnixNS,
+				IntervalMS: float64(interval) / float64(time.Millisecond),
+				Service:    v.Service,
+				Tag:        v.Tag,
+				Sessions:   len(v.Sessions),
+				Backends:   v.Backends,
+			})
+			next := make(map[key]SessionSnapshot, len(v.Sessions))
+			for _, snap := range v.Sessions {
+				k := key{snap.Backend, snap.ID}
+				d := StreamDelta{
+					Frames:   snap.Frames,
+					Records:  snap.Records,
+					Executed: snap.Executed,
+					Misses:   snap.Misses,
+				}
+				if p, ok := prev[k]; ok {
+					d.Frames -= min(d.Frames, p.Frames)
+					d.Records -= min(d.Records, p.Records)
+					d.Executed -= min(d.Executed, p.Executed)
+					d.Misses -= min(d.Misses, p.Misses)
+				}
+				if d.Executed > 0 {
+					d.MissRate = float64(d.Misses) / float64(d.Executed)
+				}
+				next[k] = snap
+				emit(SessionLine{Type: "session", Session: snap, Delta: d})
+			}
+			prev = next
+			if cfg.Telemetry != nil {
+				cur := cfg.Telemetry.Snapshot()
+				emit(StatsLine{Type: "stats", Delta: cur.Delta(prevStats)})
+				prevStats = cur
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		sent++
+		if ticks > 0 && sent >= ticks {
+			return
+		}
+		timer.Reset(interval)
+	}
+}
