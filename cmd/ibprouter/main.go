@@ -62,6 +62,8 @@ type options struct {
 	logLevel     string
 	flightCap    int
 	slo          time.Duration
+	tunerPolicy  string
+	readOnly     bool
 
 	pf cli.PredictorFlags
 }
@@ -92,6 +94,8 @@ func main() {
 	flag.StringVar(&o.logLevel, "log", "info", "structured log level: debug, info, warn, error, off")
 	flag.IntVar(&o.flightCap, "flightrecorder", 0, "trace the last N frames in an in-memory flight recorder (0 = off, served at /debug/flightrecorder on the -metrics address)")
 	flag.DurationVar(&o.slo, "slo", 0, "log a per-hop breakdown for frames slower than this end to end (0 = off; needs -flightrecorder)")
+	flag.StringVar(&o.tunerPolicy, "tunerpolicy", "", "tuner policy pinned into forwarded Hellos so every backend (including failover replacements) tunes identically; backends need -tuner")
+	flag.BoolVar(&o.readOnly, "readonly", false, "reject mutating admin verbs (kill/drain/retune) on the -metrics mux")
 	o.pf.Register(flag.CommandLine)
 	flag.Parse()
 	if err := realMain(o); err != nil {
@@ -175,6 +179,7 @@ func realMain(o options) error {
 		RiseThreshold:   o.rises,
 		VirtualNodes:    o.vnodes,
 		Flight:          rec,
+		TunerPolicy:     o.tunerPolicy,
 		Log:             log,
 	})
 	if err != nil {
@@ -190,6 +195,7 @@ func realMain(o options) error {
 					Local:     r.Sessions(),
 					Telemetry: reg,
 					Flight:    rec,
+					ReadOnly:  o.readOnly,
 				})
 			},
 		}

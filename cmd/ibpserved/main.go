@@ -29,6 +29,7 @@ import (
 	"github.com/oocsb/ibp/internal/serve"
 	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/telemetry"
+	"github.com/oocsb/ibp/internal/tuner"
 )
 
 type options struct {
@@ -47,6 +48,10 @@ type options struct {
 	tag          string
 	flightCap    int
 	slo          time.Duration
+	tuner        bool
+	tunerPolicy  string
+	tunerMax     int
+	readOnly     bool
 
 	pf cli.PredictorFlags
 }
@@ -68,6 +73,10 @@ func main() {
 	flag.StringVar(&o.tag, "tag", "", "instance label for logs and the run summary (useful under a cluster router)")
 	flag.IntVar(&o.flightCap, "flightrecorder", 0, "trace the last N frames in an in-memory flight recorder (0 = off, served at /debug/flightrecorder on the -metrics address)")
 	flag.DurationVar(&o.slo, "slo", 0, "log a per-hop breakdown for frames slower than this end to end (0 = off; needs -flightrecorder)")
+	flag.BoolVar(&o.tuner, "tuner", false, "enable the per-session predictor auto-tuner")
+	flag.StringVar(&o.tunerPolicy, "tunerpolicy", "", "default tuner policy, semicolon-separated k=v (e.g. \"interval=512;miss=0.10;target=ittage:8,512,2\"; empty = built-in defaults)")
+	flag.IntVar(&o.tunerMax, "tunermax", 0, "max concurrently tuned sessions (0 = no cap)")
+	flag.BoolVar(&o.readOnly, "readonly", false, "reject mutating admin verbs (kill/drain/retune) on the -metrics mux")
 	o.pf.Register(flag.CommandLine)
 	flag.Parse()
 	if err := realMain(o); err != nil {
@@ -120,6 +129,24 @@ func realMain(o options) error {
 		})
 		log.Info("flight recorder on", "capacity", o.flightCap, "slo", o.slo)
 	}
+	var tun *tuner.Tuner
+	if o.tuner {
+		policy := tuner.DefaultPolicy()
+		if o.tunerPolicy != "" {
+			policy, err = tuner.ParsePolicy(o.tunerPolicy)
+			if err != nil {
+				return fmt.Errorf("-tunerpolicy: %w", err)
+			}
+		}
+		tun = tuner.New(tuner.Options{
+			Policy:      policy,
+			MaxSessions: o.tunerMax,
+			Telemetry:   reg,
+		})
+		log.Info("tuner on", "policy", policy.String())
+	} else if o.tunerPolicy != "" {
+		return errors.New("-tunerpolicy requires -tuner")
+	}
 	// The server exists before the metrics mux so its session registry can
 	// be mounted at /sessions*.
 	srv, err := serve.New(serve.Config{
@@ -132,6 +159,7 @@ func realMain(o options) error {
 		ReadTimeout:     o.readTimeout,
 		WriteTimeout:    o.writeTimeout,
 		Flight:          rec,
+		Tuner:           tun,
 		Tag:             o.tag,
 		Log:             log,
 	})
@@ -145,6 +173,7 @@ func realMain(o options) error {
 					Local:     srv.Sessions(),
 					Telemetry: reg,
 					Flight:    rec,
+					ReadOnly:  o.readOnly,
 				})
 			},
 		}

@@ -47,6 +47,10 @@ type predictorBench struct {
 	Name     string  `json:"name"`
 	NsBranch float64 `json:"ns_per_branch"`
 	Branches int     `json:"branches"`
+	// MissPct is the from-cold miss rate over the measurement trace — the
+	// accuracy column that makes adjacent rows (hybrid vs ittage) directly
+	// comparable in one snapshot.
+	MissPct float64 `json:"miss_rate_pct"`
 }
 
 type experimentBench struct {
@@ -100,15 +104,20 @@ func benchPredictors() []struct {
 		{"hybrid-3.1-assoc4-2048", func() (core.Predictor, error) {
 			return core.NewDualPath(3, 1, "assoc4", 2048)
 		}},
+		{"ittage-8x512-min2", func() (core.Predictor, error) {
+			return core.NewITTAGE(8, 512, 2)
+		}},
 	}
 }
 
 // measurePredictor times steady-state predict/update over the trace: one
-// untimed warm pass, then timed passes until minTime accumulates.
-func measurePredictor(ctx context.Context, mk func() (core.Predictor, error), tr trace.Trace) (float64, error) {
+// untimed warm pass (which doubles as the from-cold accuracy pass), then
+// timed passes until minTime accumulates. Returns ns/branch and the warm
+// pass's miss rate in percent.
+func measurePredictor(ctx context.Context, mk func() (core.Predictor, error), tr trace.Trace) (float64, float64, error) {
 	p, err := mk()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	pass := func() {
 		for i := range tr {
@@ -116,20 +125,34 @@ func measurePredictor(ctx context.Context, mk func() (core.Predictor, error), tr
 			p.Update(tr[i].PC, tr[i].Target)
 		}
 	}
-	pass() // warm: tables populated, steady state from here
+	// Warm pass: tables populated, steady state from here. Counting misses
+	// here (cold tables, like a real run's first pass) gives the accuracy
+	// column for free.
+	misses := 0
+	for i := range tr {
+		pred, ok := p.Predict(tr[i].PC)
+		if !ok || pred != tr[i].Target {
+			misses++
+		}
+		p.Update(tr[i].PC, tr[i].Target)
+	}
 	const minTime = 100 * time.Millisecond
 	var elapsed time.Duration
 	branches := 0
 	for elapsed < minTime {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		start := time.Now()
 		pass()
 		elapsed += time.Since(start)
 		branches += len(tr)
 	}
-	return float64(elapsed.Nanoseconds()) / float64(branches), nil
+	missPct := 0.0
+	if len(tr) > 0 {
+		missPct = 100 * float64(misses) / float64(len(tr))
+	}
+	return float64(elapsed.Nanoseconds()) / float64(branches), missPct, nil
 }
 
 // parseGoTestBench extracts "BenchmarkX  N  12345 ns/op" lines from raw
@@ -197,12 +220,14 @@ func runBenchJSON(ctx context.Context, outPath, benchRaw, loadJSON string, selec
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		ns, err := measurePredictor(ctx, pb.mk, tr)
+		ns, missPct, err := measurePredictor(ctx, pb.mk, tr)
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", pb.name, err)
 		}
-		fmt.Printf("bench %-24s %8.1f ns/branch\n", pb.name, ns)
-		rep.Predictors = append(rep.Predictors, predictorBench{Name: pb.name, NsBranch: ns, Branches: len(tr)})
+		fmt.Printf("bench %-24s %8.1f ns/branch  %6.2f%% miss\n", pb.name, ns, missPct)
+		rep.Predictors = append(rep.Predictors, predictorBench{
+			Name: pb.name, NsBranch: ns, Branches: len(tr), MissPct: missPct,
+		})
 	}
 
 	ectx := experiment.NewContext(traceLen).WithContext(ctx)

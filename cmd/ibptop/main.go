@@ -250,8 +250,8 @@ func render(t tick, n int) string {
 		b.WriteByte('\n')
 	}
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "%-5s %-10s %-8s %-21s %-9s %9s %7s %7s %9s %4s %8s %3s %10s\n",
-		"ID", "BENCH", "TENANT", "BACKEND", "STATE",
+	fmt.Fprintf(&b, "%-5s %-10s %-8s %-21s %-9s %-12s %2s %9s %7s %7s %9s %4s %8s %3s %10s\n",
+		"ID", "BENCH", "TENANT", "BACKEND", "STATE", "PRED", "SW",
 		"REC/S", "WMISS%", "MISS%", "QWAIT", "INF", "JRNL", "FO", "RECORDS")
 	rows := t.Sessions
 	if n > 0 && n < len(rows) {
@@ -259,8 +259,9 @@ func render(t tick, n int) string {
 	}
 	for _, r := range rows {
 		s := r.Session
-		fmt.Fprintf(&b, "%-5d %-10s %-8s %-21s %-9s %9s %6.2f%% %6.2f%% %9s %4d %8s %3d %10s\n",
+		fmt.Fprintf(&b, "%-5d %-10s %-8s %-21s %-9s %-12s %2d %9s %6.2f%% %6.2f%% %9s %4d %8s %3d %10s\n",
 			s.ID, clip(s.Benchmark, 10), clip(s.Tenant, 8), clip(s.Backend, 21), s.State,
+			clip(s.Predictor, 12), s.Swaps,
 			humanCount(s.Win.RecordsPerSec), 100*s.Win.MissRate, 100*s.MissRate,
 			humanUS(s.Win.QueueWaitAvgUS), s.Inflight, humanBytes(s.JournalBytes),
 			s.Failovers, humanCount(float64(s.Records)))

@@ -7,6 +7,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"github.com/oocsb/ibp/internal/bits"
@@ -33,7 +34,7 @@ type PredictorFlags struct {
 
 // Register declares the predictor flags on fs with their defaults.
 func (f *PredictorFlags) Register(fs *flag.FlagSet) {
-	fs.StringVar(&f.Pred, "pred", "2lev", "predictor family: 2lev, btb, btb-2bc, tcache, ppm, shared")
+	fs.StringVar(&f.Pred, "pred", "2lev", "predictor family: 2lev, btb, btb-2bc, tcache, ppm, shared, ittage[:banks,entries,minhist]")
 	fs.IntVar(&f.Path, "p", 3, "path length")
 	fs.IntVar(&f.HistShare, "s", 32, "history sharing exponent (2=per-branch, 32=global)")
 	fs.IntVar(&f.TabShare, "hshare", 2, "history table sharing exponent (full-precision mode)")
@@ -66,10 +67,57 @@ func (e *FlagError) Error() string {
 // accepts (the two-level predictor's hard limit).
 const MaxPathLength = 64
 
-// predNames is the -pred vocabulary Build accepts.
+// predNames is the -pred vocabulary Build accepts; the ittage family is
+// matched separately because it carries an inline spec (see ParseITTAGE).
 var predNames = map[string]bool{
 	"2lev": true, "btb": true, "btb-2bc": true,
 	"tcache": true, "ppm": true, "shared": true,
+}
+
+// ITTAGE spec defaults: bare "ittage" means 8 tagged banks of 512 entries
+// over a 1024-entry base, with history lengths doubling from 2.
+const (
+	ittageDefBanks   = 8
+	ittageDefEntries = 512
+	ittageDefMinHist = 2
+)
+
+// ParseITTAGE interprets the -pred ittage spec grammar: bare "ittage" for
+// the defaults, or "ittage:banks,entries,minhist" with banks in [1,16],
+// entries a power of two, and minhist positive. ok reports whether pred
+// names the ittage family at all; reason is non-empty when it does but the
+// spec is malformed — mirroring core.NewITTAGE's construction checks so a
+// bad spec fails flag validation, not predictor construction.
+func ParseITTAGE(pred string) (banks, entries, minHist int, ok bool, reason string) {
+	if pred == "ittage" {
+		return ittageDefBanks, ittageDefEntries, ittageDefMinHist, true, ""
+	}
+	spec, found := strings.CutPrefix(pred, "ittage:")
+	if !found {
+		return 0, 0, 0, false, ""
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, true, `want "ittage" or "ittage:banks,entries,minhist"`
+	}
+	var vals [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return 0, 0, 0, true, fmt.Sprintf("%q is not an integer", p)
+		}
+		vals[i] = v
+	}
+	banks, entries, minHist = vals[0], vals[1], vals[2]
+	switch {
+	case banks < 1 || banks > 16:
+		return 0, 0, 0, true, "banks must be in [1,16]"
+	case entries <= 0 || entries&(entries-1) != 0:
+		return 0, 0, 0, true, "entries must be a positive power of two"
+	case minHist < 1:
+		return 0, 0, 0, true, "minhist must be positive"
+	}
+	return banks, entries, minHist, true, ""
 }
 
 // validTableKind reports whether kind names a table organization any tool
@@ -93,8 +141,12 @@ func validTableKind(kind string) bool {
 // message (unknown -pred, -p outside [0, MaxPathLength], unknown -table,
 // negative -entries, malformed -hybrid).
 func (f PredictorFlags) Validate() error {
-	if !predNames[f.Pred] {
-		return &FlagError{Flag: "pred", Value: f.Pred, Reason: "want 2lev, btb, btb-2bc, tcache, ppm, or shared"}
+	if _, _, _, isIttage, reason := ParseITTAGE(f.Pred); isIttage {
+		if reason != "" {
+			return &FlagError{Flag: "pred", Value: f.Pred, Reason: reason}
+		}
+	} else if !predNames[f.Pred] {
+		return &FlagError{Flag: "pred", Value: f.Pred, Reason: "want 2lev, btb, btb-2bc, tcache, ppm, shared, or ittage[:banks,entries,minhist]"}
 	}
 	if f.Path < 0 || f.Path > MaxPathLength {
 		return &FlagError{Flag: "p", Value: fmt.Sprint(f.Path), Reason: fmt.Sprintf("path length must be in [0, %d]", MaxPathLength)}
@@ -129,6 +181,12 @@ func ValidateSeed(seed int64) error {
 
 // Build constructs the predictor the flags describe.
 func (f PredictorFlags) Build() (core.Predictor, error) {
+	if banks, entries, minHist, isIttage, reason := ParseITTAGE(f.Pred); isIttage {
+		if reason != "" {
+			return nil, &FlagError{Flag: "pred", Value: f.Pred, Reason: reason}
+		}
+		return core.NewITTAGE(banks, entries, minHist)
+	}
 	switch f.Pred {
 	case "btb":
 		tb, err := f.boundedTable()

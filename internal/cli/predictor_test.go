@@ -80,6 +80,80 @@ func TestValidateAcceptsKnownShapes(t *testing.T) {
 	}
 }
 
+func TestParseITTAGESpec(t *testing.T) {
+	t.Run("defaults", func(t *testing.T) {
+		banks, entries, minHist, ok, reason := ParseITTAGE("ittage")
+		if !ok || reason != "" {
+			t.Fatalf("bare ittage rejected: ok=%v reason=%q", ok, reason)
+		}
+		if banks != ittageDefBanks || entries != ittageDefEntries || minHist != ittageDefMinHist {
+			t.Fatalf("bare ittage = %d,%d,%d; want defaults %d,%d,%d",
+				banks, entries, minHist, ittageDefBanks, ittageDefEntries, ittageDefMinHist)
+		}
+	})
+	t.Run("explicit", func(t *testing.T) {
+		banks, entries, minHist, ok, reason := ParseITTAGE("ittage:4, 256, 3")
+		if !ok || reason != "" {
+			t.Fatalf("spec rejected: ok=%v reason=%q", ok, reason)
+		}
+		if banks != 4 || entries != 256 || minHist != 3 {
+			t.Fatalf("got %d,%d,%d; want 4,256,3", banks, entries, minHist)
+		}
+	})
+	t.Run("not ittage", func(t *testing.T) {
+		for _, pred := range []string{"2lev", "btb", "ittagex", "ittag"} {
+			if _, _, _, ok, _ := ParseITTAGE(pred); ok {
+				t.Fatalf("ParseITTAGE(%q) claimed the ittage family", pred)
+			}
+		}
+	})
+	t.Run("malformed", func(t *testing.T) {
+		for _, pred := range []string{
+			"ittage:", "ittage:8", "ittage:8,512", "ittage:8,512,2,9",
+			"ittage:x,512,2", "ittage:0,512,2", "ittage:17,512,2",
+			"ittage:8,500,2", "ittage:8,0,2", "ittage:8,-512,2", "ittage:8,512,0",
+		} {
+			_, _, _, ok, reason := ParseITTAGE(pred)
+			if !ok {
+				t.Fatalf("ParseITTAGE(%q) did not claim the ittage family", pred)
+			}
+			if reason == "" {
+				t.Fatalf("ParseITTAGE(%q) accepted a malformed spec", pred)
+			}
+		}
+	})
+}
+
+func TestValidateITTAGE(t *testing.T) {
+	f := defaults(t)
+	f.Pred = "ittage"
+	if err := f.Validate(); err != nil {
+		t.Fatalf("bare ittage rejected: %v", err)
+	}
+	p, err := f.Build()
+	if err != nil {
+		t.Fatalf("bare ittage failed to build: %v", err)
+	}
+	if p.Name() == "" {
+		t.Fatal("built predictor has no name")
+	}
+
+	f.Pred = "ittage:2,128,4"
+	if err := f.Validate(); err != nil {
+		t.Fatalf("explicit spec rejected: %v", err)
+	}
+	if _, err := f.Build(); err != nil {
+		t.Fatalf("explicit spec failed to build: %v", err)
+	}
+
+	f.Pred = "ittage:8,500,2"
+	err = f.Validate()
+	var fe *FlagError
+	if !errors.As(err, &fe) || fe.Flag != "pred" {
+		t.Fatalf("malformed spec: want *FlagError on -pred, got %v", err)
+	}
+}
+
 func TestValidateSeed(t *testing.T) {
 	for _, seed := range []int64{0, -1, -1 << 40} {
 		err := ValidateSeed(seed)

@@ -35,6 +35,7 @@ import (
 	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/tuner"
 )
 
 // Config parameterizes a Router. The zero value of every field except
@@ -105,6 +106,14 @@ type Config struct {
 	// ID into every forwarded Hello so backend spans correlate with the
 	// router's. Nil disables tracing at zero per-frame cost.
 	Flight *flight.Recorder
+
+	// TunerPolicy, when non-empty, is pinned into forwarded Hellos that did
+	// not carry their own — the same fleet-consistency move as Predictor:
+	// every backend a session lands on, including a failover replacement
+	// replaying the journal, runs the identical tuning policy and so
+	// converges to the identical swap decisions. Validated at router start
+	// (see New); ignored by backends running without -tuner.
+	TunerPolicy string
 }
 
 func (c Config) withDefaults() Config {
@@ -207,6 +216,11 @@ func New(cfg Config) (*Router, error) {
 	pred, err := cfg.Predictor.Build()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: default predictor: %w", err)
+	}
+	if cfg.TunerPolicy != "" {
+		if _, err := tuner.ParsePolicy(cfg.TunerPolicy); err != nil {
+			return nil, fmt.Errorf("cluster: tuner policy: %w", err)
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Router{
@@ -373,6 +387,9 @@ func (r *Router) handleConn(conn net.Conn) {
 		pf = *hello.Predictor
 	} else {
 		hello.Predictor = &pf
+	}
+	if hello.TunerPolicy == "" && r.cfg.TunerPolicy != "" {
+		hello.TunerPolicy = r.cfg.TunerPolicy
 	}
 	if err := pf.Validate(); err != nil {
 		r.rejectConn(conn, serve.CodeBadHello, err.Error())

@@ -48,9 +48,11 @@ func servedBinary(t *testing.T) string {
 
 // spawnServed starts an ibpserved process on an ephemeral port and returns
 // its command handle and listen address (parsed from its startup line).
-func spawnServed(t *testing.T) (*exec.Cmd, string) {
+// extra appends backend flags (e.g. "-tuner").
+func spawnServed(t *testing.T, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(servedBinary(t), "-addr", "127.0.0.1:0", "-log", "warn", "-shards", "2")
+	args := append([]string{"-addr", "127.0.0.1:0", "-log", "warn", "-shards", "2"}, extra...)
+	cmd := exec.Command(servedBinary(t), args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/oocsb/ibp/internal/serve"
+	"github.com/oocsb/ibp/internal/sim"
+	"github.com/oocsb/ibp/internal/tuner"
+)
+
+// tunedPolicy escalates on the first 256-branch window with >= 1% misses and
+// then stops (swaps=1), so a tuned session's final accounting is exactly the
+// escalation target run from the first record.
+const tunedPolicy = "warmup=0;interval=256;miss=0.01;low=0.001;hyst=1;swaps=1;coldmax=1;target=ittage:4,256,2"
+
+// TestRouterFailoverTunedBitIdentical extends the golden failover contract
+// to tuned fleets: backends run -tuner, the router pins -tunerpolicy into
+// every forwarded Hello, and a backend is SIGKILLed after sessions have
+// already hot-swapped their predictor. The journal replay drives the
+// replacement backend's tuner through the identical decisions at the
+// identical frame boundaries, so every client's Summary is still
+// bit-identical to an uninterrupted from-start run of whatever predictor
+// the session finished on. The tuner CI job greps for this test, so it must
+// never t.Skip (outside -short).
+func TestRouterFailoverTunedBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns backend processes")
+	}
+	proc1, b1 := spawnServed(t, "-tuner")
+	proc2, b2 := spawnServed(t, "-tuner")
+	procs := map[string]*exec.Cmd{b1: proc1, b2: proc2}
+
+	r, addr := startRouter(t, []string{b1, b2}, func(cfg *Config) {
+		cfg.TunerPolicy = tunedPolicy
+	})
+
+	const (
+		n      = 30000
+		warmup = 64
+		frame  = 96
+	)
+	names := []string{"gcc", "perl", "go"}
+
+	// Every session parks at its eighth ack — past the first decision window
+	// (warmup 64 + interval 256 < 8*96 records), so the SIGKILL lands on
+	// sessions that already swapped and the replacement must reproduce the
+	// swap from the journal alone.
+	ready := make(chan struct{}, len(names))
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		for range names {
+			select {
+			case <-ready:
+			case <-time.After(30 * time.Second):
+				t.Error("sessions never reached the kill point")
+				return
+			}
+		}
+		var victim string
+		most := 0
+		for _, st := range r.BackendStatuses() {
+			if st.Sessions > most {
+				victim, most = st.Addr, st.Sessions
+			}
+		}
+		if victim == "" {
+			t.Error("no backend had attached sessions to kill")
+			return
+		}
+		t.Logf("SIGKILL tuned backend %s (%d sessions)", victim, most)
+		if err := procs[victim].Process.Kill(); err != nil {
+			t.Errorf("kill %s: %v", victim, err)
+		}
+	}()
+
+	type outcome struct {
+		name string
+		sum  serve.Summary
+		err  error
+	}
+	results := make(chan outcome, len(names))
+	for _, name := range names {
+		go func(name string) {
+			tr := suiteTrace(t, name, n)
+			c, err := serve.Dial(addr, serve.Hello{Benchmark: name, Warmup: warmup},
+				serve.DialOptions{Timeout: 60 * time.Second, Retries: 2})
+			if err != nil {
+				results <- outcome{name: name, err: err}
+				return
+			}
+			defer c.Close()
+			var parkOnce sync.Once
+			sum, err := c.Stream(tr, frame, func(a serve.Ack, _ time.Duration) {
+				if a.Seq >= 8 {
+					parkOnce.Do(func() {
+						ready <- struct{}{}
+						<-killDone
+					})
+				}
+			})
+			results <- outcome{name: name, sum: sum, err: err}
+		}(name)
+	}
+
+	target, err := tuner.PredictorFor("ittage:4,256,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failovers, escalated := 0, 0
+	for range names {
+		res := <-results
+		if res.err != nil {
+			t.Errorf("%s: %v", res.name, res.err)
+			continue
+		}
+		tr := suiteTrace(t, res.name, n)
+		if strings.HasPrefix(res.sum.Predictor, "ittage") {
+			// The session escalated: its Summary must be bit-identical to
+			// the target predictor run from the very first record.
+			escalated++
+			pred, err := target.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sim.Run(pred, tr, sim.Options{Warmup: warmup})
+			if res.sum.Executed != want.Executed || res.sum.Misses != want.Misses ||
+				res.sum.NoPrediction != want.NoPrediction {
+				t.Errorf("%s (tuned): executed/misses/noPred = %d/%d/%d, target-from-start sim = %d/%d/%d",
+					res.name, res.sum.Executed, res.sum.Misses, res.sum.NoPrediction,
+					want.Executed, want.Misses, want.NoPrediction)
+			}
+		} else {
+			checkSummary(t, res.name, res.sum, tr, warmup)
+		}
+		if res.sum.Router != nil {
+			failovers += res.sum.Router.Failovers
+		}
+	}
+	if failovers < 1 {
+		t.Errorf("total failovers %d after SIGKILL, want >= 1", failovers)
+	}
+	if escalated < 1 {
+		t.Errorf("no session escalated under the aggressive pinned policy")
+	}
+}
+
+// TestRouterRejectsMalformedTunerPolicy: a bad -tunerpolicy fails at router
+// construction, before any client can connect.
+func TestRouterRejectsMalformedTunerPolicy(t *testing.T) {
+	_, err := New(Config{
+		Backends:    []string{"127.0.0.1:1"},
+		Predictor:   defaultFlags(),
+		TunerPolicy: "speed=9",
+	})
+	if err == nil || !strings.Contains(err.Error(), "tuner policy") {
+		t.Fatalf("malformed policy: err = %v", err)
+	}
+}

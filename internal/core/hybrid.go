@@ -38,6 +38,11 @@ type Hybrid struct {
 	att     AttribState
 	attPred []uint32
 	attOK   []bool
+	// attComp is the chosen component's attribution view for the current
+	// Predict→Update pair, fetched lazily in Attribution() so per-record
+	// cost stays a pointer store (the component's own lazy work — pattern
+	// hashing — then only happens for records someone asks about).
+	attComp Attributor
 }
 
 // NewHybrid returns a hybrid over the given components, with earlier
@@ -85,12 +90,12 @@ func (h *Hybrid) Predict(pc uint32) (uint32, bool) {
 		}
 	}
 	h.att = AttribState{Component: int16(chosen)}
+	h.attComp = nil
 	if chosen >= 0 {
 		h.att.Conf = uint8(bestConf)
 		h.att.TableHit = true
 		if a, ok := h.comps[chosen].(Attributor); ok {
-			ca := a.Attribution()
-			h.att.Pattern, h.att.TableHit = ca.Pattern, ca.TableHit
+			h.attComp = a
 		}
 	}
 	return best, bestConf >= 0
@@ -98,8 +103,8 @@ func (h *Hybrid) Predict(pc uint32) (uint32, bool) {
 
 // Update implements Predictor: every component resolves the branch. With
 // attribution enabled it additionally records whether a non-chosen component
-// had the right target (the metapredictor mis-steer signal) and how the
-// chosen component's table moved.
+// had the right target (the metapredictor mis-steer signal); how the chosen
+// component's table moved is read lazily by Attribution.
 func (h *Hybrid) Update(pc, target uint32) {
 	for _, c := range h.comps {
 		c.Update(pc, target)
@@ -112,12 +117,6 @@ func (h *Hybrid) Update(pc, target uint32) {
 		if i != chosen && h.attOK[i] && h.attPred[i] == target {
 			h.att.AltCorrect = true
 			break
-		}
-	}
-	if chosen >= 0 {
-		if a, ok := h.comps[chosen].(Attributor); ok {
-			ca := a.Attribution()
-			h.att.NewEntry, h.att.Evicted = ca.NewEntry, ca.Evicted
 		}
 	}
 }
@@ -137,8 +136,18 @@ func (h *Hybrid) SetAttribution(on bool) {
 	}
 }
 
-// Attribution implements Attributor.
-func (h *Hybrid) Attribution() AttribState { return h.att }
+// Attribution implements Attributor. The chosen component's detail is
+// merged here, lazily — its attribution state stays valid until the next
+// Predict, so a caller asking right after Update sees the pair's view.
+func (h *Hybrid) Attribution() AttribState {
+	if h.attComp != nil {
+		ca := h.attComp.Attribution()
+		h.att.Pattern, h.att.TableHit = ca.Pattern, ca.TableHit
+		h.att.NewEntry, h.att.Evicted = ca.NewEntry, ca.Evicted
+		h.attComp = nil
+	}
+	return h.att
+}
 
 // Name implements Predictor.
 func (h *Hybrid) Name() string { return h.name }

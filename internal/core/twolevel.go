@@ -189,6 +189,13 @@ type TwoLevel struct {
 	// fill att with the detail of the current Predict/Update pair.
 	attrib bool
 	att    AttribState
+	// attPatStale marks att.Pattern as not yet hashed from keyBuf (exact
+	// tables only); Attribution() resolves it on demand.
+	attPatStale bool
+	// tabEvicts caches whether tab is bounded (only bounded tables evict);
+	// false for exact and unbounded tables, whose attribution skips the
+	// eviction-counter reads entirely.
+	tabEvicts bool
 }
 
 // NewTwoLevel builds a predictor for the configuration.
@@ -220,6 +227,9 @@ func NewTwoLevel(cfg Config) (*TwoLevel, error) {
 		return nil, err
 	}
 	t.tab = tab
+	// Only bounded tables can evict, so only they pay the around-the-update
+	// counter reads that attribution uses to detect displacement.
+	t.tabEvicts = tab.Capacity() >= 0
 	// Compressed-key mode reads the pattern on every probe; maintain it
 	// incrementally on push instead of reassembling it from all p targets.
 	t.hist.Track(t.spec)
@@ -256,7 +266,10 @@ func (t *TwoLevel) probe(pc uint32) *table.Entry {
 	if t.attrib {
 		t.att = AttribState{Component: -1, TableHit: e != nil}
 		if t.exact != nil {
-			t.att.Pattern = fnv64(t.keyBuf)
+			// Hashing the full key is the expensive part of attribution;
+			// defer it to Attribution(), which miss-driven consumers (the
+			// tuner) call far less than once per record.
+			t.attPatStale = true
 		} else {
 			t.att.Pattern = t.memoKey
 		}
@@ -299,7 +312,7 @@ func (t *TwoLevel) Update(pc, target uint32) {
 		found bool
 		ev0   uint64
 	)
-	if t.attrib && t.tab != nil {
+	if t.attrib && t.tabEvicts {
 		_, ev0, _ = t.tab.Counts()
 	}
 	if t.memoValid && t.memoPC == pc {
@@ -327,7 +340,7 @@ func (t *TwoLevel) Update(pc, target uint32) {
 	}
 	if t.attrib && !found {
 		t.att.NewEntry = true
-		if t.tab != nil {
+		if t.tabEvicts {
 			_, ev1, _ := t.tab.Counts()
 			t.att.Evicted = ev1 > ev0
 		}
@@ -384,8 +397,16 @@ func (t *TwoLevel) Patterns() int {
 func (t *TwoLevel) SetAttribution(on bool) { t.attrib = on }
 
 // Attribution implements Attributor: the detail recorded for the most
-// recent Predict→Update pair.
-func (t *TwoLevel) Attribution() AttribState { return t.att }
+// recent Predict→Update pair. For exact tables the Pattern hash is computed
+// here, lazily — keyBuf still holds the pair's key, because only the next
+// probe or update overwrites it.
+func (t *TwoLevel) Attribution() AttribState {
+	if t.attPatStale {
+		t.att.Pattern = fnv64(t.keyBuf)
+		t.attPatStale = false
+	}
+	return t.att
+}
 
 // TableStats implements TableStatser.
 func (t *TwoLevel) TableStats() []table.Stats {

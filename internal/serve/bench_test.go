@@ -9,6 +9,7 @@ import (
 
 	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/sessiontrack"
+	"github.com/oocsb/ibp/internal/tuner"
 	"github.com/oocsb/ibp/internal/workload"
 )
 
@@ -36,13 +37,31 @@ func BenchmarkServeLoopbackStreamed(b *testing.B) {
 	benchServeLoopback(b, nil, true)
 }
 
-func benchServeLoopback(b *testing.B, rec *flight.Recorder, streamed bool) {
-	cfg, err := workload.ByName("gcc")
+// BenchmarkServeLoopbackTuned is the same loop with the tuner observing
+// every record and voting at every frame boundary, but with thresholds set
+// so no swap ever fires — the steady-state sampling cost of -tuner, which
+// is the price every tuned session pays whether or not it escalates. CI
+// asserts its records/s stays within 5% of the untuned run.
+func BenchmarkServeLoopbackTuned(b *testing.B) {
+	policy, err := tuner.ParsePolicy("warmup=0;interval=512;miss=0.99;low=0.001")
 	if err != nil {
 		b.Fatal(err)
 	}
-	tr := cfg.MustGenerate(20000)
-	srv, err := New(Config{Predictor: defaultFlags(), Shards: 2, Window: 8, Flight: rec})
+	benchServeLoopbackCfg(b, Config{Tuner: tuner.New(tuner.Options{Policy: policy})}, false)
+}
+
+func benchServeLoopback(b *testing.B, rec *flight.Recorder, streamed bool) {
+	benchServeLoopbackCfg(b, Config{Flight: rec}, streamed)
+}
+
+func benchServeLoopbackCfg(b *testing.B, cfg Config, streamed bool) {
+	wl, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := wl.MustGenerate(20000)
+	cfg.Predictor, cfg.Shards, cfg.Window = defaultFlags(), 2, 8
+	srv, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

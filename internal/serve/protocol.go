@@ -96,6 +96,13 @@ type Hello struct {
 	// with its proxy leg in the cluster-wide /sessions fan-in. Zero on
 	// direct (router-less) sessions.
 	RouterSession uint64 `json:"routerSession,omitempty"`
+	// TunerPolicy overrides the server's default tuning policy for this
+	// session (tuner.ParsePolicy grammar). ibprouter pins its own
+	// -tunerpolicy here so every backend — including a failover
+	// replacement replaying the journal — runs the identical policy and
+	// converges to the same swap decisions. Ignored when the backend runs
+	// without -tuner; rejected (BadHello) when malformed.
+	TunerPolicy string `json:"tunerPolicy,omitempty"`
 }
 
 // HelloAck is the server's session-open response.

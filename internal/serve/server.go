@@ -18,6 +18,7 @@ import (
 	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/telemetry"
 	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/tuner"
 )
 
 // Config parameterizes a Server. The zero value is usable: every limit
@@ -56,6 +57,11 @@ type Config struct {
 	// (the flight recorder) and enables slow-frame SLO logging. Nil disables
 	// tracing entirely: the per-frame cost is one nil check, no allocations.
 	Flight *flight.Recorder
+	// Tuner, when non-nil, attaches the per-session adaptation plane: each
+	// non-events session gets a policy state machine that can hot-swap its
+	// predictor at a frame boundary (see internal/tuner). Nil disables
+	// tuning entirely: the per-record cost is one nil check, no allocations.
+	Tuner *tuner.Tuner
 }
 
 // withDefaults fills unset fields.
@@ -93,6 +99,9 @@ type Server struct {
 	cfg  Config
 	m    *metrics
 	pool *trace.BufferPool // frame payload buffers, shared by all readers
+	// histPool recycles tuner history arena blocks across sessions; blocks
+	// are taken and returned only on shard workers (see session.dropHistory).
+	histPool sync.Pool
 
 	shards  []*shard
 	shardWG sync.WaitGroup
@@ -153,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 		hardStop: make(chan struct{}),
 	}
 	s.pool.OnStats(func() { s.m.poolHits.Inc() }, func() { s.m.poolMisses.Inc() })
+	s.histPool.New = func() any { return new(histBlock) }
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		sh := &shard{id: i, queue: make(chan job, cfg.QueueDepth)}
@@ -408,6 +418,17 @@ func (s *Server) openSession(conn net.Conn, fr *trace.FrameReader) (*session, er
 		s.writeDirect(conn, FrameError, marshalJSON(&WireError{Code: CodeBadHello, Msg: err.Error()}))
 		return nil, err
 	}
+	// A malformed per-session tuner policy is a handshake error, like a bad
+	// predictor spec; validated even when tuning is off so the spec's
+	// meaning never depends on server flags.
+	policy := s.cfg.Tuner.DefaultPolicy()
+	if hello.TunerPolicy != "" {
+		var err error
+		if policy, err = tuner.ParsePolicy(hello.TunerPolicy); err != nil {
+			s.writeDirect(conn, FrameError, marshalJSON(&WireError{Code: CodeBadHello, Msg: err.Error()}))
+			return nil, err
+		}
+	}
 	pf := s.cfg.Predictor
 	if hello.Predictor != nil {
 		pf = *hello.Predictor
@@ -454,6 +475,18 @@ func (s *Server) openSession(conn net.Conn, fr *trace.FrameReader) (*session, er
 	sess.id = entry.ID()
 	sess.track = entry
 	sess.tracer = s.cfg.Flight.Tracer(traceID, sess.id)
+	// Events sessions are not tuned: event frames already shipped under the
+	// old predictor could not be reconciled with a swap's replayed
+	// accounting, so the deterministic choice is to skip them.
+	if s.cfg.Tuner != nil && !hello.Events {
+		sess.tun = s.cfg.Tuner.Session(policy, pf, entry)
+		if sess.tun != nil {
+			if a, ok := pred.(core.Attributor); ok {
+				a.SetAttribution(true)
+				sess.attrib = a
+			}
+		}
+	}
 	s.m.sessionsTotal.Inc()
 	s.m.sessionsActive.Add(1)
 
@@ -481,5 +514,6 @@ func (s *Server) openSession(conn net.Conn, fr *trace.FrameReader) (*session, er
 func (s *Server) unregister(sess *session) {
 	if s.track.Unregister(sess.track) {
 		s.m.sessionsActive.Add(-1)
+		sess.tun.Close()
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/oocsb/ibp/internal/flight"
 	"github.com/oocsb/ibp/internal/sessiontrack"
 	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/tuner"
 )
 
 // outMsg is one frame queued for a session's writer goroutine. buf, when
@@ -77,6 +78,39 @@ type session struct {
 	frames   int
 	records  int
 	evBuf    []EventRec
+
+	// tun is the session's adaptation-plane state (nil when tuning is off);
+	// attrib is pred's attribution view feeding the tuner's miss sketch.
+	// hist retains the session's record frames for the swap replay as views
+	// into block-granular arena allocations (histArena is the current fill
+	// block) — no reallocation ever copies a retained frame twice.
+	// Worker-owned like the predictor, so a hot swap needs no locks.
+	tun        *tuner.SessionTuner
+	attrib     core.Attributor
+	hist       [][]byte
+	histBlocks []*histBlock
+	histArena  []byte
+	histBytes  int
+}
+
+// histBlockSize is the arena block granularity for retained frame history:
+// large enough that a 30k-record session costs a handful of allocations,
+// small enough that a short-lived session doesn't strand much memory.
+const histBlockSize = 256 << 10
+
+// histBlock is one history arena block. Blocks are recycled through the
+// server's histPool, so steady-state tuned traffic retains history without
+// allocating — only the per-frame copy remains.
+type histBlock [histBlockSize]byte
+
+// dropHistory returns the session's arena blocks to the server pool and
+// forgets the retained frames. Worker-goroutine only (the worker owns hist,
+// and a block must not be reused while a queued frame could still append).
+func (sess *session) dropHistory() {
+	for _, blk := range sess.histBlocks {
+		sess.srv.histPool.Put(blk)
+	}
+	sess.histBlocks, sess.hist, sess.histArena, sess.histBytes = nil, nil, nil, 0
 }
 
 func newSession(s *Server, conn net.Conn, pred core.Predictor, hello Hello, window int) *session {
@@ -159,6 +193,10 @@ func (sess *session) hardClose() {
 // handshake maps onto the session's graceful drain and hard close.
 func (sess *session) Drain() { sess.beginDrain() }
 func (sess *session) Kill()  { sess.hardClose() }
+
+// Retune implements sessiontrack.Retuner: the /sessions/{id}/retune admin
+// verb forces a tuner decision at the session's next frame boundary.
+func (sess *session) Retune() bool { return sess.tun.Retune() }
 
 // writeLoop is the session's writer goroutine: it owns conn's write side.
 // Every wakeup gathers all queued frames into one FrameBatcher flush — a
@@ -411,6 +449,18 @@ func (sess *session) processFrame(j job) {
 				if !ok {
 					sess.noPred++
 				}
+				if sess.tun != nil {
+					// Feed the miss sketch — only misses are classified, so
+					// correctly predicted records pay the tuner nothing.
+					// Attribution when the predictor records it, else the
+					// bare hit bit.
+					if sess.attrib != nil {
+						at := sess.attrib.Attribution()
+						sess.tun.ObserveMiss(at.TableHit, at.AltCorrect, at.NewEntry, at.Evicted)
+					} else {
+						sess.tun.ObserveMiss(ok, false, false, false)
+					}
+				}
 			}
 		}
 	}
@@ -467,6 +517,12 @@ func (sess *session) processFrame(j job) {
 	if sess.send(outMsg{typ: FrameAck, payload: payload, buf: ab, span: j.span}) {
 		m.acks.Inc()
 	}
+	// The frame boundary is the tuner's only legal act point; the ack above
+	// still carries the pre-swap totals, the next one reflects the replayed
+	// accounting.
+	if sess.tun != nil {
+		sess.tunerFrameEnd(chunk, sess.executed-exec0, sess.misses-miss0)
+	}
 }
 
 // ackPayloadMax is an Ack payload's encoded size bound: seven uvarints.
@@ -479,6 +535,9 @@ func (sess *session) emitSummary(drained bool) {
 	if drained {
 		sess.srv.m.drains.Inc()
 	}
+	// The Done/drain job is the last the worker runs for this session, so
+	// its retained tuner history can be recycled here, on the owning worker.
+	sess.dropHistory()
 	sum := Summary{
 		Session:      sess.id,
 		Benchmark:    sess.hello.Benchmark,

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"github.com/oocsb/ibp/internal/core"
+	"github.com/oocsb/ibp/internal/trace"
+	"github.com/oocsb/ibp/internal/tuner"
+)
+
+// tunerFrameEnd is the act side of the adaptation plane, run at every frame
+// boundary of a tuned session (worker goroutine, after the frame's ack is
+// queued): retain the frame for replay, let the policy vote, and apply any
+// decision as a hot swap.
+//
+// Swap-determinism contract: a swap replays the session's entire retained
+// record stream through a freshly built target predictor and recomputes the
+// Summary accounting from scratch, so after the swap the session is
+// bit-identical — predictor state and executed/miss/noPred counts — to a
+// session that ran the target predictor from its first record. Because
+// decisions are made on record-counted windows at frame boundaries (never
+// wall clock), a router replaying the journal onto a surviving backend
+// drives that backend's tuner through the same decisions at the same
+// boundaries: failover converges to the same Summary.
+func (sess *session) tunerFrameEnd(chunk []byte, executed, misses int) {
+	tun := sess.tun
+	if !tun.Stopped() {
+		// The just-processed frame joins the history before the vote: the
+		// decision point is this frame's boundary, so a swap must replay
+		// through it. Frames are copied into block-granular arena
+		// allocations — a retained frame is written exactly once.
+		if sess.histBytes+len(chunk) > tun.Policy().MaxHistoryBytes {
+			tun.HistoryOverflow()
+			sess.srv.cfg.Log.Warn("tuner history cap hit; session tuning disabled",
+				"session", sess.id, "histBytes", sess.histBytes)
+		} else {
+			if len(sess.histArena) < len(chunk) {
+				if len(chunk) > histBlockSize {
+					// Oversize frame: a one-shot slice outside the pool.
+					sess.histArena = make([]byte, len(chunk))
+				} else {
+					blk := sess.srv.histPool.Get().(*histBlock)
+					sess.histBlocks = append(sess.histBlocks, blk)
+					sess.histArena = blk[:]
+				}
+			}
+			n := copy(sess.histArena, chunk)
+			sess.hist = append(sess.hist, sess.histArena[:n:n])
+			sess.histArena = sess.histArena[n:]
+			sess.histBytes += n
+		}
+	}
+	if d := tun.FrameEnd(executed, misses); d != nil {
+		sess.applySwap(d)
+	}
+	if tun.Stopped() {
+		// No further swaps can happen; recycle the history now.
+		sess.dropHistory()
+	}
+}
+
+// applySwap builds the decision's target predictor, replays the retained
+// history through it with from-scratch accounting, and installs it as the
+// session's predictor. On any failure the session keeps its current
+// predictor and the tuner stops (SwapFailed) — never a half-applied swap.
+func (sess *session) applySwap(d *tuner.Decision) {
+	pred, err := d.Target.Build()
+	if err != nil {
+		// Unreachable in practice: policy targets are build-checked at
+		// parse time. Guarded anyway — a swap must be all or nothing.
+		sess.tun.SwapFailed()
+		sess.srv.cfg.Log.Warn("tuner swap failed", "session", sess.id, "err", err)
+		return
+	}
+	condObs, _ := pred.(core.CondObserver)
+	var attrib core.Attributor
+	if a, ok := pred.(core.Attributor); ok {
+		a.SetAttribution(true)
+		attrib = a
+	}
+	seen, executed, misses, noPred := 0, 0, 0, 0
+	replayed := 0
+	var batch [256]trace.Record
+	for _, frame := range sess.hist {
+		it, err := trace.NewRecordIter(frame, sess.srv.cfg.MaxFrameRecords)
+		if err != nil {
+			sess.tun.SwapFailed()
+			sess.srv.cfg.Log.Warn("tuner swap replay failed", "session", sess.id, "err", err)
+			return
+		}
+		for {
+			bn := it.NextBatch(batch[:])
+			if bn == 0 {
+				break
+			}
+			replayed += bn
+			for _, r := range batch[:bn] {
+				switch {
+				case r.Kind == trace.Cond:
+					if condObs != nil {
+						condObs.ObserveCond(r.PC, r.Target, r.Target != 0)
+					}
+					continue
+				case !r.Kind.Indirect():
+					continue
+				}
+				p, ok := pred.Predict(r.PC)
+				pred.Update(r.PC, r.Target)
+				seen++
+				if seen <= sess.hello.Warmup {
+					continue
+				}
+				executed++
+				if !ok || p != r.Target {
+					misses++
+					if !ok {
+						noPred++
+					}
+				}
+			}
+		}
+		if err := it.Err(); err != nil {
+			sess.tun.SwapFailed()
+			sess.srv.cfg.Log.Warn("tuner swap replay failed", "session", sess.id, "err", err)
+			return
+		}
+	}
+	sess.pred = pred
+	sess.condObs = condObs
+	sess.attrib = attrib
+	sess.statser, _ = pred.(core.TableStatser)
+	sess.predName = pred.Name()
+	sess.seen, sess.executed, sess.misses, sess.noPred = seen, executed, misses, noPred
+	sess.tun.SwapApplied(d, sess.predName, replayed)
+	if sess.statser != nil {
+		sess.track.UpdateTables(sess.statser.TableStats())
+	}
+	sess.srv.cfg.Log.Info("tuner swap", "session", sess.id, "predictor", sess.predName,
+		"escalate", d.Escalate, "reason", d.Reason, "replayedRecords", replayed,
+		"missRate", missRatePct(misses, executed))
+}
+
+func missRatePct(misses, executed int) float64 {
+	if executed == 0 {
+		return 0
+	}
+	return 100 * float64(misses) / float64(executed)
+}

@@ -2,6 +2,7 @@ package sessiontrack
 
 import (
 	"encoding/json"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -25,6 +26,18 @@ type HTTPConfig struct {
 	// Flight, when non-nil, supplies last-N hop-latency spans for
 	// /sessions/{id}.
 	Flight *flight.Recorder
+	// ReadOnly disables the mutating admin verbs (kill/drain/retune): they
+	// stay mounted but answer 403, so an operator probing a locked-down
+	// instance learns the verb exists rather than getting a misleading 404.
+	ReadOnly bool
+}
+
+// AdminResult is the JSON body of every mutating admin verb response.
+type AdminResult struct {
+	OK     bool   `json:"ok"`
+	ID     uint64 `json:"id,omitempty"`
+	Action string `json:"action,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Stream line shapes. Every NDJSON line carries "type" so consumers can
@@ -158,6 +171,60 @@ func Mount(mux *http.ServeMux, cfg HTTPConfig) {
 		}
 		writeJSON(w, d)
 	})
+
+	// Mutating admin verbs. Method enforcement rides the mux patterns (a
+	// non-POST answers 405 with Allow: POST); bodies are optional but, when
+	// present, must be JSON — the same Content-Type discipline the read
+	// side's responses carry.
+	admin := func(action string, run func(s *Session) (int, string)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			fail := func(status int, msg string, id uint64) {
+				setJSON(w.Header())
+				w.WriteHeader(status)
+				json.NewEncoder(w).Encode(AdminResult{ID: id, Action: action, Error: msg})
+			}
+			if cfg.ReadOnly {
+				fail(http.StatusForbidden, "instance is read-only (-readonly)", 0)
+				return
+			}
+			if r.ContentLength != 0 {
+				mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+				if err != nil || mt != "application/json" {
+					fail(http.StatusUnsupportedMediaType, "request body must be application/json", 0)
+					return
+				}
+			}
+			id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+			if err != nil {
+				fail(http.StatusBadRequest, "bad session id", 0)
+				return
+			}
+			s, ok := cfg.Local.Get(id)
+			if !ok {
+				fail(http.StatusNotFound, "no such session", id)
+				return
+			}
+			if status, msg := run(s); msg != "" {
+				fail(status, msg, id)
+				return
+			}
+			writeJSON(w, AdminResult{OK: true, ID: id, Action: action})
+		}
+	}
+	mux.HandleFunc("POST /sessions/{id}/kill", admin("kill", func(s *Session) (int, string) {
+		s.Kill()
+		return 0, ""
+	}))
+	mux.HandleFunc("POST /sessions/{id}/drain", admin("drain", func(s *Session) (int, string) {
+		s.Drain()
+		return 0, ""
+	}))
+	mux.HandleFunc("POST /sessions/{id}/retune", admin("retune", func(s *Session) (int, string) {
+		if !s.Retune() {
+			return http.StatusConflict, "session has no active tuner"
+		}
+		return 0, ""
+	}))
 }
 
 // shapeView applies ?sort= and ?limit= to a view in place.

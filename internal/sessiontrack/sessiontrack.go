@@ -162,6 +162,14 @@ type Session struct {
 	waitN    atomic.Int64
 	inflight atomic.Int32
 
+	// Tuner-facing state: the live predictor name (meta.Predictor is the
+	// config at open; this tracks hot swaps), the swap count, and the
+	// per-class miss sketch counters (cold, conflict, alias, meta), flushed
+	// once per frame by the tuner.
+	predictor atomic.Pointer[string]
+	swaps     atomic.Uint64
+	missClass [4]atomic.Uint64
+
 	journalBytes atomic.Int64
 	failovers    atomic.Uint64
 	replayed     atomic.Uint64
@@ -209,6 +217,64 @@ func (s *Session) Drain() {
 func (s *Session) Kill() {
 	if s != nil && s.conn != nil {
 		s.conn.Kill()
+	}
+}
+
+// Retuner is the optional Conn extension a tuned serve session implements:
+// Retune forces a tuner policy evaluation at the next frame boundary.
+type Retuner interface {
+	Retune() bool
+}
+
+// Retune forwards to the owner when it supports forced retuning (the
+// /sessions/{id}/retune admin verb). Nil-safe; false when the session's
+// owner has no tuner attached.
+func (s *Session) Retune() bool {
+	if s == nil || s.conn == nil {
+		return false
+	}
+	rt, ok := s.conn.(Retuner)
+	return ok && rt.Retune()
+}
+
+// PredictorSwapped records a tuner predictor hot-swap: the session now runs
+// name. Called at most once per swap, so the boxed string is off the frame
+// path.
+func (s *Session) PredictorSwapped(name string) {
+	if s == nil {
+		return
+	}
+	p := new(string)
+	*p = name
+	s.predictor.Store(p)
+	s.swaps.Add(1)
+}
+
+// Swaps returns the tuner hot-swap count. Nil-safe.
+func (s *Session) Swaps() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.swaps.Load()
+}
+
+// AddMissClasses flushes one frame's miss-class sketch deltas
+// (cold/conflict/alias/meta) from the tuner. Zero deltas cost nothing.
+func (s *Session) AddMissClasses(cold, conflict, alias, meta uint64) {
+	if s == nil {
+		return
+	}
+	if cold != 0 {
+		s.missClass[0].Add(cold)
+	}
+	if conflict != 0 {
+		s.missClass[1].Add(conflict)
+	}
+	if alias != 0 {
+		s.missClass[2].Add(alias)
+	}
+	if meta != 0 {
+		s.missClass[3].Add(meta)
 	}
 }
 

@@ -53,6 +53,13 @@ type SessionSnapshot struct {
 	MissRate       float64 `json:"missRate"`
 	QueueWaitAvgUS float64 `json:"queueWaitAvgUs,omitempty"`
 
+	// Swaps counts tuner predictor hot-swaps; Predictor above reflects the
+	// live (post-swap) predictor, not the one the session opened with.
+	Swaps uint64 `json:"swaps,omitempty"`
+	// MissClasses breaks the session's post-warmup misses down by the
+	// tuner's sketch; nil unless a tuner observed the session.
+	MissClasses *MissClassCounts `json:"missClasses,omitempty"`
+
 	JournalBytes   int64  `json:"journalBytes,omitempty"`
 	Failovers      uint64 `json:"failovers,omitempty"`
 	ReplayedFrames uint64 `json:"replayedFrames,omitempty"`
@@ -61,6 +68,15 @@ type SessionSnapshot struct {
 	Replayable bool `json:"replayable"`
 
 	Win WindowStats `json:"win"`
+}
+
+// MissClassCounts is the tuner's per-session miss-class sketch, using the
+// internal/analysis classifier taxonomy.
+type MissClassCounts struct {
+	Cold     uint64 `json:"cold"`
+	Conflict uint64 `json:"conflict"`
+	Alias    uint64 `json:"alias"`
+	Meta     uint64 `json:"meta"`
 }
 
 // TableDelta pairs a predictor table's live stats with the change since the
@@ -125,6 +141,15 @@ func (s *Session) snapshotAt(nowNS int64) SessionSnapshot {
 	}
 	if b := s.backend.Load(); b != nil {
 		snap.Backend = *b
+	}
+	if p := s.predictor.Load(); p != nil {
+		snap.Predictor = *p
+	}
+	snap.Swaps = s.swaps.Load()
+	c0, c1 := s.missClass[0].Load(), s.missClass[1].Load()
+	c2, c3 := s.missClass[2].Load(), s.missClass[3].Load()
+	if c0|c1|c2|c3 != 0 {
+		snap.MissClasses = &MissClassCounts{Cold: c0, Conflict: c1, Alias: c2, Meta: c3}
 	}
 	if snap.Executed > 0 {
 		snap.MissRate = float64(snap.Misses) / float64(snap.Executed)

@@ -71,6 +71,7 @@ func equivalenceLanes() []batchLaneSpec {
 			}
 			return h
 		}},
+		{name: "ittage", mk: mkITTAGE(4, 256, 2)},
 	}
 	// Options knobs over a representative subject.
 	withOpts := func(name string, opts Options) batchLaneSpec {
@@ -128,6 +129,47 @@ func TestRunBatchMatchesSequential(t *testing.T) {
 		want := Run(s.mk(t), full, seq)
 		if !reflect.DeepEqual(batch[i], want) {
 			t.Errorf("lane %q: batch %+v != sequential %+v", s.name, batch[i], want)
+		}
+	}
+}
+
+func mkITTAGE(banks, entries, minHist int) func(t *testing.T) core.Predictor {
+	return func(t *testing.T) core.Predictor {
+		t.Helper()
+		p, err := core.NewITTAGE(banks, entries, minHist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+}
+
+// TestRunBatchITTAGESuiteEquivalence is ITTAGE's membership proof in the
+// engine equivalence guarantee, across the full paper suite: for every
+// benchmark, one batched pass matches a sequential run byte for byte, and a
+// single predictor reused across benchmarks with the O(1) gen-stamped
+// Reset() between them matches a freshly constructed predictor on each — so
+// Reset really is "as new". The benchmark CI job greps for this test being
+// skipped, so it must never t.Skip.
+func TestRunBatchITTAGESuiteEquivalence(t *testing.T) {
+	reused := mkITTAGE(4, 256, 2)(t)
+	for _, cfg := range workload.Suite() {
+		tr := cfg.MustGenerate(1500)
+		opts := Options{Warmup: 100}
+
+		batch, err := RunBatchEach(context.Background(),
+			[]core.Predictor{mkITTAGE(4, 256, 2)(t)}, tr, []Options{opts})
+		if err != nil {
+			t.Fatalf("%s: RunBatchEach: %v", cfg.Name, err)
+		}
+		want := Run(mkITTAGE(4, 256, 2)(t), tr, opts)
+		if !reflect.DeepEqual(batch[0], want) {
+			t.Errorf("%s: batch %+v != sequential %+v", cfg.Name, batch[0], want)
+		}
+
+		reused.(core.Resetter).Reset()
+		if got := Run(reused, tr, opts); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Reset-reused %+v != fresh %+v", cfg.Name, got, want)
 		}
 	}
 }

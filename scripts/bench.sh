@@ -35,9 +35,10 @@ go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime "$benchtime" 
 # Serve-path throughput: the loopback end-to-end benchmark (framing,
 # checksums, shard hand-off, prediction, ack stream) lands in the same
 # snapshot so a wire-layer regression shows up next to the engine numbers —
-# untraced and with the flight recorder on, so the tracing overhead is
-# visible in every snapshot.
-go test -run '^$' -bench '^(BenchmarkServeLoopback|BenchmarkServeLoopbackTraced)$' \
+# untraced, with the flight recorder on, and with the predictor auto-tuner
+# observing every frame, so the tracing and tuning overheads are visible in
+# every snapshot.
+go test -run '^$' -bench '^(BenchmarkServeLoopback|BenchmarkServeLoopbackTraced|BenchmarkServeLoopbackTuned)$' \
   -benchtime "$benchtime" ./internal/serve | tee -a "$raw"
 
 # Cluster-path throughput: the same stream through ibprouter's full path

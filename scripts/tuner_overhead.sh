@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tuner overhead guard: runs the serve loopback benchmark untuned
+# (BenchmarkServeLoopback) and with the adaptation plane observing every
+# frame (BenchmarkServeLoopbackTuned — thresholds set so no swap fires, i.e.
+# the steady-state price of -tuner) and fails when tuning costs more than
+# MAX_OVERHEAD percent of records/s throughput. Best-of-REPS on both sides
+# keeps runner noise from failing healthy builds.
+#
+# Usage:
+#   scripts/tuner_overhead.sh
+# Environment:
+#   MAX_OVERHEAD  allowed throughput cost in percent (default 5)
+#   REPS          repetitions per benchmark; the best run counts (default 3)
+#   BENCHTIME     go test -benchtime per rep (default 3x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+max="${MAX_OVERHEAD:-5}"
+reps="${REPS:-3}"
+benchtime="${BENCHTIME:-3x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+for _ in $(seq "$reps"); do
+  go test -run '^$' -bench '^(BenchmarkServeLoopback|BenchmarkServeLoopbackTuned)$' \
+    -benchtime "$benchtime" ./internal/serve | tee -a "$raw"
+done
+
+python3 - "$raw" "$max" <<'EOF'
+import re, sys
+raw_path, max_overhead = sys.argv[1], float(sys.argv[2])
+best = {"BenchmarkServeLoopback": 0.0, "BenchmarkServeLoopbackTuned": 0.0}
+for line in open(raw_path):
+    m = re.match(r"(BenchmarkServeLoopback(?:Tuned)?)-?\S*\s.*?([\d.e+]+) records/s", line)
+    if m:
+        name, v = m.group(1), float(m.group(2))
+        best[name] = max(best[name], v)
+off, on = best["BenchmarkServeLoopback"], best["BenchmarkServeLoopbackTuned"]
+if off == 0.0 or on == 0.0:
+    sys.exit("tuner_overhead: missing records/s samples")
+overhead = 100.0 * (1.0 - on / off)
+print(f"tuner_overhead: untuned {off:,.0f} records/s, tuned {on:,.0f} records/s "
+      f"({overhead:+.1f}% cost)")
+if overhead > max_overhead:
+    sys.exit(f"tuner_overhead: the adaptation plane costs {overhead:.1f}% "
+             f"(> {max_overhead:.0f}% allowed)")
+EOF
